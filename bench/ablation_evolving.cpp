@@ -1,0 +1,77 @@
+// Ablation: the evolving-data update (§V-E, zero-padding) vs re-running ExD
+// on the full enlarged dataset. The incremental path must be much cheaper
+// while keeping the transformation error within tolerance.
+
+#include "bench_common.hpp"
+#include "core/evolving.hpp"
+#include "core/exd.hpp"
+#include "data/subspace.hpp"
+
+int main() {
+  using namespace extdict;
+  bench::banner("Ablation", "Evolving-data update vs full re-transform");
+
+  data::SubspaceModelConfig base_config;
+  base_config.ambient_dim = 200;
+  base_config.num_columns = 2500;
+  base_config.num_subspaces = 12;
+  base_config.subspace_dim = 6;
+  base_config.seed = 44;
+  const auto base = data::make_union_of_subspaces(base_config);
+
+  core::ExdConfig exd_config;
+  exd_config.dictionary_size = 300;
+  exd_config.tolerance = 0.1;
+  exd_config.seed = 16;
+
+  util::Timer t0;
+  core::ExdResult incremental = core::exd_transform(base.a, exd_config);
+  const double initial_ms = t0.elapsed_ms();
+  std::printf("initial transform: %td x %td, %.1f ms, error %.4f\n",
+              base.a.rows(), base.a.cols(), initial_ms,
+              incremental.transformation_error);
+
+  util::Table table({"batch", "kind", "incremental (ms)", "full re-run (ms)",
+                     "speedup", "err (incremental)", "err (full)",
+                     "atoms added"});
+
+  la::Matrix full_data = base.a;
+  for (int batch = 1; batch <= 3; ++batch) {
+    // Alternate familiar and novel batches.
+    data::SubspaceModelConfig batch_config = base_config;
+    batch_config.num_columns = 250;
+    batch_config.seed = base_config.seed + (batch % 2 == 0 ? 0 : 1000 + batch);
+    const auto batch_data = data::make_union_of_subspaces(batch_config);
+    full_data.append_columns(batch_data.a);
+
+    core::ExdConfig evolve_config = exd_config;
+    evolve_config.dictionary_size = 60;  // atoms to learn if structure is new
+
+    util::Timer t_inc;
+    const auto report = core::evolve(incremental, batch_data.a, evolve_config);
+    const double inc_ms = t_inc.elapsed_ms();
+    const double inc_err = core::transformation_error(
+        full_data, incremental.dictionary, incremental.coefficients);
+
+    util::Timer t_full;
+    core::ExdConfig rerun = exd_config;
+    rerun.dictionary_size = incremental.dictionary.cols();
+    const auto full = core::exd_transform(full_data, rerun);
+    const double full_ms = t_full.elapsed_ms();
+
+    table.add_row({std::to_string(batch),
+                   batch % 2 == 0 ? "familiar" : "novel",
+                   util::fmt(inc_ms, 4), util::fmt(full_ms, 4),
+                   util::fmt(full_ms / inc_ms, 3) + "x",
+                   util::fmt(inc_err, 4),
+                   util::fmt(full.transformation_error, 4),
+                   std::to_string(report.new_atoms)});
+  }
+  std::printf("%s", table.str().c_str());
+  bench::note(
+      "expected: incremental updates are cheaper than re-running ExD — "
+      "dramatically so for familiar batches — AND more accurate on novel "
+      "batches: uniform re-sampling dilutes rare new structure, while the "
+      "targeted extension learns atoms from exactly the failing columns");
+  return 0;
+}

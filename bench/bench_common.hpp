@@ -1,0 +1,54 @@
+#pragma once
+
+// Shared plumbing for the table/figure reproduction harnesses. Every bench
+// binary prints (a) what the paper reports for that table/figure and (b)
+// our measured counterpart, using the scaled-down synthetic datasets
+// documented in DESIGN.md.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "data/datasets.hpp"
+#include "dist/platform.hpp"
+#include "la/matrix.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace extdict::bench {
+
+inline void banner(const char* id, const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("================================================================\n");
+}
+
+inline void note(const char* text) { std::printf("note: %s\n", text); }
+
+/// All three evaluation datasets at bench scale, generated once.
+struct BenchDatasets {
+  struct Entry {
+    data::DatasetSpec spec;
+    la::Matrix a;
+  };
+  std::vector<Entry> entries;
+
+  static BenchDatasets load() {
+    BenchDatasets sets;
+    for (const auto& spec : data::all_datasets()) {
+      util::Timer t;
+      la::Matrix a = data::make_dataset(spec.id, data::Scale::kBench);
+      std::printf("[data] %s: %td x %td generated in %s\n", spec.name.c_str(),
+                  a.rows(), a.cols(), util::format_duration_ms(t.elapsed_ms()).c_str());
+      sets.entries.push_back({spec, std::move(a)});
+    }
+    return sets;
+  }
+};
+
+inline std::string mb(std::uint64_t words) {
+  return util::fmt(static_cast<double>(words) * sizeof(la::Real) / (1 << 20), 4) +
+         " MB";
+}
+
+}  // namespace extdict::bench

@@ -1,0 +1,95 @@
+// Extension: strong scaling of one Gram update, P = 1..64, ExtDict vs the
+// original A^T A — the curve behind Fig. 7's four sampled platforms. Also
+// sweeps N at fixed P to expose the crossover the paper describes in the
+// Fig. 9 discussion: growing P makes communication dominant, growing N
+// makes FLOPs dominant again.
+
+#include "bench_common.hpp"
+#include "core/dist_gram.hpp"
+#include "core/exd.hpp"
+#include "data/hyperspectral.hpp"
+
+int main() {
+  using namespace extdict;
+  bench::banner("Extra", "Strong scaling & data scaling of one Gram update");
+
+  // --- Strong scaling at fixed data -----------------------------------------
+  {
+    const la::Matrix a = data::make_dataset(data::DatasetId::kSalina,
+                                            data::Scale::kBench);
+    core::ExdConfig exd;
+    exd.dictionary_size = 60;
+    exd.tolerance = 0.1;
+    exd.seed = 23;
+    const auto t = core::exd_transform(a, exd);
+    la::Vector x0(static_cast<std::size_t>(a.cols()), 1.0);
+
+    std::printf("\nstrong scaling (Salina %td x %td, L = 60)\n", a.rows(),
+                a.cols());
+    util::Table table({"platform", "P", "ExtDict (ms)", "A^T A (ms)",
+                       "improvement", "ExtDict comm share"});
+    const dist::Topology topologies[] = {{1, 1}, {1, 2}, {1, 4}, {1, 8},
+                                         {2, 8}, {4, 8}, {8, 8}};
+    for (const auto& topo : topologies) {
+      const auto platform = dist::PlatformSpec::idataplex(topo);
+      const dist::Cluster cluster(topo);
+      const auto rt = core::dist_gram_apply(cluster, t.dictionary,
+                                            t.coefficients, x0, 1);
+      const auto ro = core::dist_gram_apply_original(cluster, a, x0, 1);
+      const double ms_t = platform.modeled_seconds(rt.stats) * 1e3;
+      const double ms_o = platform.modeled_seconds(ro.stats) * 1e3;
+      // Communication share: modeled time with compute zeroed out.
+      dist::RunStats comm_only = rt.stats;
+      for (auto& c : comm_only.per_rank) c.flops = 0;
+      const double share = platform.modeled_seconds(comm_only) / (ms_t / 1e3);
+      table.add_row({topo.name(), std::to_string(topo.total()),
+                     util::fmt(ms_t, 4), util::fmt(ms_o, 4),
+                     util::fmt(ms_o / ms_t, 3) + "x",
+                     util::fmt(100 * share, 3) + " %"});
+    }
+    std::printf("%s", table.str().c_str());
+  }
+
+  // --- Data scaling at fixed platform ---------------------------------------
+  {
+    std::printf("\ndata scaling (Salina-like, 8x8 platform, L tuned ~ fixed)\n");
+    const auto platform = dist::PlatformSpec::idataplex({8, 8});
+    const dist::Cluster cluster(platform.topology);
+    util::Table table({"N", "ExtDict (ms)", "A^T A (ms)", "improvement",
+                       "ExtDict comm share"});
+    for (const la::Index n : {1000l, 2000l, 4000l, 8000l}) {
+      data::HyperspectralConfig config;
+      config.bands = 200;
+      config.num_pixels = n;
+      config.num_endmembers = 28;
+      config.mix_size = 4;
+      config.num_regions = 60;
+      config.noise_stddev = 0.0005;
+      const la::Matrix a = data::make_hyperspectral(config).a;
+      core::ExdConfig exd;
+      exd.dictionary_size = 60;
+      exd.tolerance = 0.1;
+      exd.seed = 23;
+      const auto t = core::exd_transform(a, exd);
+      la::Vector x0(static_cast<std::size_t>(n), 1.0);
+      const auto rt = core::dist_gram_apply(cluster, t.dictionary,
+                                            t.coefficients, x0, 1);
+      const auto ro = core::dist_gram_apply_original(cluster, a, x0, 1);
+      const double ms_t = platform.modeled_seconds(rt.stats) * 1e3;
+      const double ms_o = platform.modeled_seconds(ro.stats) * 1e3;
+      dist::RunStats comm_only = rt.stats;
+      for (auto& c : comm_only.per_rank) c.flops = 0;
+      const double share = platform.modeled_seconds(comm_only) / (ms_t / 1e3);
+      table.add_row({std::to_string(n), util::fmt(ms_t, 4), util::fmt(ms_o, 4),
+                     util::fmt(ms_o / ms_t, 3) + "x",
+                     util::fmt(100 * share, 3) + " %"});
+    }
+    std::printf("%s", table.str().c_str());
+  }
+
+  bench::note(
+      "expected: the communication share rises with P (fixed N) and falls "
+      "with N (fixed P) — the paper's crossover argument in the Fig. 9 "
+      "discussion; the improvement factor follows the FLOP-dominated end");
+  return 0;
+}

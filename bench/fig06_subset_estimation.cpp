@@ -1,0 +1,83 @@
+// Fig. 6: effective ExD tuning from subsets of A. For nested random
+// subsets A_1 ⊂ A_2 ⊂ ... ⊂ A, the density profile alpha(L) computed on
+// the subset converges to the full-data profile — the property (§VII) that
+// makes platform tuning cheap.
+//
+// Paper shape: with ~10% of the data, alpha(L) is estimated within ~14%.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/alpha_profile.hpp"
+#include "la/random.hpp"
+
+int main() {
+  using namespace extdict;
+  bench::banner("Fig. 6", "alpha(L) estimated from nested subsets (eps = 0.1)");
+
+  const auto sets = bench::BenchDatasets::load();
+  for (const auto& entry : sets.entries) {
+    const la::Index n = entry.a.cols();
+    // Subset ladder ~ {2.5%, 5%, 10%, 25%, 50%, 100%} like the paper's A_1..A.
+    const std::vector<la::Index> fractions = {n / 40, n / 20, n / 10,
+                                              n / 4,  n / 2,  n};
+
+    // Shared shuffled order -> nested subsets.
+    la::Rng rng(11);
+    const auto order = rng.permutation(n);
+
+    core::AlphaProfileConfig config;
+    config.tolerance = 0.1;
+    config.seed = 6;
+    // Probe a subrange of the dataset's grid that stays within the
+    // smallest subset.
+    for (const la::Index l : entry.spec.l_grid) {
+      if (l <= fractions.front()) config.l_grid.push_back(l);
+    }
+    if (config.l_grid.empty()) config.l_grid.push_back(fractions.front() / 2);
+
+    std::printf("\n%s (%td x %td), grid L in {", entry.spec.name.c_str(),
+                entry.a.rows(), n);
+    for (const auto l : config.l_grid) std::printf(" %td", l);
+    std::printf(" }\n");
+
+    std::vector<std::string> header = {"|A_s| (cols)"};
+    for (const auto l : config.l_grid) header.push_back("alpha(L=" + std::to_string(l) + ")");
+    header.push_back("max rel dev vs full");
+    util::Table table(header);
+
+    // Full-data reference profile (last ladder step) computed first.
+    std::vector<core::AlphaProfile> profiles;
+    for (const la::Index size : fractions) {
+      const la::Matrix subset =
+          entry.a.select_columns({order.data(), static_cast<std::size_t>(size)});
+      profiles.push_back(core::estimate_alpha_profile(subset, config));
+    }
+    const core::AlphaProfile& full = profiles.back();
+
+    for (std::size_t s = 0; s < profiles.size(); ++s) {
+      std::vector<std::string> row = {std::to_string(fractions[s])};
+      double max_dev = 0;
+      for (const auto l : config.l_grid) {
+        double alpha = std::nan("");
+        for (const auto& p : profiles[s].points) {
+          if (p.l == l) alpha = p.alpha_mean;
+        }
+        row.push_back(util::fmt(alpha, 4));
+        for (const auto& q : full.points) {
+          if (q.l == l && q.alpha_mean > 0 && !std::isnan(alpha)) {
+            max_dev = std::max(max_dev,
+                               std::abs(alpha - q.alpha_mean) / q.alpha_mean);
+          }
+        }
+      }
+      row.push_back(util::fmt(100 * max_dev, 3) + " %");
+      table.add_row(std::move(row));
+    }
+    std::printf("%s", table.str().c_str());
+  }
+  bench::note(
+      "expected: the deviation column shrinks as the subset grows; ~10% of "
+      "the data already estimates alpha(L) closely");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Fig. 7: runtime improvement of ExtDict over the original A^T A update and
+// over the state-of-the-art transformations (RCSS, oASIS, RankMap), for one
+// Gram-matrix update, on the four platform configurations.
+//
+// Every transformation is computed for the same error eps = 0.1; ExtDict's
+// L is tuned per platform. The per-iteration "runtime" is the platform-
+// modelled time of the measured SPMD run (exact FLOP/word counters through
+// the emulated cluster — see DESIGN.md §2 on the MPI substitution).
+//
+// Paper shape: ExtDict >= every baseline on every platform; it ties
+// RankMap where the tuned dictionary is already the smallest feasible one
+// (the paper's Light Field case), and the gap over the dense-C methods
+// (RCSS/oASIS) is largest.
+
+#include "baselines/oasis.hpp"
+#include "baselines/rankmap.hpp"
+#include "baselines/rcss.hpp"
+#include "bench_common.hpp"
+#include "core/dist_gram.hpp"
+#include "core/exd.hpp"
+#include "core/tuner.hpp"
+
+int main() {
+  using namespace extdict;
+  bench::banner("Fig. 7",
+                "Per-update runtime improvement of ExtDict over A^T A, RCSS, "
+                "oASIS, RankMap (eps = 0.1)");
+
+  const auto sets = bench::BenchDatasets::load();
+  const double eps = 0.1;
+
+  for (const auto& entry : sets.entries) {
+    const la::Matrix& a = entry.a;
+    std::printf("\n%s (%td x %td)\n", entry.spec.name.c_str(), a.rows(), a.cols());
+
+    util::Timer prep;
+    const auto rcss = baselines::rcss_transform_for_error(a, eps, 3);
+    const auto oasis = baselines::oasis_transform(a, eps, 3);
+    const auto rankmap = baselines::rankmap_transform(a, eps, 3);
+    std::printf("baseline transforms ready in %s (RCSS L=%td, oASIS L=%td, "
+                "RankMap L=%td)\n",
+                util::format_duration_ms(prep.elapsed_ms()).c_str(),
+                rcss.dictionary.cols(), oasis.dictionary.cols(),
+                rankmap.dictionary.cols());
+
+    la::Vector x0(static_cast<std::size_t>(a.cols()), 1.0);
+    util::Table table({"platform", "ExtDict L*", "vs A^T A", "vs RCSS",
+                       "vs oASIS", "vs RankMap", "ExtDict (ms/iter)"});
+
+    for (const auto& platform : dist::paper_platforms()) {
+      // Platform-tuned ExD.
+      core::TunerConfig tc;
+      tc.profile.l_grid = entry.spec.l_grid;
+      tc.profile.tolerance = eps;
+      tc.profile.seed = 3;
+      const la::Index n = a.cols();
+      tc.subset_sizes = {n / 10, n / 4, n};
+      const auto tuned = core::tune(a, platform, tc);
+      core::ExdConfig exd;
+      exd.dictionary_size = tuned.best_l;
+      exd.tolerance = eps;
+      exd.seed = 3;
+      const auto ext = core::exd_transform(a, exd);
+
+      const dist::Cluster cluster(platform.topology);
+      auto iter_ms = [&](const la::Matrix& d, const la::CscMatrix& c) {
+        const auto run = core::dist_gram_apply(cluster, d, c, x0, 1);
+        return platform.modeled_seconds(run.stats) * 1e3;
+      };
+      const double t_ext = iter_ms(ext.dictionary, ext.coefficients);
+      const double t_orig = platform.modeled_seconds(
+          core::dist_gram_apply_original(cluster, a, x0, 1).stats) * 1e3;
+      const double t_rcss = iter_ms(rcss.dictionary, rcss.coefficients);
+      const double t_oasis = iter_ms(oasis.dictionary, oasis.coefficients);
+      const double t_rankmap = iter_ms(rankmap.dictionary, rankmap.coefficients);
+
+      table.add_row({platform.topology.name(), std::to_string(tuned.best_l),
+                     util::fmt(t_orig / t_ext, 3) + "x",
+                     util::fmt(t_rcss / t_ext, 3) + "x",
+                     util::fmt(t_oasis / t_ext, 3) + "x",
+                     util::fmt(t_rankmap / t_ext, 3) + "x",
+                     util::fmt(t_ext, 4)});
+    }
+    std::printf("%s", table.str().c_str());
+  }
+  bench::note(
+      "paper peaks: up to 4.78x over A^T A, 9.1x over RCSS, 6.67x over "
+      "oASIS, 2.63x over RankMap, with TIES against RankMap where the tuned "
+      "dictionary is already the smallest feasible one (their Light Field "
+      "case). Expect >= ~1x (ties within a few % count) and the same "
+      "baseline ordering here.");
+  return 0;
+}

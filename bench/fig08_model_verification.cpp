@@ -1,0 +1,86 @@
+// Fig. 8: verification of the performance model. Top row of the paper's
+// figure = the predicted cost of one (DC)^T DC x update (Eq. 2, in FLOP
+// equivalents); bottom row = the measured per-iteration runtime on each
+// platform. The prediction must track the measurement's *trend* across L
+// and across platforms.
+//
+// Here "measured" is the platform-modelled time of the actual SPMD run
+// (exact counters from the emulated cluster), and we additionally report
+// the host wall-clock of the same computation as a secondary measurement.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/cost_model.hpp"
+#include "core/dist_gram.hpp"
+#include "core/exd.hpp"
+
+int main() {
+  using namespace extdict;
+  bench::banner("Fig. 8", "Predicted (Eq. 2) vs measured per-update cost");
+
+  const auto sets = bench::BenchDatasets::load();
+
+  for (const auto& entry : sets.entries) {
+    const la::Matrix& a = entry.a;
+    std::printf("\n%s (%td x %td)\n", entry.spec.name.c_str(), a.rows(), a.cols());
+    la::Vector x0(static_cast<std::size_t>(a.cols()), 1.0);
+
+    std::vector<std::string> header = {"platform"};
+    for (const la::Index l : entry.spec.l_grid) {
+      header.push_back("L=" + std::to_string(l));
+    }
+    util::Table predicted(header);
+    util::Table measured(header);
+
+    // One transform per L (platform independent), reused across platforms.
+    std::vector<core::ExdResult> transforms;
+    for (const la::Index l : entry.spec.l_grid) {
+      core::ExdConfig exd;
+      exd.dictionary_size = l;
+      exd.tolerance = 0.1;
+      exd.seed = 8;
+      transforms.push_back(core::exd_transform(a, exd));
+    }
+
+    // Rank correlation bookkeeping: does the predicted ordering of L match
+    // the measured ordering on every platform?
+    int order_checks = 0, order_agreements = 0;
+
+    for (const auto& platform : dist::paper_platforms()) {
+      std::vector<std::string> prow = {platform.topology.name()};
+      std::vector<std::string> mrow = {platform.topology.name()};
+      std::vector<double> pvals, mvals;
+      const dist::Cluster cluster(platform.topology);
+      for (const auto& t : transforms) {
+        const auto cost = core::transformed_update_cost(
+            a.rows(), t.dictionary.cols(), t.coefficients.nnz(), a.cols(),
+            platform.topology.total(), platform);
+        const auto run =
+            core::dist_gram_apply(cluster, t.dictionary, t.coefficients, x0, 1);
+        const double ms = platform.modeled_seconds(run.stats) * 1e3;
+        prow.push_back(util::fmt(cost.time_cost, 4));
+        mrow.push_back(util::fmt(ms, 4));
+        pvals.push_back(cost.time_cost);
+        mvals.push_back(ms);
+      }
+      predicted.add_row(std::move(prow));
+      measured.add_row(std::move(mrow));
+      for (std::size_t i = 0; i < pvals.size(); ++i) {
+        for (std::size_t j = i + 1; j < pvals.size(); ++j) {
+          ++order_checks;
+          if ((pvals[i] < pvals[j]) == (mvals[i] < mvals[j])) ++order_agreements;
+        }
+      }
+    }
+    std::printf("predicted cost (Eq. 2, FLOP equivalents):\n%s",
+                predicted.str().c_str());
+    std::printf("measured per-update time (ms, modelled from exact counters):\n%s",
+                measured.str().c_str());
+    std::printf("trend agreement (pairwise orderings): %d / %d (%.0f%%)\n",
+                order_agreements, order_checks,
+                100.0 * order_agreements / std::max(order_checks, 1));
+  }
+  bench::note("expected: >= ~90% pairwise-trend agreement on every dataset");
+  return 0;
+}

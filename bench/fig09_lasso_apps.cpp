@@ -1,0 +1,181 @@
+// Fig. 9: total runtime of the image denoising and super-resolution
+// applications — ExtDict's gradient descent on the transformed data vs.
+// distributed mini-batch SGD (Adagrad, batch 64) on the original data —
+// across the four platform configurations.
+//
+// Total time = iterations x per-iteration modelled time (the iteration
+// count is platform independent; the per-iteration cost is measured on
+// each platform with exact counters). SGD iterations = iterations until it
+// reaches the gradient-descent objective.
+//
+// Paper shape: ExtDict wins on every platform (up to 23.7x denoising, 11.9x
+// super-resolution); SGD's per-iteration communication is smaller (batch <
+// min(M, L)) but it needs far more iterations.
+
+#include <algorithm>
+
+#include "baselines/sgd.hpp"
+#include "bench_common.hpp"
+#include "core/dist_gram.hpp"
+#include "core/extdict.hpp"
+#include "data/lightfield.hpp"
+#include "solvers/lasso.hpp"
+
+namespace {
+
+using namespace extdict;
+
+struct App {
+  std::string name;
+  la::Matrix a;           // dataset the LASSO runs against
+  la::Vector y;           // observation
+  la::Index batch_rows;   // SGD batch (scaled to the paper's row fraction)
+};
+
+void run_app(const App& app) {
+  std::printf("\n%s: A is %td x %td\n", app.name.c_str(), app.a.rows(),
+              app.a.cols());
+
+  // ExtDict pipeline: preprocess once (platform-tuned per platform below,
+  // using eps = 0.1 like the paper), solve by full-gradient descent.
+  const double eps = 0.1;
+
+  // Iteration counts are platform independent: compute them once with a
+  // reference transform / the original data.
+  core::ExtDict::Options options;
+  options.tolerance = eps;
+  options.seed = 9;
+  const auto ref_engine =
+      core::ExtDict::preprocess(app.a, dist::PlatformSpec::idataplex({1, 1}), options);
+
+  solvers::LassoConfig lasso;
+  lasso.lambda = 1e-3;
+  lasso.max_iterations = 3000;
+  lasso.tolerance = 1e-7;
+  lasso.objective_every = 5;
+  const auto gd = solvers::lasso_solve(ref_engine.gram_operator(), app.y, lasso);
+
+  // Iterations-to-target for BOTH methods: the target is the converged GD
+  // objective (+2%), and GD itself is credited with the first trace point
+  // that reaches it (not the stopping-rule tail). SGD's small-batch
+  // stochastic steps typically plateau above this — the paper's
+  // "sub-optimality ... and slow convergence".
+  const double target = gd.final_objective * 1.02;
+  int gd_iters = gd.iterations;
+  for (const auto& [it, j] : gd.objective_trace) {
+    if (j <= target) {
+      gd_iters = std::max(it, 1);
+      break;
+    }
+  }
+  std::printf("gradient descent: %d iterations to objective %.5g (L*=%td)\n",
+              gd_iters, target, ref_engine.tuned_l());
+
+  baselines::SgdConfig sgd;
+  sgd.lambda = lasso.lambda;
+  sgd.batch_rows = app.batch_rows;
+  sgd.max_iterations = 30000;
+  sgd.target_objective = target;
+  sgd.check_every = 50;  // the full-objective check is the expensive part
+  sgd.seed = 9;
+  const auto sgd_ref = baselines::sgd_lasso(dist::Cluster(dist::Topology{1, 2}),
+                                            app.a, app.y, sgd);
+  std::printf("SGD: %d iterations (%s the GD objective)\n", sgd_ref.iterations,
+              sgd_ref.reached_target ? "reached" : "did NOT reach");
+
+  la::Vector x0(static_cast<std::size_t>(app.a.cols()), 1.0);
+  util::Table table({"platform", "ExtDict total (ms)", "SGD total (ms)",
+                     "improvement"});
+  for (const auto& platform : dist::paper_platforms()) {
+    // Per-iteration costs measured on this platform.
+    const auto engine = core::ExtDict::preprocess(app.a, platform, options);
+    const dist::Cluster cluster(platform.topology);
+    const auto gd_iter = core::dist_gram_apply(
+        cluster, engine.transform().dictionary,
+        engine.transform().coefficients, x0, 1);
+    const double gd_iter_ms = platform.modeled_seconds(gd_iter.stats) * 1e3;
+
+    baselines::SgdConfig sgd_probe = sgd;
+    sgd_probe.max_iterations = 1;
+    sgd_probe.target_objective = -1;
+    const auto sgd_iter = baselines::sgd_lasso(cluster, app.a, app.y, sgd_probe);
+    const double sgd_iter_ms = platform.modeled_seconds(sgd_iter.stats) * 1e3;
+
+    const double ext_total = gd_iters * gd_iter_ms;
+    const double sgd_total = sgd_ref.iterations * sgd_iter_ms;
+    table.add_row({platform.topology.name(), util::fmt(ext_total, 4),
+                   util::fmt(sgd_total, 4),
+                   util::fmt(sgd_total / ext_total, 3) + "x"});
+  }
+  std::printf("%s", table.str().c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig. 9",
+                "Denoising & super-resolution: ExtDict gradient descent vs SGD");
+
+  // Shared light-field dataset (the paper uses the Light Field set for both
+  // applications).
+  data::LightFieldConfig lf_config;
+  lf_config.scene_size = 160;
+  lf_config.views = 5;
+  lf_config.patch = 8;
+  lf_config.num_patches = 1201;
+  lf_config.disparity = 2.5;
+  lf_config.view_gain_jitter = 0.05;
+  lf_config.noise_stddev = 0.0003;
+  lf_config.seed = 31;
+  const auto lf = data::make_light_field(lf_config);
+
+  // Hold out column 0 as the observation's ground truth: the solver must
+  // genuinely combine dataset signals, not just point at its own column.
+  std::vector<la::Index> rest(static_cast<std::size_t>(lf.a.cols()) - 1);
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    rest[i] = static_cast<la::Index>(i + 1);
+  }
+  const la::Matrix a_rest = lf.a.select_columns(rest);
+  const la::Vector truth(lf.a.col(0).begin(), lf.a.col(0).end());
+
+  la::Rng rng(12);
+
+  // Denoising: noisy observation of the held-out signal; A = the rest.
+  // Noise level matches the paper's 20 dB input SNR: the unit-norm signal
+  // gets noise of norm ~0.1 (stddev 0.1/sqrt(M)).
+  {
+    App app;
+    app.name = "Image denoising (LASSO, Adagrad)";
+    app.a = a_rest;
+    app.y = truth;
+    for (auto& v : app.y) v += rng.gaussian(0, 0.0025);
+    // The paper's batch of 64 rows out of 18496 is a 0.35% sample; keep the
+    // same *fraction* on our 1600-row dataset so SGD faces the same
+    // gradient-noise regime (an absolute 64 of 1600 would be 11x more
+    // informative per step than the paper's setup).
+    app.batch_rows = std::max<la::Index>(4, 64 * app.a.rows() / 18496);
+    run_app(app);
+  }
+
+  // Super-resolution: held-out observation restricted to the central 3x3
+  // views; A = the row-restricted dataset (576 of 1600 rows).
+  {
+    const auto subset = lf.view_subset_rows(3);
+    App app;
+    app.name = "Image super-resolution (LASSO, Adagrad)";
+    app.a = a_rest.select_rows({subset.data(), subset.size()});
+    app.y.resize(subset.size());
+    for (std::size_t i = 0; i < subset.size(); ++i) {
+      app.y[i] = truth[static_cast<std::size_t>(subset[i])];
+    }
+    // The paper's super-resolution A has 576 rows — identical to ours — so
+    // the batch of 64 carries over unscaled.
+    app.batch_rows = 64;
+    run_app(app);
+  }
+
+  extdict::bench::note(
+      "expected: improvement > 1x on every platform for both applications, "
+      "growing when SGD fails to match the GD objective");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Fig. 11: effect of the transformation error eps on the LEARNING error of
+// the denoising and super-resolution applications — reconstruction error
+// ||y - y_hat|| / ||y|| and PSNR versus eps.
+//
+// Paper shape: the learning error degrades only mildly as eps grows (the
+// applications tolerate coarse projections), with output PSNR ~29.4 dB for
+// denoising (input ~20 dB SNR) and ~24.7 dB for super-resolution.
+
+#include "bench_common.hpp"
+#include "core/exd.hpp"
+#include "core/gram_operator.hpp"
+#include "data/image.hpp"
+#include "data/lightfield.hpp"
+#include "la/blas.hpp"
+#include "solvers/lasso.hpp"
+
+int main() {
+  using namespace extdict;
+  bench::banner("Fig. 11",
+                "Learning error vs transformation error (denoising & "
+                "super-resolution)");
+
+  data::LightFieldConfig lf_config;
+  lf_config.scene_size = 160;
+  lf_config.views = 5;
+  lf_config.patch = 8;
+  lf_config.num_patches = 1001;
+  lf_config.disparity = 2.5;
+  lf_config.view_gain_jitter = 0.05;
+  lf_config.noise_stddev = 0.0003;
+  lf_config.seed = 32;
+  const auto lf = data::make_light_field(lf_config);
+  la::Rng rng(13);
+
+  // Hold out column 0 as ground truth; the dataset is the rest.
+  std::vector<la::Index> rest(static_cast<std::size_t>(lf.a.cols()) - 1);
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    rest[i] = static_cast<la::Index>(i + 1);
+  }
+  const la::Matrix a_rest = lf.a.select_columns(rest);
+  const la::Vector truth(lf.a.col(0).begin(), lf.a.col(0).end());
+
+  const double epsilons[] = {0.01, 0.05, 0.1, 0.2};
+
+  // --- Denoising -----------------------------------------------------------
+  {
+    std::printf("\nImage denoising (Light Field %td x %td)\n", a_rest.rows(),
+                a_rest.cols());
+    // ~20 dB input SNR on the unit-norm signal, like the paper's setup.
+    const la::Vector& clean = truth;
+    la::Vector noisy = clean;
+    for (auto& v : noisy) v += rng.gaussian(0, 0.0025);
+
+    util::Table table({"eps", "reconstruction err ||y-yhat||/||y||",
+                       "output PSNR (dB)", "LASSO iters"});
+    for (const double eps : epsilons) {
+      core::ExdConfig exd;
+      exd.dictionary_size = 300;
+      exd.tolerance = eps;
+      exd.seed = 11;
+      const auto t = core::exd_transform(a_rest, exd);
+      const core::TransformedGramOperator op(t.dictionary, t.coefficients);
+      solvers::LassoConfig lasso;
+      lasso.lambda = 5e-4;
+      lasso.max_iterations = 400;
+      const auto r = solvers::lasso_solve(op, noisy, lasso);
+      la::Vector rec(clean.size());
+      op.apply_forward(r.x, rec);
+      la::Vector diff = rec;
+      for (std::size_t i = 0; i < diff.size(); ++i) diff[i] -= clean[i];
+      table.add_row({util::fmt(eps, 3),
+                     util::fmt(la::nrm2(diff) / la::nrm2(clean), 4),
+                     util::fmt(data::psnr_db(clean, rec), 4),
+                     std::to_string(r.iterations)});
+    }
+    std::printf("input PSNR of the noisy observation: %.2f dB\n",
+                data::psnr_db(clean, noisy));
+    std::printf("%s", table.str().c_str());
+  }
+
+  // --- Super-resolution ----------------------------------------------------
+  {
+    const auto subset = lf.view_subset_rows(3);
+    const la::Matrix a_low = a_rest.select_rows({subset.data(), subset.size()});
+    std::printf("\nImage super-resolution (A %td x %td -> lift to %td rows)\n",
+                a_low.rows(), a_low.cols(), a_rest.rows());
+    la::Vector y(subset.size());
+    for (std::size_t i = 0; i < subset.size(); ++i) {
+      y[i] = truth[static_cast<std::size_t>(subset[i])];
+    }
+
+    util::Table table({"eps", "high-res err", "high-res PSNR (dB)",
+                       "LASSO iters"});
+    for (const double eps : epsilons) {
+      core::ExdConfig exd;
+      exd.dictionary_size = 300;
+      exd.tolerance = eps;
+      exd.seed = 11;
+      const auto t = core::exd_transform(a_low, exd);
+      const core::TransformedGramOperator op(t.dictionary, t.coefficients);
+      solvers::LassoConfig lasso;
+      lasso.lambda = 5e-4;
+      lasso.max_iterations = 400;
+      const auto r = solvers::lasso_solve(op, y, lasso);
+      la::Vector lifted(static_cast<std::size_t>(a_rest.rows()));
+      la::gemv(1, a_rest, r.x, 0, lifted);
+      la::Vector diff = lifted;
+      for (std::size_t i = 0; i < diff.size(); ++i) diff[i] -= truth[i];
+      table.add_row({util::fmt(eps, 3),
+                     util::fmt(la::nrm2(diff) / la::nrm2(truth), 4),
+                     util::fmt(data::psnr_db(truth, lifted), 4),
+                     std::to_string(r.iterations)});
+    }
+    std::printf("%s", table.str().c_str());
+  }
+
+  bench::note(
+      "expected: error grows only mildly with eps — large eps still gives "
+      "usable reconstructions (the paper's accuracy/efficiency trade)");
+  return 0;
+}

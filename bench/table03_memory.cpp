@@ -1,0 +1,126 @@
+// Table III: memory footprint of the transformed representation at
+// eps = 0.1, in two views:
+//
+//   (a) total storage of D and C — the baselines produce one fixed answer
+//       regardless of the platform, ExtDict is tuned for memory;
+//   (b) the paper's Eq. (4) per-node footprint, M·L + (nnz + N)/P, at every
+//       platform P in {1, 4, 16, 64} for every method — the metric the
+//       memory objective actually minimises, where ExtDict's platform
+//       awareness is visible.
+//
+// Paper shape: ExtDict <= every baseline (up to 77.8x vs the original data,
+// 8.6x vs RCSS, 6.4x vs oASIS, 3.8x vs RankMap), because over-complete
+// dictionaries buy very sparse coefficient matrices; dense-C methods pay
+// L x N storage.
+
+#include "baselines/oasis.hpp"
+#include "baselines/rankmap.hpp"
+#include "baselines/rcss.hpp"
+#include "bench_common.hpp"
+#include "core/cost_model.hpp"
+#include "core/exd.hpp"
+#include "core/tuner.hpp"
+
+namespace {
+
+using namespace extdict;
+
+std::uint64_t eq4_words(la::Index m, la::Index l, std::uint64_t nnz, la::Index n,
+                        la::Index p) {
+  return static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(l) +
+         (nnz + static_cast<std::uint64_t>(n)) / static_cast<std::uint64_t>(p);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Table III", "Memory of D+C per transformation (eps = 0.1)");
+
+  const auto sets = bench::BenchDatasets::load();
+  const double eps = 0.1;
+
+  for (const auto& entry : sets.entries) {
+    const la::Matrix& a = entry.a;
+    std::printf("\n%s (%td x %td)\n", entry.spec.name.c_str(), a.rows(), a.cols());
+
+    const auto rcss = baselines::rcss_transform_for_error(a, eps, 3);
+    const auto oasis = baselines::oasis_transform(a, eps, 3);
+    const auto rankmap = baselines::rankmap_transform(a, eps, 3);
+
+    // (a) Total D+C storage; ExtDict tuned for memory on a single node.
+    core::TunerConfig tc;
+    tc.profile.l_grid = entry.spec.l_grid;
+    tc.profile.tolerance = eps;
+    tc.profile.seed = 3;
+    tc.objective = core::Objective::kMemory;
+    const la::Index n = a.cols();
+    tc.subset_sizes = {n / 10, n / 4, n};
+    const auto tuned1 = core::tune(a, dist::PlatformSpec::idataplex({1, 1}), tc);
+    core::ExdConfig exd;
+    exd.dictionary_size = tuned1.best_l;
+    exd.tolerance = eps;
+    exd.seed = 3;
+    const auto ext = core::exd_transform(a, exd);
+
+    util::Table total({"method", "L", "total D+C storage"});
+    total.add_row({"original A", "-", bench::mb(a.memory_words())});
+    total.add_row({"RCSS", std::to_string(rcss.dictionary.cols()),
+                   bench::mb(rcss.memory_words())});
+    total.add_row({"oASIS", std::to_string(oasis.dictionary.cols()),
+                   bench::mb(oasis.memory_words())});
+    total.add_row({"RankMap", std::to_string(rankmap.dictionary.cols()),
+                   bench::mb(rankmap.memory_words())});
+    total.add_row({"ExtDict", std::to_string(ext.dictionary.cols()),
+                   bench::mb(ext.memory_words())});
+    std::printf("(a) total storage:\n%s", total.str().c_str());
+
+    // (b) Eq. (4) per-node footprint; ExtDict re-tuned per platform.
+    util::Table pernode({"method", "P=1", "P=4", "P=16", "P=64"});
+    auto row_for = [&](const std::string& name, la::Index l, std::uint64_t nnz) {
+      std::vector<std::string> row = {name};
+      for (const la::Index p : {1, 4, 16, 64}) {
+        row.push_back(bench::mb(eq4_words(a.rows(), l, nnz, n, p)));
+      }
+      pernode.add_row(std::move(row));
+    };
+    {
+      // Original data: per-node slice of A plus x (no dictionary).
+      std::vector<std::string> row = {"original A"};
+      for (const la::Index p : {1, 4, 16, 64}) {
+        row.push_back(bench::mb((a.memory_words() + static_cast<std::uint64_t>(n)) /
+                                static_cast<std::uint64_t>(p)));
+      }
+      pernode.add_row(std::move(row));
+    }
+    row_for("RCSS", rcss.dictionary.cols(),
+            static_cast<std::uint64_t>(rcss.coefficients.rows()) *
+                static_cast<std::uint64_t>(rcss.coefficients.cols()));
+    row_for("oASIS", oasis.dictionary.cols(),
+            static_cast<std::uint64_t>(oasis.coefficients.rows()) *
+                static_cast<std::uint64_t>(oasis.coefficients.cols()));
+    row_for("RankMap", rankmap.dictionary.cols(), rankmap.coefficients.nnz());
+    {
+      std::vector<std::string> row = {"ExtDict (L* per P)"};
+      for (const la::Index p : {1, 4, 16, 64}) {
+        const auto platform = dist::PlatformSpec::idataplex(
+            {p <= 8 ? 1 : p / 8, p <= 8 ? p : 8});
+        const auto tuned = core::tune(a, platform, tc);
+        const auto& point = tuned.profile.at(tuned.best_l);
+        const auto nnz = static_cast<std::uint64_t>(
+            point.alpha_mean * static_cast<double>(n));
+        row.push_back(bench::mb(eq4_words(a.rows(), tuned.best_l, nnz, n, p)) +
+                      " (L*=" + std::to_string(tuned.best_l) + ")");
+      }
+      pernode.add_row(std::move(row));
+    }
+    std::printf("(b) Eq. 4 per-node footprint:\n%s", pernode.str().c_str());
+  }
+  bench::note(
+      "expected in (a): ExtDict <= RankMap < oASIS <= RCSS < original A; in "
+      "(b): ExtDict lowest among the transforms, with L* free to shrink as "
+      "P grows. The raw-A slice can undercut every transform per-node at "
+      "large P because Eq. 4's M*L dictionary term is not amortised by P — "
+      "exactly why the memory-objective tuner pushes L* down on big "
+      "clusters (its runtime remains far worse; see Fig. 7).");
+  return 0;
+}

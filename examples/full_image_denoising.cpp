@@ -1,0 +1,56 @@
+// Full-image denoising with the patch pipeline: train an ExD-transformed
+// patch dictionary on clean scenes, then restore a noisy image end to end
+// (sliding window, per-patch LASSO, overlap blending). Writes before/after
+// PGMs next to the binary.
+
+#include <cstdio>
+
+#include "apps/patch_pipeline.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace extdict;
+
+  // Training data: patches from two clean scenes.
+  la::Rng rng(21);
+  const data::Image scene_a = data::make_smooth_scene(128, 128, rng);
+  const data::Image scene_b = data::make_smooth_scene(128, 128, rng);
+  la::Matrix train = data::extract_patches(scene_a, 8, 600, rng);
+  train.append_columns(data::extract_patches(scene_b, 8, 600, rng));
+  std::printf("training set: %td patches of 8x8\n", train.cols());
+
+  apps::PatchPipelineConfig config;
+  config.patch = 8;
+  config.stride = 4;
+  config.tolerance = 0.1;
+  config.lambda = 3e-4;
+
+  util::Timer train_timer;
+  const apps::PatchDenoiser denoiser(
+      train, dist::PlatformSpec::idataplex({.nodes = 1, .cores_per_node = 4}),
+      config);
+  std::printf("trained in %s: L* = %td, transform error %.4f\n",
+              util::format_duration_ms(train_timer.elapsed_ms()).c_str(),
+              denoiser.dictionary_size(), denoiser.transform_error());
+
+  // Test image: a fresh scene, corrupted.
+  la::Rng rng2(22);
+  const data::Image clean = data::make_smooth_scene(96, 96, rng2);
+  data::Image noisy = clean;
+  data::add_gaussian_noise(noisy, 0.06, rng2);
+
+  util::Timer restore_timer;
+  const data::Image restored = denoiser.denoise(noisy);
+  std::printf("restored 96x96 image in %s\n",
+              util::format_duration_ms(restore_timer.elapsed_ms()).c_str());
+
+  std::printf("PSNR: noisy %.2f dB -> restored %.2f dB\n",
+              data::psnr_db(clean.pixels, noisy.pixels),
+              data::psnr_db(clean.pixels, restored.pixels));
+
+  data::write_pgm(clean, "full_denoise_clean.pgm");
+  data::write_pgm(noisy, "full_denoise_noisy.pgm");
+  data::write_pgm(restored, "full_denoise_restored.pgm");
+  std::printf("wrote full_denoise_{clean,noisy,restored}.pgm\n");
+  return 0;
+}

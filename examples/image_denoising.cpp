@@ -1,0 +1,72 @@
+// Image denoising with LASSO over an ExtDict-transformed light-field
+// dataset (the paper's first learning application, §VIII-A/D).
+//
+// A noisy observation y is reconstructed as A·x̂ where
+//   x̂ = argmin_x  1/2 ||A x − y||² + λ ||x||₁
+// and every gradient step runs on the transformed Gram (DC)ᵀDC instead of
+// AᵀA. The example writes before/after PGM images next to the binary and
+// reports PSNR.
+
+#include <cstdio>
+
+#include "core/extdict.hpp"
+#include "data/image.hpp"
+#include "data/lightfield.hpp"
+#include "solvers/lasso.hpp"
+
+int main() {
+  using namespace extdict;
+
+  // Dataset of clean light-field patch signals.
+  data::LightFieldConfig lf_config;
+  lf_config.scene_size = 96;
+  lf_config.views = 3;
+  lf_config.patch = 8;
+  lf_config.num_patches = 600;
+  lf_config.noise_stddev = 0;  // the *dictionary data* is clean
+  const auto lf = data::make_light_field(lf_config);
+  std::printf("light-field dataset: %td x %td\n", lf.a.rows(), lf.a.cols());
+
+  // Platform-aware preprocessing.
+  const auto platform = dist::PlatformSpec::idataplex({.nodes = 1, .cores_per_node = 4});
+  core::ExtDict::Options options;
+  options.tolerance = 0.1;
+  const auto engine = core::ExtDict::preprocess(lf.a, platform, options);
+  std::printf("L* = %td, transform error %.4f\n", engine.tuned_l(),
+              engine.transform().transformation_error);
+
+  // Observation: a held-out clean signal corrupted by sensor noise.
+  la::Rng rng(99);
+  la::Vector clean(lf.a.col(0).begin(), lf.a.col(0).end());
+  la::Vector noisy = clean;
+  for (auto& v : noisy) v += rng.gaussian(0, 0.03);
+  std::printf("input PSNR: %.2f dB\n", data::psnr_db(clean, noisy));
+
+  // Solve LASSO on the transformed Gram.
+  solvers::LassoConfig lasso;
+  lasso.lambda = 5e-4;
+  lasso.max_iterations = 600;
+  const auto result = solvers::lasso_solve(engine.gram_operator(), noisy, lasso);
+
+  la::Vector denoised(clean.size());
+  engine.gram_operator().apply_forward(result.x, denoised);
+  std::printf("output PSNR: %.2f dB (%d LASSO iterations)\n",
+              data::psnr_db(clean, denoised), result.iterations);
+
+  // Render the central 8x8 view of the three signals for eyeballing.
+  auto to_image = [&](const la::Vector& signal, const char* path) {
+    data::Image img(8, 8);
+    const la::Index center_block = (lf_config.views * lf_config.views / 2) * 64;
+    for (la::Index i = 0; i < 64; ++i) {
+      // Patch values were column-normalised; rescale into [0,1] roughly.
+      img.pixels[static_cast<std::size_t>(i)] =
+          signal[static_cast<std::size_t>(center_block + i)] * 8.0;
+    }
+    data::write_pgm(img, path);
+  };
+  to_image(clean, "denoise_clean.pgm");
+  to_image(noisy, "denoise_noisy.pgm");
+  to_image(denoised, "denoise_output.pgm");
+  std::printf("wrote denoise_{clean,noisy,output}.pgm\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Sparse subspace clustering with ExD codes: the union-of-subspaces
+// structure the paper exploits for sparsity (§V-B) doubles as a clustering
+// signal — columns connect to the atoms (themselves dataset columns) that
+// code them, and the connected components recover the subspaces. No N x N
+// affinity matrix is ever formed.
+
+#include <cstdio>
+
+#include "core/exd.hpp"
+#include "core/subspace_clustering.hpp"
+#include "data/subspace.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace extdict;
+
+  data::SubspaceModelConfig config;
+  config.ambient_dim = 100;
+  config.num_columns = 1000;
+  config.num_subspaces = 6;
+  config.subspace_dim = 5;
+  config.noise_stddev = 0.001;
+  config.seed = 99;
+  const auto data = data::make_union_of_subspaces(config);
+  std::printf("dataset: %td x %td, %td hidden subspaces of dimension %td\n",
+              data.a.rows(), data.a.cols(), config.num_subspaces,
+              config.subspace_dim);
+
+  util::Table table({"L", "alpha", "clusters found", "Rand index vs truth",
+                     "time"});
+  for (const la::Index l : {60l, 120l, 240l, 480l}) {
+    util::Timer timer;
+    core::ExdConfig exd;
+    exd.dictionary_size = l;
+    exd.tolerance = 0.03;
+    exd.seed = 3;
+    const auto t = core::exd_transform(data.a, exd);
+    const auto clusters = core::cluster_by_codes(t);
+    table.add_row({std::to_string(l), util::fmt(t.alpha(), 3),
+                   std::to_string(clusters.num_clusters),
+                   util::fmt(core::rand_index(clusters.labels, data.membership), 4),
+                   util::format_duration_ms(timer.elapsed_ms())});
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf("(clusters beyond %td are isolated self-coded atoms; the Rand "
+              "index shows the partitions agree)\n",
+              config.num_subspaces);
+  return 0;
+}

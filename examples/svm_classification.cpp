@@ -1,0 +1,91 @@
+// SVM classification through ExtDict (the paper's third target-algorithm
+// family, §II-A): a least-squares SVM trained on the Gram matrix of the
+// data columns, with every Gram product running on the ExD-transformed
+// representation. The task: tell cancer-cell phenotype A from phenotype B
+// using the synthetic morphology dataset.
+
+#include <cstdio>
+
+#include "core/extdict.hpp"
+#include "la/blas.hpp"
+#include "la/random.hpp"
+#include "solvers/svm.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace extdict;
+
+  // Two phenotypes = two offset clusters with low-dimensional within-class
+  // variation (affine subspaces — linearly separable, unlike subspaces
+  // through the origin, yet still the dense-correlated structure ExD
+  // sparsifies).
+  const la::Index m = 120, per_class = 300, variation_dim = 6;
+  la::Rng gen(77);
+  la::Matrix centers = gen.gaussian_matrix(m, 2, true);
+  la::Matrix variation = gen.gaussian_matrix(m, variation_dim, true);
+  la::Matrix a(m, 2 * per_class);
+  la::Vector labels(static_cast<std::size_t>(2 * per_class));
+  la::Vector coeff0(static_cast<std::size_t>(variation_dim));
+  for (la::Index j = 0; j < 2 * per_class; ++j) {
+    const la::Index phenotype = j < per_class ? 0 : 1;
+    auto col = a.col(j);
+    std::copy(centers.col(phenotype).begin(), centers.col(phenotype).end(),
+              col.begin());
+    gen.fill_gaussian(coeff0, 0, 0.25);
+    la::gemv(1, variation, coeff0, 1, col);
+    for (auto& v : col) v += gen.gaussian(0, 0.01);
+    labels[static_cast<std::size_t>(j)] = phenotype == 0 ? 1.0 : -1.0;
+  }
+  a.normalize_columns();
+  struct {
+    la::Matrix a;
+  } cells{std::move(a)};
+  std::printf("dataset: %td x %td, two phenotypes\n", cells.a.rows(),
+              cells.a.cols());
+
+  const auto platform = dist::PlatformSpec::idataplex({.nodes = 1, .cores_per_node = 4});
+  core::ExtDict::Options options;
+  options.tolerance = 0.05;
+  const auto engine = core::ExtDict::preprocess(cells.a, platform, options);
+  std::printf("transform: L* = %td, error %.4f, alpha %.2f\n", engine.tuned_l(),
+              engine.transform().transformation_error,
+              engine.transform().alpha());
+
+  // Train on the transformed Gram and on the dense Gram; compare.
+  util::Timer t_fast;
+  const solvers::LsSvm svm_fast(engine.gram_operator(), labels, {});
+  const double ms_fast = t_fast.elapsed_ms();
+
+  core::DenseGramOperator dense(cells.a);
+  util::Timer t_dense;
+  const solvers::LsSvm svm_dense(dense, labels, {});
+  const double ms_dense = t_dense.elapsed_ms();
+
+  std::printf("training accuracy: transformed %.4f (%.1f ms, %d CG iters), "
+              "dense %.4f (%.1f ms, %d CG iters)\n",
+              solvers::training_accuracy(svm_fast, labels), ms_fast,
+              svm_fast.cg_iterations(),
+              solvers::training_accuracy(svm_dense, labels), ms_dense,
+              svm_dense.cg_iterations());
+
+  // Classify fresh signals drawn from each phenotype.
+  la::Rng rng(5);
+  la::Vector coeff(static_cast<std::size_t>(variation_dim));
+  int correct = 0;
+  const int trials = 200;
+  for (int trial = 0; trial < trials; ++trial) {
+    const int phenotype = trial % 2;
+    la::Vector signal(static_cast<std::size_t>(m));
+    std::copy(centers.col(phenotype).begin(), centers.col(phenotype).end(),
+              signal.begin());
+    rng.fill_gaussian(coeff, 0, 0.25);
+    la::gemv(1, variation, coeff, 1, signal);
+    const la::Real norm = la::nrm2(signal);
+    la::scal(1 / norm, signal);
+    const int predicted = svm_fast.classify(signal);
+    if (predicted == (phenotype == 0 ? 1 : -1)) ++correct;
+  }
+  std::printf("held-out accuracy over %d fresh signals: %.4f\n", trials,
+              static_cast<double>(correct) / trials);
+  return 0;
+}

@@ -1,0 +1,203 @@
+#include "apps/patch_pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/extdict.hpp"
+#include "core/gram_operator.hpp"
+#include "la/blas.hpp"
+#include "solvers/lasso.hpp"
+
+namespace extdict::apps {
+
+namespace {
+
+// Centres a patch (removes its mean); returns the mean.
+Real centre(std::span<Real> patch) {
+  Real mean = 0;
+  for (const Real v : patch) mean += v;
+  mean /= static_cast<Real>(patch.size());
+  for (Real& v : patch) v -= mean;
+  return mean;
+}
+
+// Grid positions along one axis: stride steps plus a final border-aligned
+// window, so the whole image is covered.
+std::vector<Index> axis_positions(Index extent, Index patch, Index stride) {
+  std::vector<Index> positions;
+  for (Index p = 0; p + patch <= extent; p += stride) positions.push_back(p);
+  if (positions.empty() || positions.back() + patch < extent) {
+    positions.push_back(extent - patch);
+  }
+  return positions;
+}
+
+}  // namespace
+
+Matrix extract_patch_grid(const Image& img, Index patch, Index stride) {
+  if (patch <= 0 || stride <= 0 || patch > img.width || patch > img.height) {
+    throw std::invalid_argument("extract_patch_grid: bad geometry");
+  }
+  const auto xs = axis_positions(img.width, patch, stride);
+  const auto ys = axis_positions(img.height, patch, stride);
+  Matrix out(patch * patch,
+             static_cast<Index>(xs.size()) * static_cast<Index>(ys.size()));
+  Index column = 0;
+  for (const Index y0 : ys) {
+    for (const Index x0 : xs) {
+      auto col = out.col(column++);
+      Index k = 0;
+      for (Index dy = 0; dy < patch; ++dy) {
+        for (Index dx = 0; dx < patch; ++dx) {
+          col[static_cast<std::size_t>(k++)] = img.at(x0 + dx, y0 + dy);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+struct PatchDenoiser::Impl {
+  PatchPipelineConfig config;
+  core::ExdResult exd;
+  Real mean_scale = 1;  // average training-patch norm after centring
+
+  [[nodiscard]] la::Vector solve_patch(std::span<const Real> raw) const {
+    la::Vector work(raw.begin(), raw.end());
+    const Real mean = centre(work);
+    const Real norm = la::nrm2(work);
+    la::Vector out(raw.size());
+    if (norm < 1e-9) {
+      // Flat patch: the mean is the whole story.
+      std::fill(out.begin(), out.end(), mean);
+      return out;
+    }
+    la::scal(1 / norm, work);
+
+    // Per-call operator: the shared transform is read-only; the operator's
+    // scratch is what must stay thread-private.
+    const core::TransformedGramOperator op(exd.dictionary, exd.coefficients);
+    solvers::LassoConfig lasso;
+    lasso.lambda = config.lambda;
+    lasso.max_iterations = config.lasso_iterations;
+    lasso.tolerance = 1e-6;
+    lasso.objective_every = 0;
+    const auto r = solvers::lasso_solve(op, work, lasso);
+
+    op.apply_forward(r.x, out);
+    for (Real& v : out) v = v * norm + mean;
+    return out;
+  }
+};
+
+PatchDenoiser::PatchDenoiser(const Matrix& clean_patches,
+                             const dist::PlatformSpec& platform,
+                             const PatchPipelineConfig& config)
+    : impl_(std::make_unique<Impl>()) {
+  if (clean_patches.rows() != config.patch * config.patch) {
+    throw std::invalid_argument("PatchDenoiser: training rows != patch^2");
+  }
+  impl_->config = config;
+
+  // Centre + normalise the training patches (drop near-flat ones, which
+  // carry no structure and would become zero columns).
+  Matrix train(clean_patches.rows(), clean_patches.cols());
+  Index kept = 0;
+  for (Index j = 0; j < clean_patches.cols(); ++j) {
+    la::Vector p(clean_patches.col(j).begin(), clean_patches.col(j).end());
+    centre(p);
+    const Real norm = la::nrm2(p);
+    if (norm < 1e-9) continue;
+    auto dst = train.col(kept++);
+    for (std::size_t i = 0; i < p.size(); ++i) dst[i] = p[i] / norm;
+  }
+  if (kept < 8) {
+    throw std::invalid_argument("PatchDenoiser: too few non-flat patches");
+  }
+  std::vector<Index> cols(static_cast<std::size_t>(kept));
+  for (Index j = 0; j < kept; ++j) cols[static_cast<std::size_t>(j)] = j;
+  const Matrix a = train.select_columns(cols);
+
+  core::ExtDict::Options options;
+  options.tolerance = config.tolerance;
+  options.seed = config.seed;
+  const auto engine = core::ExtDict::preprocess(a, platform, options);
+  impl_->exd = engine.transform();
+}
+
+PatchDenoiser::~PatchDenoiser() = default;
+PatchDenoiser::PatchDenoiser(PatchDenoiser&&) noexcept = default;
+PatchDenoiser& PatchDenoiser::operator=(PatchDenoiser&&) noexcept = default;
+
+Index PatchDenoiser::dictionary_size() const noexcept {
+  return impl_->exd.dictionary.cols();
+}
+
+Real PatchDenoiser::transform_error() const noexcept {
+  return impl_->exd.transformation_error;
+}
+
+la::Vector PatchDenoiser::denoise_patch(std::span<const Real> patch) const {
+  if (static_cast<Index>(patch.size()) !=
+      impl_->config.patch * impl_->config.patch) {
+    throw std::invalid_argument("denoise_patch: wrong patch length");
+  }
+  return impl_->solve_patch(patch);
+}
+
+Image PatchDenoiser::denoise(const Image& noisy) const {
+  const Index patch = impl_->config.patch;
+  const Index stride = impl_->config.stride;
+  if (patch > noisy.width || patch > noisy.height) {
+    throw std::invalid_argument("denoise: image smaller than the patch");
+  }
+  const auto xs = axis_positions(noisy.width, patch, stride);
+  const auto ys = axis_positions(noisy.height, patch, stride);
+
+  // Flatten the window list so the per-patch solves parallelise cleanly.
+  struct Window {
+    Index x0, y0;
+  };
+  std::vector<Window> windows;
+  windows.reserve(xs.size() * ys.size());
+  for (const Index y0 : ys) {
+    for (const Index x0 : xs) windows.push_back({x0, y0});
+  }
+  std::vector<la::Vector> restored(windows.size());
+
+  const Index count = static_cast<Index>(windows.size());
+#pragma omp parallel for schedule(dynamic, 4) if (count > 1)
+  for (Index w = 0; w < count; ++w) {
+    const auto [x0, y0] = windows[static_cast<std::size_t>(w)];
+    la::Vector raw(static_cast<std::size_t>(patch * patch));
+    Index k = 0;
+    for (Index dy = 0; dy < patch; ++dy) {
+      for (Index dx = 0; dx < patch; ++dx) {
+        raw[static_cast<std::size_t>(k++)] = noisy.at(x0 + dx, y0 + dy);
+      }
+    }
+    restored[static_cast<std::size_t>(w)] = impl_->solve_patch(raw);
+  }
+
+  // Overlap-average the reconstructions.
+  Image out(noisy.width, noisy.height);
+  std::vector<Real> weight(out.pixels.size(), 0);
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    const auto [x0, y0] = windows[w];
+    Index k = 0;
+    for (Index dy = 0; dy < patch; ++dy) {
+      for (Index dx = 0; dx < patch; ++dx) {
+        out.at(x0 + dx, y0 + dy) += restored[w][static_cast<std::size_t>(k++)];
+        weight[static_cast<std::size_t>((y0 + dy) * out.width + (x0 + dx))] += 1;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < out.pixels.size(); ++i) {
+    if (weight[i] > 0) out.pixels[i] /= weight[i];
+  }
+  return out;
+}
+
+}  // namespace extdict::apps

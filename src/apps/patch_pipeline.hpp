@@ -1,0 +1,65 @@
+#pragma once
+
+#include <memory>
+
+#include "core/exd.hpp"
+#include "data/image.hpp"
+#include "dist/platform.hpp"
+
+namespace extdict::apps {
+
+using data::Image;
+using la::Index;
+using la::Matrix;
+using la::Real;
+
+/// Full-image patch-based restoration on top of ExtDict — the production
+/// form of the paper's denoising and super-resolution applications: a
+/// dictionary of clean patches is ExD-transformed once; restoring an image
+/// then slides a window over it, solves a small LASSO per patch on the
+/// transformed Gram, and blends the overlapping reconstructions.
+///
+/// Patch means are removed before coding and restored after (the DC
+/// component carries no structure and would otherwise dominate every code).
+struct PatchPipelineConfig {
+  Index patch = 8;             ///< window side
+  Index stride = 4;            ///< window step (< patch -> overlap-averaging)
+  Real lambda = 5e-4;          ///< LASSO weight
+  Real tolerance = 0.1;        ///< ExD transformation error budget
+  int lasso_iterations = 150;  ///< per-patch solver budget
+  std::uint64_t seed = 1;
+};
+
+/// Denoiser: train on clean patches, restore noisy images.
+class PatchDenoiser {
+ public:
+  /// `clean_patches`: patch² x N matrix of training patches (raw intensity;
+  /// the constructor centres and normalises internally). The ExD dictionary
+  /// size is tuned for `platform`.
+  PatchDenoiser(const Matrix& clean_patches, const dist::PlatformSpec& platform,
+                const PatchPipelineConfig& config);
+
+  ~PatchDenoiser();
+  PatchDenoiser(PatchDenoiser&&) noexcept;
+  PatchDenoiser& operator=(PatchDenoiser&&) noexcept;
+
+  /// Restores a full image: sliding-window LASSO + overlap blending.
+  [[nodiscard]] Image denoise(const Image& noisy) const;
+
+  /// Denoises one raw patch signal (length patch²).
+  [[nodiscard]] la::Vector denoise_patch(std::span<const Real> patch) const;
+
+  [[nodiscard]] Index dictionary_size() const noexcept;
+  [[nodiscard]] Real transform_error() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Extracts ALL patches on the stride grid (plus the right/bottom borders)
+/// as columns; used for training-set construction and by the pipelines.
+[[nodiscard]] Matrix extract_patch_grid(const Image& img, Index patch,
+                                        Index stride);
+
+}  // namespace extdict::apps

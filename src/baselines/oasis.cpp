@@ -1,0 +1,121 @@
+#include "baselines/oasis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/exd.hpp"
+#include "la/blas.hpp"
+#include "la/qr.hpp"
+#include "la/random.hpp"
+#include "util/timer.hpp"
+
+namespace extdict::baselines {
+
+TransformResult oasis_transform(const Matrix& a, Real tolerance,
+                                std::uint64_t seed, Index max_l) {
+  const Index m = a.rows();
+  const Index n = a.cols();
+  if (max_l <= 0) max_l = std::min(m, n);
+  max_l = std::min(max_l, n);
+
+  util::Timer timer;
+  la::Rng rng(seed);
+
+  // Residual energy of each column w.r.t. the selected span; total energy
+  // drives the Frobenius stopping rule.
+  la::Vector res_energy(static_cast<std::size_t>(n));
+  Real total_energy = 0;
+  for (Index j = 0; j < n; ++j) {
+    const Real e = la::dot(a.col(j), a.col(j));
+    res_energy[static_cast<std::size_t>(j)] = e;
+    total_energy += e;
+  }
+  if (total_energy == Real{0}) {
+    throw std::invalid_argument("oasis_transform: zero matrix");
+  }
+  const Real target_energy = tolerance * tolerance * total_energy;
+
+  Matrix basis(m, max_l);  // orthonormalised selected columns
+  std::vector<Index> selected;
+  std::vector<bool> used(static_cast<std::size_t>(n), false);
+  Real remaining = total_energy;
+
+  // Seed with a random column, then adapt.
+  Index pick = rng.uniform_index(0, n - 1);
+  while (remaining > target_energy &&
+         static_cast<Index>(selected.size()) < max_l) {
+    if (used[static_cast<std::size_t>(pick)]) {
+      // Fall back to the max-residual unused column.
+      pick = -1;
+      Real best = -1;
+      for (Index j = 0; j < n; ++j) {
+        if (used[static_cast<std::size_t>(j)]) continue;
+        if (res_energy[static_cast<std::size_t>(j)] > best) {
+          best = res_energy[static_cast<std::size_t>(j)];
+          pick = j;
+        }
+      }
+      if (pick < 0) break;
+    }
+    used[static_cast<std::size_t>(pick)] = true;
+
+    // Orthonormalise the picked column against the current basis.
+    const Index k = static_cast<Index>(selected.size());
+    auto q = basis.col(k);
+    std::copy(a.col(pick).begin(), a.col(pick).end(), q.begin());
+    for (int pass = 0; pass < 2; ++pass) {
+      for (Index b = 0; b < k; ++b) {
+        const Real r = la::dot(basis.col(b), q);
+        la::axpy(-r, basis.col(b), q);
+      }
+    }
+    const Real norm = la::nrm2(q);
+    if (norm < 1e-10) {
+      // Numerically dependent pick; drop it and try the next best.
+      res_energy[static_cast<std::size_t>(pick)] = 0;
+      pick = -1;
+      continue;
+    }
+    la::scal(1 / norm, q);
+    selected.push_back(pick);
+
+    // Downdate all residual energies with the new direction; track the next
+    // argmax on the fly.
+    Index next = -1;
+    Real next_best = -1;
+    remaining = 0;
+    const Index cols = n;
+#pragma omp parallel for schedule(static) if (cols > 512)
+    for (Index j = 0; j < cols; ++j) {
+      if (res_energy[static_cast<std::size_t>(j)] <= Real{0}) continue;
+      const Real proj = la::dot(q, a.col(j));
+      res_energy[static_cast<std::size_t>(j)] = std::max(
+          Real{0}, res_energy[static_cast<std::size_t>(j)] - proj * proj);
+    }
+    for (Index j = 0; j < n; ++j) {
+      remaining += res_energy[static_cast<std::size_t>(j)];
+      if (!used[static_cast<std::size_t>(j)] &&
+          res_energy[static_cast<std::size_t>(j)] > next_best) {
+        next_best = res_energy[static_cast<std::size_t>(j)];
+        next = j;
+      }
+    }
+    pick = next < 0 ? 0 : next;
+    if (next < 0) break;
+  }
+
+  TransformResult result;
+  result.method = "oASIS";
+  result.dense_coefficients = true;
+  result.dictionary =
+      a.select_columns({selected.data(), selected.size()});
+  const la::HouseholderQr qr(result.dictionary);
+  result.coefficients = dense_to_csc(qr.solve_many(a));
+  result.transform_ms = timer.elapsed_ms();
+  result.transformation_error =
+      core::transformation_error(a, result.dictionary, result.coefficients);
+  return result;
+}
+
+}  // namespace extdict::baselines

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/transform_result.hpp"
+
+namespace extdict::baselines {
+
+/// Adaptive column sampling in the spirit of oASIS [22]: greedily add the
+/// column with the largest residual energy after projection onto the span
+/// of the columns selected so far. Residuals are maintained incrementally
+/// against an orthonormalised basis, so the method never forms the N x N
+/// Gram matrix (the memory-efficiency property the paper credits oASIS
+/// with) and runs in O(M·N) per selected column.
+///
+/// Selection stops when the *projection* residual meets `tolerance` (or
+/// `max_l` columns are chosen); the final coefficients are the dense least
+/// squares C = D⁺A, like RCSS.
+[[nodiscard]] TransformResult oasis_transform(const Matrix& a, Real tolerance,
+                                              std::uint64_t seed,
+                                              Index max_l = 0);
+
+}  // namespace extdict::baselines

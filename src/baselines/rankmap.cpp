@@ -1,0 +1,64 @@
+#include "baselines/rankmap.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/exd.hpp"
+#include "util/timer.hpp"
+
+namespace extdict::baselines {
+
+TransformResult rankmap_transform(const Matrix& a, Real tolerance,
+                                  std::uint64_t seed) {
+  util::Timer timer;
+
+  auto attempt = [&](Index l) {
+    core::ExdConfig config;
+    config.dictionary_size = l;
+    config.tolerance = tolerance;
+    config.seed = seed;
+    return core::exd_transform(a, config);
+  };
+
+  // Error-driven search for the smallest feasible dictionary: geometric
+  // bracket, then binary refinement.
+  Index lo = 0;
+  Index l = std::max<Index>(8, a.cols() / 64);
+  core::ExdResult best;
+  bool found = false;
+  while (l <= a.cols()) {
+    core::ExdResult r = attempt(l);
+    if (r.transformation_error <= tolerance) {
+      best = std::move(r);
+      found = true;
+      break;
+    }
+    lo = l;
+    if (l == a.cols()) break;
+    l = std::min(a.cols(), l * 2);
+  }
+  if (!found) {
+    throw std::runtime_error("rankmap_transform: tolerance unreachable");
+  }
+  Index hi = best.dictionary.cols();
+  while (hi - lo > std::max<Index>(8, hi / 10)) {
+    const Index mid = lo + (hi - lo) / 2;
+    core::ExdResult r = attempt(mid);
+    if (r.transformation_error <= tolerance) {
+      best = std::move(r);
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+
+  TransformResult result;
+  result.method = "RankMap";
+  result.dictionary = std::move(best.dictionary);
+  result.coefficients = std::move(best.coefficients);
+  result.transformation_error = best.transformation_error;
+  result.transform_ms = timer.elapsed_ms();
+  return result;
+}
+
+}  // namespace extdict::baselines

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/transform_result.hpp"
+
+namespace extdict::baselines {
+
+/// RankMap (the authors' earlier system [28], [39]): like ExD it produces a
+/// sparse coefficient matrix by OMP against a column-sampled dictionary,
+/// but its dictionary size is chosen purely by the error criterion — the
+/// smallest L that meets the tolerance — with no platform awareness. That
+/// is exactly the paper's characterisation: "the error-based criteria for
+/// selecting the transformation basis in RankMap prevents it from creating
+/// versatile and over-complete dictionaries."
+[[nodiscard]] TransformResult rankmap_transform(const Matrix& a, Real tolerance,
+                                                std::uint64_t seed);
+
+}  // namespace extdict::baselines

@@ -1,0 +1,113 @@
+#include "baselines/rcss.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/exd.hpp"
+#include "la/blas.hpp"
+#include "la/cholesky.hpp"
+#include "la/qr.hpp"
+#include "la/random.hpp"
+#include "util/timer.hpp"
+
+namespace extdict::baselines {
+
+CscMatrix dense_to_csc(const Matrix& c) {
+  CscMatrix::Builder builder(c.rows(), c.cols());
+  for (Index j = 0; j < c.cols(); ++j) {
+    for (Index i = 0; i < c.rows(); ++i) {
+      if (c(i, j) != Real{0}) builder.add(i, c(i, j));
+    }
+    builder.commit_column();
+  }
+  return std::move(builder).build();
+}
+
+namespace {
+
+// C = D⁺A for tall or wide D. Tall: one QR. Wide (L > M): the minimum-norm
+// solution C = Dᵀ(DDᵀ)⁻¹A via a Cholesky of the small M x M Gram (with a
+// tiny ridge if the sampled columns are rank-deficient).
+Matrix pseudo_inverse_apply(const Matrix& d, const Matrix& a) {
+  if (d.rows() >= d.cols()) {
+    return la::HouseholderQr(d).solve_many(a);
+  }
+  Matrix ddt = la::matmul(d, d, la::Trans::kNo, la::Trans::kYes);
+  Matrix w(d.rows(), a.cols());
+  for (Real ridge = 0;; ridge = ridge == 0 ? 1e-10 : ridge * 100) {
+    for (Index i = 0; i < ddt.rows(); ++i) ddt(i, i) += ridge;
+    try {
+      const la::Cholesky chol(ddt);
+      const Index cols = a.cols();
+#pragma omp parallel for schedule(static) if (cols > 8)
+      for (Index j = 0; j < cols; ++j) {
+        la::Vector col(a.col(j).begin(), a.col(j).end());
+        chol.solve_in_place(col);
+        std::copy(col.begin(), col.end(), w.col(j).begin());
+      }
+      break;
+    } catch (const std::domain_error&) {
+      if (ridge > 1e-2) throw;
+    }
+  }
+  return la::matmul(d, w, la::Trans::kYes, la::Trans::kNo);
+}
+
+}  // namespace
+
+TransformResult rcss_transform(const Matrix& a, Index l, std::uint64_t seed) {
+  if (l <= 0 || l > a.cols()) {
+    throw std::invalid_argument("rcss_transform: L out of range");
+  }
+  util::Timer timer;
+  la::Rng rng(seed);
+  const auto atoms = rng.sample_without_replacement(a.cols(), l);
+
+  TransformResult result;
+  result.method = "RCSS";
+  result.dense_coefficients = true;
+  result.dictionary = a.select_columns(atoms);
+  result.coefficients = dense_to_csc(pseudo_inverse_apply(result.dictionary, a));
+  result.transform_ms = timer.elapsed_ms();
+  result.transformation_error =
+      core::transformation_error(a, result.dictionary, result.coefficients);
+  return result;
+}
+
+TransformResult rcss_transform_for_error(const Matrix& a, Real tolerance,
+                                         std::uint64_t seed) {
+  // Geometric growth to bracket the feasible region...
+  Index lo = 0;  // largest known-infeasible L
+  Index l = std::max<Index>(8, a.cols() / 64);
+  TransformResult best;
+  bool found = false;
+  while (l <= a.cols()) {
+    TransformResult r = rcss_transform(a, l, seed);
+    if (r.transformation_error <= tolerance) {
+      best = std::move(r);
+      found = true;
+      break;
+    }
+    lo = l;
+    if (l == a.cols()) break;
+    l = std::min(a.cols(), l * 2);
+  }
+  if (!found) {
+    throw std::runtime_error("rcss_transform_for_error: tolerance unreachable");
+  }
+  // ...then a short binary refinement for the smallest workable L.
+  Index hi = best.dictionary.cols();
+  while (hi - lo > std::max<Index>(8, hi / 10)) {
+    const Index mid = lo + (hi - lo) / 2;
+    TransformResult r = rcss_transform(a, mid, seed);
+    if (r.transformation_error <= tolerance) {
+      best = std::move(r);
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return best;
+}
+
+}  // namespace extdict::baselines

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/transform_result.hpp"
+
+namespace extdict::baselines {
+
+/// Randomized Column Subset Selection (the paper's RCSS baseline [17], [32]):
+/// sample L columns of A uniformly at random into D and project the data
+/// densely, C = D⁺A (least squares). Unlike ExD there is no sparsity and no
+/// platform knob — for a target error the method fixes its output.
+[[nodiscard]] TransformResult rcss_transform(const Matrix& a, Index l,
+                                             std::uint64_t seed);
+
+/// RCSS sized for an error target: grows L geometrically (then binary
+/// refines) until ||A - DC||_F <= tolerance * ||A||_F, mirroring how an
+/// error-driven user would run it. Returns the smallest tested L that meets
+/// the tolerance.
+[[nodiscard]] TransformResult rcss_transform_for_error(const Matrix& a,
+                                                       Real tolerance,
+                                                       std::uint64_t seed);
+
+}  // namespace extdict::baselines

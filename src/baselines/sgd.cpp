@@ -1,0 +1,148 @@
+#include "baselines/sgd.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/dist_gram.hpp"
+#include "la/blas.hpp"
+#include "la/random.hpp"
+#include "solvers/adagrad.hpp"
+
+namespace extdict::baselines {
+
+SgdResult sgd_lasso(const dist::Cluster& cluster, const Matrix& a,
+                    const la::Vector& y, const SgdConfig& config) {
+  const Index m = a.rows();
+  const Index n = a.cols();
+  if (static_cast<Index>(y.size()) != m) {
+    throw std::invalid_argument("sgd_lasso: y size mismatch");
+  }
+  const Index batch = std::min(config.batch_rows, m);
+  const core::ColumnPartition part{n, cluster.topology().total()};
+
+  SgdResult result;
+  result.x.assign(static_cast<std::size_t>(n), Real{0});
+  int iterations_shared = 0;
+  bool reached_shared = false;
+  Real objective_shared = 0;
+  std::vector<std::pair<int, Real>> trace_shared;
+
+  dist::RunStats stats = cluster.run([&](dist::Communicator& comm) {
+    const Index rank = comm.rank();
+    const Index b = part.begin(rank);
+    const Index e = part.end(rank);
+    const Index local_n = e - b;
+
+    // SGD keeps the original data resident: A_i plus the targets.
+    comm.cost().record_memory(
+        static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(local_n) +
+        static_cast<std::uint64_t>(m) + static_cast<std::uint64_t>(local_n) * 3);
+
+    la::Vector x_local(static_cast<std::size_t>(local_n), Real{0});
+    la::Vector g_local(static_cast<std::size_t>(local_n));
+    la::Vector u(static_cast<std::size_t>(batch));
+    la::Vector u_full(static_cast<std::size_t>(m));
+    solvers::Adagrad adagrad(std::max<Index>(local_n, 1), config.base_rate);
+
+    int it = 0;
+    bool reached = false;
+    Real objective = 0;
+    std::vector<std::pair<int, Real>> trace;
+
+    for (; it < config.max_iterations; ++it) {
+      // All ranks draw the same batch: per-iteration deterministic seed.
+      la::Rng batch_rng(config.seed * 0x9e3779b9ULL + static_cast<std::uint64_t>(it));
+      const auto rows = batch_rng.sample_without_replacement(m, batch);
+
+      // u = A_b x (allreduced batch-sized partial products).
+      std::fill(u.begin(), u.end(), Real{0});
+      for (Index j = b; j < e; ++j) {
+        const Real xj = x_local[static_cast<std::size_t>(j - b)];
+        if (xj == Real{0}) continue;
+        const auto col = a.col(j);
+        for (Index r = 0; r < batch; ++r) {
+          u[static_cast<std::size_t>(r)] +=
+              xj * col[static_cast<std::size_t>(rows[static_cast<std::size_t>(r)])];
+        }
+      }
+      comm.cost().add_flops(2 * static_cast<std::uint64_t>(batch) *
+                            static_cast<std::uint64_t>(local_n));
+      comm.allreduce_sum(u);
+
+      // Residual on the batch, then the local gradient block.
+      for (Index r = 0; r < batch; ++r) {
+        u[static_cast<std::size_t>(r)] -=
+            y[static_cast<std::size_t>(rows[static_cast<std::size_t>(r)])];
+      }
+      for (Index j = b; j < e; ++j) {
+        const auto col = a.col(j);
+        Real s = 0;
+        for (Index r = 0; r < batch; ++r) {
+          s += u[static_cast<std::size_t>(r)] *
+               col[static_cast<std::size_t>(rows[static_cast<std::size_t>(r)])];
+        }
+        g_local[static_cast<std::size_t>(j - b)] = s;
+      }
+      comm.cost().add_flops(2 * static_cast<std::uint64_t>(batch) *
+                            static_cast<std::uint64_t>(local_n));
+
+      if (local_n > 0) {
+        adagrad.accumulate(g_local);
+        for (std::size_t i = 0; i < g_local.size(); ++i) {
+          const Real r = adagrad.rate(static_cast<Index>(i));
+          x_local[i] = solvers::soft_threshold(x_local[i] - r * g_local[i],
+                                               r * config.lambda);
+        }
+        comm.cost().add_flops(static_cast<std::uint64_t>(local_n) * 6);
+      }
+
+      // Periodic full-objective check against the target.
+      if (config.target_objective > 0 && config.check_every > 0 &&
+          (it + 1) % config.check_every == 0) {
+        std::fill(u_full.begin(), u_full.end(), Real{0});
+        for (Index j = b; j < e; ++j) {
+          la::axpy(x_local[static_cast<std::size_t>(j - b)], a.col(j), u_full);
+        }
+        comm.cost().add_flops(2 * static_cast<std::uint64_t>(m) *
+                              static_cast<std::uint64_t>(local_n));
+        comm.allreduce_sum(u_full);
+        Real fit = 0;
+        for (Index i = 0; i < m; ++i) {
+          const Real d0 = u_full[static_cast<std::size_t>(i)] -
+                          y[static_cast<std::size_t>(i)];
+          fit += d0 * d0;
+        }
+        Real l1 = 0;
+        for (Real v : x_local) l1 += std::abs(v);
+        l1 = comm.allreduce_sum_scalar(l1);
+        objective = Real{0.5} * fit + config.lambda * l1;
+        if (rank == 0) trace.emplace_back(it + 1, objective);
+        if (objective <= config.target_objective) {
+          reached = true;
+          ++it;
+          break;
+        }
+      }
+    }
+
+    std::vector<Index> counts;
+    const la::Vector gathered =
+        comm.gather(0, std::span<const Real>(x_local), &counts);
+    if (rank == 0) {
+      std::copy(gathered.begin(), gathered.end(), result.x.begin());
+      iterations_shared = it;
+      reached_shared = reached;
+      objective_shared = objective;
+      trace_shared = std::move(trace);
+    }
+  });
+
+  result.stats = std::move(stats);
+  result.iterations = iterations_shared;
+  result.reached_target = reached_shared;
+  result.final_objective = objective_shared;
+  result.objective_trace = std::move(trace_shared);
+  return result;
+}
+
+}  // namespace extdict::baselines

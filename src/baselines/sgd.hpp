@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/cluster.hpp"
+#include "la/matrix.hpp"
+#include "la/types.hpp"
+
+namespace extdict::baselines {
+
+using la::Index;
+using la::Matrix;
+using la::Real;
+
+/// Distributed mini-batch Stochastic Gradient Descent with Adagrad — the
+/// paper's learning-application baseline (§VIII-A): each iteration draws a
+/// random batch of `batch_rows` rows of A, computes the batch gradient
+/// A_bᵀ(A_b x - y_b), and applies a proximal Adagrad step. Columns of A
+/// (and so coordinates of x) are partitioned across ranks; the per-
+/// iteration communication is the batch-sized partial-product reduction —
+/// smaller than ExtDict's min(M, L), but SGD needs many more iterations and
+/// never reduces memory (it stores all of A).
+struct SgdConfig {
+  Real lambda = 1e-3;
+  Index batch_rows = 64;  ///< the paper's batch size
+  Real base_rate = 0.05;
+  int max_iterations = 4000;
+  /// Stop when the full objective (checked every `check_every` iterations)
+  /// drops to `target_objective`; <= 0 disables the target.
+  Real target_objective = -1;
+  int check_every = 25;
+  std::uint64_t seed = 3;
+};
+
+struct SgdResult {
+  la::Vector x;
+  int iterations = 0;
+  bool reached_target = false;
+  Real final_objective = 0;
+  std::vector<std::pair<int, Real>> objective_trace;
+  dist::RunStats stats;
+};
+
+/// Runs distributed SGD for LASSO on the *original* matrix A (SGD does not
+/// use the transform). The objective checks' extra communication is metered
+/// too — monitoring is part of the algorithm when a target is set.
+[[nodiscard]] SgdResult sgd_lasso(const dist::Cluster& cluster, const Matrix& a,
+                                  const la::Vector& y, const SgdConfig& config);
+
+}  // namespace extdict::baselines

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "la/csc_matrix.hpp"
+#include "la/matrix.hpp"
+#include "la/types.hpp"
+
+namespace extdict::baselines {
+
+using la::CscMatrix;
+using la::Index;
+using la::Matrix;
+using la::Real;
+
+/// Common shape of every dimensionality-reduction baseline's output so the
+/// framework can swap transformations freely (§VIII-A "each of these
+/// transformations can substitute ExD within our proposed framework").
+/// Dense methods (RCSS, oASIS) produce a fully dense coefficient matrix,
+/// stored in the same CSC container for uniform downstream handling — their
+/// memory numbers in Table III reflect that density.
+struct TransformResult {
+  std::string method;
+  Matrix dictionary;       ///< M x L
+  CscMatrix coefficients;  ///< L x N
+  /// True for methods whose C is dense by construction (RCSS, oASIS): their
+  /// footprint is charged as a dense L x N array, which is what such an
+  /// implementation would actually store (cheaper than CSC on dense data).
+  bool dense_coefficients = false;
+  Real transformation_error = 0;
+  double transform_ms = 0;
+
+  [[nodiscard]] std::uint64_t memory_words() const noexcept {
+    const std::uint64_t c_words =
+        dense_coefficients
+            ? static_cast<std::uint64_t>(coefficients.rows()) *
+                  static_cast<std::uint64_t>(coefficients.cols())
+            : coefficients.memory_words();
+    return dictionary.memory_words() + c_words;
+  }
+  [[nodiscard]] Index dictionary_size() const noexcept {
+    return dictionary.cols();
+  }
+};
+
+/// Dense L x N coefficients -> CSC (drops exact zeros only).
+[[nodiscard]] CscMatrix dense_to_csc(const Matrix& c);
+
+}  // namespace extdict::baselines

@@ -1,0 +1,116 @@
+#include "core/alpha_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/exd.hpp"
+#include "la/random.hpp"
+#include "util/timer.hpp"
+
+namespace extdict::core {
+
+Index AlphaProfile::min_feasible_l() const noexcept {
+  for (const auto& p : points) {
+    if (p.feasible) return p.l;
+  }
+  return -1;
+}
+
+const AlphaPoint& AlphaProfile::at(Index l) const {
+  for (const auto& p : points) {
+    if (p.l == l) return p;
+  }
+  throw std::out_of_range("AlphaProfile::at: L not in grid");
+}
+
+AlphaProfile estimate_alpha_profile(const Matrix& a,
+                                    const AlphaProfileConfig& config) {
+  if (config.l_grid.empty() || config.trials < 1) {
+    throw std::invalid_argument("estimate_alpha_profile: bad config");
+  }
+  util::Timer timer;
+  AlphaProfile profile;
+  profile.columns_used = a.cols();
+
+  la::Rng seeder(config.seed);
+  for (const Index l : config.l_grid) {
+    if (l > a.cols()) continue;  // grid point unavailable at this subset size
+    AlphaPoint point;
+    point.l = l;
+    std::vector<Real> alphas;
+    alphas.reserve(static_cast<std::size_t>(config.trials));
+    Real error_sum = 0;
+    for (int t = 0; t < config.trials; ++t) {
+      ExdConfig exd;
+      exd.dictionary_size = l;
+      exd.tolerance = config.tolerance;
+      exd.seed = seeder.fork().engine()();
+      const ExdResult r = exd_transform(a, exd);
+      alphas.push_back(r.alpha());
+      error_sum += r.transformation_error;
+    }
+    Real mean = 0;
+    for (Real v : alphas) mean += v;
+    mean /= static_cast<Real>(alphas.size());
+    Real var = 0;
+    for (Real v : alphas) var += (v - mean) * (v - mean);
+    var /= static_cast<Real>(alphas.size());
+    point.alpha_mean = mean;
+    point.alpha_stddev = std::sqrt(var);
+    point.error_mean = error_sum / static_cast<Real>(config.trials);
+    // The OMP stop rule targets per-column ε, so the aggregate Frobenius
+    // criterion holds with a little slack when feasible at all.
+    point.feasible = point.error_mean <= config.tolerance * Real{1.05};
+    profile.points.push_back(point);
+  }
+  profile.elapsed_ms = timer.elapsed_ms();
+  return profile;
+}
+
+AlphaProfile estimate_alpha_profile_subsets(const Matrix& a,
+                                            const AlphaProfileConfig& config,
+                                            std::vector<Index> subset_sizes,
+                                            Real convergence_threshold) {
+  if (subset_sizes.empty()) {
+    throw std::invalid_argument("estimate_alpha_profile_subsets: empty sizes");
+  }
+  if (!std::is_sorted(subset_sizes.begin(), subset_sizes.end())) {
+    throw std::invalid_argument("estimate_alpha_profile_subsets: sizes must increase");
+  }
+  util::Timer timer;
+  la::Rng rng(config.seed ^ 0xabcdefULL);
+  // One shared shuffled order makes the subsets nested: A_1 ⊂ A_2 ⊂ ... ⊂ A.
+  const std::vector<Index> order = rng.permutation(a.cols());
+
+  AlphaProfile previous;
+  for (std::size_t s = 0; s < subset_sizes.size(); ++s) {
+    const Index n = std::min<Index>(subset_sizes[s], a.cols());
+    const Matrix subset = a.select_columns({order.data(), static_cast<std::size_t>(n)});
+    AlphaProfile current = estimate_alpha_profile(subset, config);
+    current.columns_used = n;
+
+    if (!previous.points.empty()) {
+      // Max relative discrepancy across common feasible grid points.
+      Real disc = 0;
+      bool comparable = false;
+      for (const auto& p : current.points) {
+        for (const auto& q : previous.points) {
+          if (q.l != p.l || !p.feasible || !q.feasible) continue;
+          comparable = true;
+          const Real denom = std::max(p.alpha_mean, Real{1e-12});
+          disc = std::max(disc, std::abs(p.alpha_mean - q.alpha_mean) / denom);
+        }
+      }
+      if (comparable && disc <= convergence_threshold) {
+        current.elapsed_ms = timer.elapsed_ms();
+        return current;
+      }
+    }
+    previous = std::move(current);
+  }
+  previous.elapsed_ms = timer.elapsed_ms();
+  return previous;
+}
+
+}  // namespace extdict::core

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "la/types.hpp"
+
+namespace extdict::core {
+
+using la::Index;
+using la::Matrix;
+using la::Real;
+
+/// One point of the density profile α(L) (Figs. 4-6).
+struct AlphaPoint {
+  Index l = 0;
+  Real alpha_mean = 0;    ///< avg nnz per column of C
+  Real alpha_stddev = 0;  ///< over dictionary re-draws (Fig. 4 error bars)
+  Real error_mean = 0;    ///< achieved ||A-DC||_F/||A||_F
+  bool feasible = false;  ///< error within tolerance (L >= L_min)
+};
+
+struct AlphaProfile {
+  std::vector<AlphaPoint> points;
+  Index columns_used = 0;  ///< |A_s| the profile was computed on
+  double elapsed_ms = 0;
+
+  /// Smallest feasible L in the grid, or -1 if none met the tolerance.
+  [[nodiscard]] Index min_feasible_l() const noexcept;
+
+  /// α at a given L (throws if L is not a grid point).
+  [[nodiscard]] const AlphaPoint& at(Index l) const;
+};
+
+struct AlphaProfileConfig {
+  std::vector<Index> l_grid;
+  Real tolerance = 0.1;
+  int trials = 1;  ///< dictionary draws per L
+  std::uint64_t seed = 1;
+};
+
+/// Profiles α(L) over `l_grid` on the full matrix (or a caller-selected
+/// column subset — pass `a.select_columns(...)`).
+[[nodiscard]] AlphaProfile estimate_alpha_profile(const Matrix& a,
+                                                  const AlphaProfileConfig& config);
+
+/// §VII subset-based estimation: profiles α(L) on nested random column
+/// subsets of growing size until the profile stabilises (successive relative
+/// discrepancy below `convergence_threshold`), never touching more columns
+/// than needed. `subset_sizes` must be increasing; the last entry may equal
+/// a.cols(). Returns the converged profile (computed on the smallest
+/// sufficient subset).
+[[nodiscard]] AlphaProfile estimate_alpha_profile_subsets(
+    const Matrix& a, const AlphaProfileConfig& config,
+    std::vector<Index> subset_sizes, Real convergence_threshold = 0.15);
+
+}  // namespace extdict::core

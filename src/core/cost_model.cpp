@@ -1,0 +1,55 @@
+#include "core/cost_model.hpp"
+
+#include <algorithm>
+
+namespace extdict::core {
+
+namespace {
+
+UpdateCost build(double work, double comm, std::uint64_t memory, Index p,
+                 const dist::PlatformSpec& platform) {
+  UpdateCost cost;
+  cost.flops_per_proc = work / static_cast<double>(p);
+  // A single-processor run passes no messages.
+  cost.comm_words = p > 1 ? comm : 0.0;
+  cost.time_cost = cost.flops_per_proc + cost.comm_words * platform.r_time_bf();
+  cost.energy_cost =
+      cost.flops_per_proc + cost.comm_words * platform.r_energy_bf();
+  cost.memory_words_per_proc = memory;
+  return cost;
+}
+
+}  // namespace
+
+UpdateCost transformed_update_cost(Index m, Index l, std::uint64_t nnz_c,
+                                   Index n, Index p,
+                                   const dist::PlatformSpec& platform) {
+  const double work =
+      static_cast<double>(m) * static_cast<double>(l) + static_cast<double>(nnz_c);
+  const double comm = static_cast<double>(std::min(m, l));
+  const std::uint64_t memory =
+      static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(l) +
+      (nnz_c + static_cast<std::uint64_t>(n)) / static_cast<std::uint64_t>(p);
+  return build(work, comm, memory, p, platform);
+}
+
+UpdateCost original_update_cost(Index m, Index n, Index p,
+                                const dist::PlatformSpec& platform) {
+  // AᵀA·x via v = A x then Aᵀ v: 2·M·N multiplications, M words reduced.
+  const double work = 2.0 * static_cast<double>(m) * static_cast<double>(n);
+  const double comm = static_cast<double>(m);
+  const std::uint64_t memory =
+      (static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(n) +
+       static_cast<std::uint64_t>(n)) /
+      static_cast<std::uint64_t>(p);
+  return build(work, comm, memory, p, platform);
+}
+
+UpdateCost predicted_update_cost(Index m, Index l, Real alpha, Index n, Index p,
+                                 const dist::PlatformSpec& platform) {
+  const auto nnz = static_cast<std::uint64_t>(
+      std::max(0.0, static_cast<double>(alpha) * static_cast<double>(n)));
+  return transformed_update_cost(m, l, nnz, n, p, platform);
+}
+
+}  // namespace extdict::core

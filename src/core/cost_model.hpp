@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+
+#include "dist/platform.hpp"
+#include "la/types.hpp"
+
+namespace extdict::core {
+
+using la::Index;
+using la::Real;
+
+/// The paper's closed-form performance quantification (§VI-B) of one
+/// iterative Gram update on the transformed data, (DC)ᵀDC·x, on P
+/// processors:
+///
+///   FLOPs  (Eq. before (2)): (M·L + nnz(C)) multiplications, parallelised
+///                            over P (plus negligible additions),
+///   Comm.  : min(M, L) words per reduce/broadcast phase — the
+///            communication-optimal bound of Demmel et al.,
+///   Time   (Eq. 2): (M·L + nnz(C))/P + min(M,L)·R_bf^time,
+///   Energy (Eq. 3): (M·L + nnz(C))/P + min(M,L)·R_bf^energy,
+///   Memory (Eq. 4): M·L + (nnz(C) + N)/P words per node.
+///
+/// The same quantities for the untransformed update AᵀA·x (used as the
+/// baseline everywhere) follow by substituting D -> A, C -> I:
+/// FLOPs 2·M·N/P, comm M words, memory M·N/P + N/P.
+struct UpdateCost {
+  double flops_per_proc = 0;
+  double comm_words = 0;
+  double time_cost = 0;    ///< Eq. 2, in FLOP-equivalents
+  double energy_cost = 0;  ///< Eq. 3, in FLOP-equivalents
+  std::uint64_t memory_words_per_proc = 0;  ///< Eq. 4
+};
+
+/// Cost of one transformed update given the measured sparsity nnz(C).
+[[nodiscard]] UpdateCost transformed_update_cost(Index m, Index l,
+                                                 std::uint64_t nnz_c, Index n,
+                                                 Index p,
+                                                 const dist::PlatformSpec& platform);
+
+/// Cost of one update on the original dense A (baseline).
+[[nodiscard]] UpdateCost original_update_cost(Index m, Index n, Index p,
+                                              const dist::PlatformSpec& platform);
+
+/// Eq. 2/3 evaluated from a density estimate α(L) instead of a realised C
+/// (this is what the tuner minimises before any full transform is run):
+/// nnz(C) ≈ α·N.
+[[nodiscard]] UpdateCost predicted_update_cost(Index m, Index l, Real alpha,
+                                               Index n, Index p,
+                                               const dist::PlatformSpec& platform);
+
+}  // namespace extdict::core

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "core/exd.hpp"
+#include "dist/cluster.hpp"
+
+namespace extdict::core {
+
+/// Result of the distributed ExD preprocessing run: the transform plus the
+/// exact cost counters of the SPMD region (Alg. 1 is specified as a
+/// distributed program in the paper — "pid = 0 creates a random subset of
+/// indices ... and broadcasts it to other processors; pid = i applies OMP
+/// to its columns").
+struct DistExdResult {
+  ExdResult exd;
+  dist::RunStats stats;
+};
+
+/// Algorithm 1, distributed:
+///
+///   step 0  rank 0 draws the L atom indices and broadcasts them;
+///   step 1  every rank materialises D (in the emulation D's columns are
+///           broadcast: L·M words from rank 0, matching a cluster where
+///           only rank 0 holds A's sampled columns);
+///   step 2  rank i takes the i-th contiguous block of N/P columns of A;
+///   step 3  rank i Batch-OMP-codes its block against D;
+///   gather  the per-block coefficient matrices are gathered on rank 0 and
+///           assembled into C.
+///
+/// The returned transform is bit-identical to `exd_transform` with the same
+/// config (the coding of a column does not depend on which rank ran it).
+[[nodiscard]] DistExdResult exd_transform_distributed(const dist::Cluster& cluster,
+                                                      const Matrix& a,
+                                                      const ExdConfig& config);
+
+}  // namespace extdict::core

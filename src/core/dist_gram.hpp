@@ -1,0 +1,79 @@
+#pragma once
+
+#include "dist/cluster.hpp"
+#include "la/csc_matrix.hpp"
+#include "la/matrix.hpp"
+#include "la/types.hpp"
+
+namespace extdict::core {
+
+using la::CscMatrix;
+using la::Index;
+using la::Matrix;
+using la::Real;
+
+/// Result of a distributed iterated Gram multiply: the final vector
+/// (gathered on the caller) plus the per-rank cost counters of the run.
+struct DistGramResult {
+  la::Vector y;
+  dist::RunStats stats;
+  int iterations = 0;
+};
+
+/// Column partition: rank i owns columns [offset(i), offset(i+1)) — the
+/// contiguous N/P blocks of Algorithm 2 step 0 (load balanced to within one
+/// column).
+struct ColumnPartition {
+  Index n = 0;
+  Index parts = 1;
+
+  [[nodiscard]] Index begin(Index rank) const noexcept {
+    return rank * n / parts;
+  }
+  [[nodiscard]] Index end(Index rank) const noexcept {
+    return (rank + 1) * n / parts;
+  }
+  [[nodiscard]] Index count(Index rank) const noexcept {
+    return end(rank) - begin(rank);
+  }
+};
+
+/// Distribution strategy for the dictionary factor in Algorithm 2.
+enum class GramStrategy {
+  /// Partitioned-D when L <= M, replicated-D otherwise. This is the
+  /// dispatch whose per-rank work matches the paper's Eq. (2),
+  /// (M·L + nnz)/P, on every rank.
+  kAuto,
+  /// Alg. 2 Case 1 as literally printed: D lives on rank 0, which performs
+  /// the D and Dᵀ multiplies alone. Matches the paper's text but leaves
+  /// 2·M·L FLOPs serialised on one rank — kept for the ablation bench.
+  kRootDictionary,
+  /// Alg. 2 Case 2: D replicated, M-sized collectives, the Dᵀ multiply
+  /// redundant on every rank.
+  kReplicatedDictionary,
+  /// Row-partitioned D: rank i owns M/P rows; v1 is all-reduced (L words),
+  /// each rank lifts its row block and contributes a partial Dᵀ product,
+  /// which is all-reduced again (L words). FLOPs are 2(M·L)/P per rank —
+  /// the parallelisation Eq. (2) presumes.
+  kPartitionedDictionary,
+};
+
+/// Algorithm 2: `iterations` successive Gram updates x <- (DC)ᵀDC·x on the
+/// emulated cluster, under the chosen dictionary-distribution strategy.
+///
+/// Every rank meters its FLOPs, words, and resident memory, so the returned
+/// stats plug directly into PlatformSpec::modeled_seconds / the paper's
+/// Eqs. 2-4.
+[[nodiscard]] DistGramResult dist_gram_apply(
+    const dist::Cluster& cluster, const Matrix& d, const CscMatrix& c,
+    const la::Vector& x0, int iterations,
+    GramStrategy strategy = GramStrategy::kAuto);
+
+/// Baseline: the same iterated update on the original dense matrix,
+/// x <- AᵀA·x, with A column-partitioned across ranks.
+[[nodiscard]] DistGramResult dist_gram_apply_original(const dist::Cluster& cluster,
+                                                      const Matrix& a,
+                                                      const la::Vector& x0,
+                                                      int iterations);
+
+}  // namespace extdict::core

@@ -1,0 +1,82 @@
+#include "core/evolving.hpp"
+
+#include <stdexcept>
+
+#include "la/blas.hpp"
+#include "la/random.hpp"
+#include "sparsecoding/batch_omp.hpp"
+
+namespace extdict::core {
+
+EvolveReport evolve(ExdResult& exd, const Matrix& a_new, const ExdConfig& config) {
+  if (a_new.rows() != exd.dictionary.rows()) {
+    throw std::invalid_argument("evolve: row mismatch with existing dictionary");
+  }
+  EvolveReport report;
+  report.new_columns = a_new.cols();
+  if (a_new.cols() == 0) return report;
+
+  sparsecoding::OmpConfig omp;
+  omp.tolerance = config.tolerance;
+  omp.max_atoms = config.max_atoms;
+
+  // Pass 1: code the new columns against the current dictionary and find
+  // the ones whose residual misses the ε criterion.
+  const sparsecoding::BatchOmp coder(exd.dictionary, omp);
+  const Index n_new = a_new.cols();
+  std::vector<sparsecoding::SparseCode> codes(static_cast<std::size_t>(n_new));
+#pragma omp parallel for schedule(dynamic, 16) if (n_new > 1)
+  for (Index j = 0; j < n_new; ++j) {
+    codes[static_cast<std::size_t>(j)] = coder.encode(a_new.col(j));
+  }
+
+  std::vector<Index> failed;
+  for (Index j = 0; j < n_new; ++j) {
+    const Real norm = la::nrm2(a_new.col(j));
+    if (codes[static_cast<std::size_t>(j)].residual_norm >
+        config.tolerance * norm * Real{1.001}) {
+      failed.push_back(j);
+    }
+  }
+  report.reencoded_columns = n_new - static_cast<Index>(failed.size());
+  report.failed_columns = static_cast<Index>(failed.size());
+
+  const Index old_l = exd.dictionary.cols();
+
+  if (!failed.empty()) {
+    // Pass 2: learn new atoms from the failing columns only.
+    const Matrix hard = a_new.select_columns(failed);
+    ExdConfig sub = config;
+    sub.dictionary_size =
+        std::min<Index>(std::max<Index>(config.dictionary_size, 1), hard.cols());
+    const ExdResult extension = exd_transform(hard, sub);
+    report.new_atoms = extension.dictionary.cols();
+    report.dictionary_extended = true;
+
+    // Fig. 3 zero-padding: old C gains `new_atoms` zero rows at the bottom.
+    exd.dictionary.append_columns(extension.dictionary);
+    exd.coefficients.pad_rows(old_l + report.new_atoms);
+
+    // Re-code the failing columns against the extended dictionary (their
+    // pass-1 codes were below tolerance).
+    const sparsecoding::BatchOmp recoder(exd.dictionary, omp);
+#pragma omp parallel for schedule(dynamic, 16) if (report.failed_columns > 1)
+    for (Index k = 0; k < report.failed_columns; ++k) {
+      const Index j = failed[static_cast<std::size_t>(k)];
+      codes[static_cast<std::size_t>(j)] = recoder.encode(a_new.col(j));
+    }
+  }
+
+  // Splice the new columns into C.
+  std::vector<std::vector<std::pair<Index, Real>>> new_cols(
+      static_cast<std::size_t>(n_new));
+  for (Index j = 0; j < n_new; ++j) {
+    new_cols[static_cast<std::size_t>(j)] =
+        std::move(codes[static_cast<std::size_t>(j)].entries);
+  }
+  exd.coefficients.append_columns(
+      la::CscMatrix::from_columns(exd.dictionary.cols(), new_cols));
+  return report;
+}
+
+}  // namespace extdict::core

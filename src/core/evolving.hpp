@@ -1,0 +1,30 @@
+#pragma once
+
+#include "core/exd.hpp"
+
+namespace extdict::core {
+
+/// Outcome of an evolving-data update (§V-E, Fig. 3).
+struct EvolveReport {
+  Index new_columns = 0;        ///< columns appended to A
+  Index reencoded_columns = 0;  ///< new columns coded against the old D
+  Index failed_columns = 0;     ///< columns the old D could not express
+  Index new_atoms = 0;          ///< atoms appended to D (0 if D unchanged)
+  bool dictionary_extended = false;
+};
+
+/// Incorporates a batch of new columns `a_new` into an existing projection
+/// `exd` without re-running ExD on the whole dataset:
+///
+///  1. sparse-code every new column against the current dictionary;
+///  2. if some columns cannot meet the ε criterion (the data expanded into
+///     new structure), run ExD on *those columns only*, append the new atoms
+///     to D, zero-pad the existing C to the enlarged atom space, and splice
+///     in the new codes (the Fig. 3 block layout).
+///
+/// `config.dictionary_size` is interpreted as the number of atoms to sample
+/// from the failing columns when an extension is needed (capped by their
+/// count).
+EvolveReport evolve(ExdResult& exd, const Matrix& a_new, const ExdConfig& config);
+
+}  // namespace extdict::core

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "la/csc_matrix.hpp"
+#include "la/matrix.hpp"
+#include "la/types.hpp"
+
+namespace extdict::core {
+
+using la::CscMatrix;
+using la::Index;
+using la::Matrix;
+using la::Real;
+
+/// Inputs of Algorithm 1 (ExD): the dictionary size L (the *extensible*
+/// knob), the transformation error tolerance ε, and the sampling seed.
+struct ExdConfig {
+  Index dictionary_size = 0;  ///< L, number of columns sampled into D
+  Real tolerance = 0.1;       ///< ε: target ||A - DC||_F <= ε ||A||_F
+  Index max_atoms = 0;        ///< per-column OMP cap (0 = min(M, L))
+  std::uint64_t seed = 1;
+};
+
+/// Output of the ExD projection A ≈ D·C.
+struct ExdResult {
+  Matrix dictionary;         ///< D, M x L
+  CscMatrix coefficients;    ///< C, L x N (sparse)
+  std::vector<Index> atom_indices;  ///< columns of A used as atoms
+  Real transformation_error = 0;    ///< achieved ||A - DC||_F / ||A||_F
+  double transform_ms = 0;          ///< wall time of the projection
+
+  /// Paper's density measure α(L, A, ε) = nnz(C)/N (Eq. 5).
+  [[nodiscard]] Real alpha() const noexcept {
+    return coefficients.density_per_column();
+  }
+  /// Memory footprint of the transformed representation in words.
+  [[nodiscard]] std::uint64_t memory_words() const noexcept {
+    return dictionary.memory_words() + coefficients.memory_words();
+  }
+};
+
+/// Algorithm 1: samples `dictionary_size` columns of `a` uniformly at
+/// random into D, then sparse-codes every column of `a` against D with
+/// Batch-OMP at tolerance ε. `a` must have (near-)unit-norm columns.
+[[nodiscard]] ExdResult exd_transform(const Matrix& a, const ExdConfig& config);
+
+/// ExD with a caller-supplied dictionary (used by the evolving-data path,
+/// the RankMap baseline, and tests).
+[[nodiscard]] ExdResult exd_transform_with_dictionary(const Matrix& a,
+                                                      Matrix dictionary,
+                                                      const ExdConfig& config);
+
+/// ||A - D·C||_F / ||A||_F computed column-wise (never materialises DC).
+[[nodiscard]] Real transformation_error(const Matrix& a, const Matrix& d,
+                                        const CscMatrix& c);
+
+}  // namespace extdict::core

@@ -1,0 +1,84 @@
+#include "core/extdict.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace extdict::core {
+
+std::vector<Index> default_l_grid(Index m, Index n) {
+  // Geometric ladder between ~n/64 and ~n/2, clipped to [8, n].
+  std::vector<Index> grid;
+  Index l = std::max<Index>(8, n / 64);
+  const Index top = std::max<Index>(l + 1, n / 2);
+  while (l <= top) {
+    grid.push_back(std::min(l, n));
+    l = std::max(l + 1, l * 8 / 5);
+  }
+  // Make sure something at/above M is present so OMP can always converge.
+  if (grid.back() < std::min(m, n)) grid.push_back(std::min(m, n));
+  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+  return grid;
+}
+
+ExtDict::ExtDict(ExdResult exd, dist::PlatformSpec platform, Options options,
+                 std::optional<TunerResult> tuning)
+    : exd_(std::move(exd)),
+      platform_(std::move(platform)),
+      options_(std::move(options)),
+      tuning_(std::move(tuning)),
+      op_(std::make_unique<TransformedGramOperator>(exd_.dictionary,
+                                                    exd_.coefficients)) {}
+
+ExtDict ExtDict::preprocess(const Matrix& a, const dist::PlatformSpec& platform,
+                            const Options& options) {
+  std::optional<TunerResult> tuning;
+  Index l;
+  if (options.fixed_l) {
+    l = *options.fixed_l;
+  } else {
+    TunerConfig config;
+    config.profile.l_grid =
+        options.l_grid.empty() ? default_l_grid(a.rows(), a.cols()) : options.l_grid;
+    config.profile.tolerance = options.tolerance;
+    config.profile.trials = options.trials;
+    config.profile.seed = options.seed;
+    config.objective = options.objective;
+    config.subset_sizes = options.subset_sizes;
+    tuning = tune(a, platform, config);
+    l = tuning->best_l;
+  }
+
+  ExdConfig exd;
+  exd.dictionary_size = l;
+  exd.tolerance = options.tolerance;
+  exd.seed = options.seed;
+  return ExtDict(exd_transform(a, exd), platform, options, std::move(tuning));
+}
+
+DistGramResult ExtDict::run_gram_iterations(const la::Vector& x0,
+                                            int iterations) const {
+  const dist::Cluster cluster(platform_.topology);
+  return dist_gram_apply(cluster, exd_.dictionary, exd_.coefficients, x0,
+                         iterations);
+}
+
+UpdateCost ExtDict::update_cost() const {
+  return transformed_update_cost(exd_.dictionary.rows(), exd_.dictionary.cols(),
+                                 exd_.coefficients.nnz(),
+                                 exd_.coefficients.cols(),
+                                 platform_.topology.total(), platform_);
+}
+
+EvolveReport ExtDict::extend(const Matrix& a_new) {
+  ExdConfig config;
+  config.tolerance = options_.tolerance;
+  config.seed = options_.seed + 17;
+  config.dictionary_size = std::max<Index>(1, a_new.cols() / 4);
+  const EvolveReport report = evolve(exd_, a_new, config);
+  // The operator holds pointers into exd_; rebuild after mutation.
+  op_ = std::make_unique<TransformedGramOperator>(exd_.dictionary,
+                                                  exd_.coefficients);
+  return report;
+}
+
+}  // namespace extdict::core

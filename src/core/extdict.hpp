@@ -1,0 +1,84 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/dist_gram.hpp"
+#include "core/evolving.hpp"
+#include "core/exd.hpp"
+#include "core/gram_operator.hpp"
+#include "core/tuner.hpp"
+#include "dist/platform.hpp"
+
+namespace extdict::core {
+
+/// End-to-end ExtDict façade — the "API" of §VIII:
+///
+///   auto engine = ExtDict::preprocess(A, platform, {.tolerance = 0.1});
+///   auto& op = engine.gram_operator();       // plug into any iterative solver
+///   auto result = engine.run_gram_iterations(x0, 20);   // or run distributed
+///
+/// `preprocess` tunes the dictionary size L for the target platform (unless
+/// the caller pins one), runs the ExD projection, and retains everything a
+/// downstream solver needs. The original matrix `a` must outlive the engine
+/// only through `preprocess` (the engine stores D and C, not A).
+class ExtDict {
+ public:
+  struct Options {
+    Real tolerance = 0.1;                ///< ε
+    Objective objective = Objective::kTime;
+    std::vector<Index> l_grid;           ///< empty = geometric default grid
+    std::optional<Index> fixed_l;        ///< skip tuning, use this L
+    std::vector<Index> subset_sizes;     ///< for low-overhead tuning; empty = full data
+    int trials = 1;
+    std::uint64_t seed = 1;
+  };
+
+  /// Tunes (if needed) and projects.
+  [[nodiscard]] static ExtDict preprocess(const Matrix& a,
+                                          const dist::PlatformSpec& platform,
+                                          const Options& options);
+
+  [[nodiscard]] const ExdResult& transform() const noexcept { return exd_; }
+  [[nodiscard]] Index tuned_l() const noexcept { return exd_.dictionary.cols(); }
+  [[nodiscard]] const std::optional<TunerResult>& tuning() const noexcept {
+    return tuning_;
+  }
+  [[nodiscard]] const dist::PlatformSpec& platform() const noexcept {
+    return platform_;
+  }
+  [[nodiscard]] double preprocessing_ms() const noexcept {
+    return (tuning_ ? tuning_->tuning_ms : 0.0) + exd_.transform_ms;
+  }
+
+  /// Serial Gram operator over the transformed data (for in-process solvers).
+  [[nodiscard]] const TransformedGramOperator& gram_operator() const noexcept {
+    return *op_;
+  }
+
+  /// Distributed iterated Gram update on this engine's platform (Alg. 2).
+  [[nodiscard]] DistGramResult run_gram_iterations(const la::Vector& x0,
+                                                   int iterations) const;
+
+  /// Paper cost model of one update for this engine's (L, nnz) on P ranks.
+  [[nodiscard]] UpdateCost update_cost() const;
+
+  /// Evolving data (§V-E): absorbs new columns, extending D if needed.
+  EvolveReport extend(const Matrix& a_new);
+
+ private:
+  ExtDict(ExdResult exd, dist::PlatformSpec platform, Options options,
+          std::optional<TunerResult> tuning);
+
+  ExdResult exd_;
+  dist::PlatformSpec platform_;
+  Options options_;
+  std::optional<TunerResult> tuning_;
+  std::unique_ptr<TransformedGramOperator> op_;
+};
+
+/// Default geometric L grid from L_min-ish up to N (used when the caller
+/// does not provide one).
+[[nodiscard]] std::vector<Index> default_l_grid(Index m, Index n);
+
+}  // namespace extdict::core

@@ -1,0 +1,68 @@
+#include "core/gram_operator.hpp"
+
+#include <stdexcept>
+
+#include "la/blas.hpp"
+
+namespace extdict::core {
+
+DenseGramOperator::DenseGramOperator(const Matrix& a)
+    : a_(&a), scratch_(static_cast<std::size_t>(a.rows())) {}
+
+void DenseGramOperator::apply(std::span<const Real> x, std::span<Real> y) const {
+  la::gemv(1, *a_, x, 0, scratch_);
+  la::gemv_t(1, *a_, scratch_, 0, y);
+}
+
+void DenseGramOperator::apply_adjoint(std::span<const Real> v,
+                                      std::span<Real> y) const {
+  la::gemv_t(1, *a_, v, 0, y);
+}
+
+void DenseGramOperator::apply_forward(std::span<const Real> x,
+                                      std::span<Real> v) const {
+  la::gemv(1, *a_, x, 0, v);
+}
+
+std::uint64_t DenseGramOperator::flops_per_apply() const noexcept {
+  return 2 * la::gemv_flops(a_->rows(), a_->cols());
+}
+
+TransformedGramOperator::TransformedGramOperator(const Matrix& d,
+                                                 const CscMatrix& c)
+    : d_(&d),
+      c_(&c),
+      v1_(static_cast<std::size_t>(c.rows())),
+      v2_(static_cast<std::size_t>(d.rows())),
+      v3_(static_cast<std::size_t>(c.rows())) {
+  if (d.cols() != c.rows()) {
+    throw std::invalid_argument("TransformedGramOperator: D/C shape mismatch");
+  }
+}
+
+void TransformedGramOperator::apply(std::span<const Real> x,
+                                    std::span<Real> y) const {
+  c_->spmv(x, v1_);                // v1 = C x
+  la::gemv(1, *d_, v1_, 0, v2_);   // v2 = D v1
+  la::gemv_t(1, *d_, v2_, 0, v3_); // v3 = Dᵀ v2
+  c_->spmv_t(v3_, y);              // y  = Cᵀ v3
+}
+
+void TransformedGramOperator::apply_adjoint(std::span<const Real> v,
+                                            std::span<Real> y) const {
+  la::gemv_t(1, *d_, v, 0, v3_);
+  c_->spmv_t(v3_, y);
+}
+
+void TransformedGramOperator::apply_forward(std::span<const Real> x,
+                                            std::span<Real> v) const {
+  c_->spmv(x, v1_);
+  la::gemv(1, *d_, v1_, 0, v);
+}
+
+std::uint64_t TransformedGramOperator::flops_per_apply() const noexcept {
+  // Two sparse products (C x, Cᵀ v3) and two dense GEMVs against D.
+  return 2 * la::gemv_flops(d_->rows(), d_->cols()) + 4 * c_->nnz();
+}
+
+}  // namespace extdict::core

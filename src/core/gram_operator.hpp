@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "la/csc_matrix.hpp"
+#include "la/matrix.hpp"
+#include "la/types.hpp"
+
+namespace extdict::core {
+
+using la::CscMatrix;
+using la::Index;
+using la::Matrix;
+using la::Real;
+
+/// Abstraction of the Gram product y = AᵀA·x the iterative learners
+/// (LASSO gradient descent, Power method) are written against. Swapping the
+/// dense operator for the transformed one is the whole point of ExtDict —
+/// the solver code does not change.
+class GramOperator {
+ public:
+  virtual ~GramOperator() = default;
+
+  /// Dimension of x and y (the dataset's column count N).
+  [[nodiscard]] virtual Index dim() const noexcept = 0;
+
+  /// y = AᵀA x (conceptually).
+  virtual void apply(std::span<const Real> x, std::span<Real> y) const = 0;
+
+  /// y = Aᵀ v for v in data space (length rows of A) — needed for the
+  /// gradient's Aᵀb term.
+  virtual void apply_adjoint(std::span<const Real> v, std::span<Real> y) const = 0;
+
+  /// v = A x (reconstruction; length rows of A).
+  virtual void apply_forward(std::span<const Real> x, std::span<Real> v) const = 0;
+
+  [[nodiscard]] virtual Index data_dim() const noexcept = 0;  ///< rows of A
+
+  /// Multiplication FLOPs of one `apply` (multiply-add pairs x2).
+  [[nodiscard]] virtual std::uint64_t flops_per_apply() const noexcept = 0;
+};
+
+/// Baseline: the dense Gram product via two GEMVs against A itself.
+class DenseGramOperator final : public GramOperator {
+ public:
+  explicit DenseGramOperator(const Matrix& a);
+
+  [[nodiscard]] Index dim() const noexcept override { return a_->cols(); }
+  [[nodiscard]] Index data_dim() const noexcept override { return a_->rows(); }
+  void apply(std::span<const Real> x, std::span<Real> y) const override;
+  void apply_adjoint(std::span<const Real> v, std::span<Real> y) const override;
+  void apply_forward(std::span<const Real> x, std::span<Real> v) const override;
+  [[nodiscard]] std::uint64_t flops_per_apply() const noexcept override;
+
+ private:
+  const Matrix* a_;
+  mutable la::Vector scratch_;  // A x
+};
+
+/// ExtDict: the Gram product through the projection, (DC)ᵀDC·x, exploiting
+/// C's sparsity exactly as Algorithm 2 does in its serial form.
+class TransformedGramOperator final : public GramOperator {
+ public:
+  TransformedGramOperator(const Matrix& d, const CscMatrix& c);
+
+  [[nodiscard]] Index dim() const noexcept override { return c_->cols(); }
+  [[nodiscard]] Index data_dim() const noexcept override { return d_->rows(); }
+  void apply(std::span<const Real> x, std::span<Real> y) const override;
+  void apply_adjoint(std::span<const Real> v, std::span<Real> y) const override;
+  void apply_forward(std::span<const Real> x, std::span<Real> v) const override;
+  [[nodiscard]] std::uint64_t flops_per_apply() const noexcept override;
+
+ private:
+  const Matrix* d_;
+  const CscMatrix* c_;
+  mutable la::Vector v1_;  // C x       (L)
+  mutable la::Vector v2_;  // D C x     (M)
+  mutable la::Vector v3_;  // Dᵀ D C x  (L)
+};
+
+}  // namespace extdict::core

@@ -1,0 +1,74 @@
+#include "core/serialize.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "la/io.hpp"
+
+namespace extdict::core {
+
+namespace {
+constexpr int kFormatVersion = 1;
+}
+
+void save_transform(const ExdResult& exd, const std::string& basename) {
+  la::write_binary(exd.dictionary, basename + ".dict.bin");
+  la::write_matrix_market(exd.coefficients, basename + ".coeffs.mtx");
+
+  std::ofstream meta(basename + ".meta");
+  if (!meta) {
+    throw std::runtime_error("save_transform: cannot create " + basename + ".meta");
+  }
+  meta << "extdict-transform v" << kFormatVersion << '\n';
+  meta.precision(17);
+  meta << "error " << exd.transformation_error << '\n';
+  meta << "transform_ms " << exd.transform_ms << '\n';
+  meta << "atoms " << exd.atom_indices.size() << '\n';
+  for (const Index atom : exd.atom_indices) meta << atom << '\n';
+  if (!meta) {
+    throw std::runtime_error("save_transform: write failed " + basename + ".meta");
+  }
+}
+
+ExdResult load_transform(const std::string& basename) {
+  ExdResult exd;
+  exd.dictionary = la::read_binary(basename + ".dict.bin");
+  exd.coefficients = la::read_matrix_market_sparse(basename + ".coeffs.mtx");
+  if (exd.coefficients.rows() != exd.dictionary.cols()) {
+    throw std::runtime_error("load_transform: D/C shape mismatch in " + basename);
+  }
+
+  std::ifstream meta(basename + ".meta");
+  if (!meta) {
+    throw std::runtime_error("load_transform: cannot open " + basename + ".meta");
+  }
+  std::string magic, version;
+  meta >> magic >> version;
+  if (magic != "extdict-transform" || version != "v1") {
+    throw std::runtime_error("load_transform: bad metadata header in " + basename);
+  }
+  std::string key;
+  std::size_t atom_count = 0;
+  while (meta >> key) {
+    if (key == "error") {
+      meta >> exd.transformation_error;
+    } else if (key == "transform_ms") {
+      meta >> exd.transform_ms;
+    } else if (key == "atoms") {
+      meta >> atom_count;
+      exd.atom_indices.resize(atom_count);
+      for (std::size_t i = 0; i < atom_count; ++i) meta >> exd.atom_indices[i];
+    } else {
+      throw std::runtime_error("load_transform: unknown metadata key '" + key + "'");
+    }
+    if (!meta) {
+      throw std::runtime_error("load_transform: truncated metadata in " + basename);
+    }
+  }
+  if (atom_count != static_cast<std::size_t>(exd.dictionary.cols())) {
+    throw std::runtime_error("load_transform: atom count mismatch in " + basename);
+  }
+  return exd;
+}
+
+}  // namespace extdict::core

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+
+#include "core/exd.hpp"
+
+namespace extdict::core {
+
+/// Persistence for ExD transforms. Preprocessing is a one-time cost
+/// amortised over many runs (§IV); saving the transform lets later sessions
+/// (or other machines) skip it entirely.
+///
+/// Layout under `basename`:
+///   <basename>.dict.bin    dictionary D (library binary format)
+///   <basename>.coeffs.mtx  coefficients C (Matrix Market coordinate)
+///   <basename>.meta        text metadata: atom indices, error, timing
+void save_transform(const ExdResult& exd, const std::string& basename);
+
+/// Loads a transform saved by `save_transform`. Throws std::runtime_error
+/// on missing/corrupt files or inconsistent shapes.
+[[nodiscard]] ExdResult load_transform(const std::string& basename);
+
+}  // namespace extdict::core

@@ -1,0 +1,96 @@
+#include "core/subspace_clustering.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace extdict::core {
+
+namespace {
+
+// Union-find with path halving.
+class DisjointSets {
+ public:
+  explicit DisjointSets(Index n) : parent_(static_cast<std::size_t>(n)) {
+    std::iota(parent_.begin(), parent_.end(), Index{0});
+  }
+
+  Index find(Index x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      parent_[static_cast<std::size_t>(x)] =
+          parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
+      x = parent_[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+
+  void unite(Index a, Index b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent_[static_cast<std::size_t>(a)] = b;
+  }
+
+ private:
+  std::vector<Index> parent_;
+};
+
+}  // namespace
+
+ClusteringResult cluster_by_codes(const ExdResult& exd,
+                                  const ClusteringConfig& config) {
+  const CscMatrix& c = exd.coefficients;
+  const Index n = c.cols();
+  if (exd.atom_indices.size() != static_cast<std::size_t>(c.rows())) {
+    throw std::invalid_argument(
+        "cluster_by_codes: transform lacks atom provenance (atom_indices)");
+  }
+
+  // Union columns with the *source columns* of the atoms they use.
+  DisjointSets sets(n);
+  ClusteringResult result;
+  for (Index j = 0; j < n; ++j) {
+    const auto rows = c.col_rows(j);
+    const auto values = c.col_values(j);
+    if (rows.empty()) {
+      ++result.singletons;
+      continue;
+    }
+    Real top = 0;
+    for (const Real v : values) top = std::max(top, std::abs(v));
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      if (std::abs(values[k]) < config.relative_weight_threshold * top) continue;
+      const Index atom_column =
+          exd.atom_indices[static_cast<std::size_t>(rows[k])];
+      sets.unite(j, atom_column);
+    }
+  }
+
+  // Compact component ids into 0..k-1 labels.
+  result.labels.assign(static_cast<std::size_t>(n), -1);
+  std::vector<Index> root_to_label(static_cast<std::size_t>(n), -1);
+  for (Index j = 0; j < n; ++j) {
+    const Index root = sets.find(j);
+    Index& label = root_to_label[static_cast<std::size_t>(root)];
+    if (label < 0) label = result.num_clusters++;
+    result.labels[static_cast<std::size_t>(j)] = label;
+  }
+  return result;
+}
+
+Real rand_index(const std::vector<Index>& a, const std::vector<Index>& b) {
+  if (a.size() != b.size() || a.empty()) {
+    throw std::invalid_argument("rand_index: size mismatch");
+  }
+  std::uint64_t agree = 0, total = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = i + 1; j < a.size(); ++j) {
+      ++total;
+      const bool same_a = a[i] == a[j];
+      const bool same_b = b[i] == b[j];
+      if (same_a == same_b) ++agree;
+    }
+  }
+  return static_cast<Real>(agree) / static_cast<Real>(total);
+}
+
+}  // namespace extdict::core

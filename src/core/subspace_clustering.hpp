@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+#include "core/exd.hpp"
+
+namespace extdict::core {
+
+/// Sparse-subspace clustering on top of the ExD codes (§V-B's machinery
+/// turned into an application): a column's sparse code selects atoms —
+/// which are themselves dataset columns — from its own subspace, so the
+/// bipartite column/atom graph decomposes along the union-of-subspaces.
+/// Connecting each column to its atoms (weights |c_ij| above a threshold)
+/// and taking connected components recovers the clusters without ever
+/// forming the N x N affinity matrix classic SSC needs.
+struct ClusteringConfig {
+  /// Edges with |coefficient| below this fraction of the column's largest
+  /// coefficient are ignored (prunes incidental cross-subspace leakage).
+  Real relative_weight_threshold = 0.05;
+};
+
+struct ClusteringResult {
+  std::vector<Index> labels;  ///< cluster id per column, 0..num_clusters-1
+  Index num_clusters = 0;
+  /// Columns with empty codes get singleton clusters; their count.
+  Index singletons = 0;
+};
+
+[[nodiscard]] ClusteringResult cluster_by_codes(const ExdResult& exd,
+                                                const ClusteringConfig& config = {});
+
+/// Rand index between two labelings (pair-counting agreement in [0, 1]);
+/// label values need not match, only the induced partitions matter.
+[[nodiscard]] Real rand_index(const std::vector<Index>& a,
+                              const std::vector<Index>& b);
+
+}  // namespace extdict::core

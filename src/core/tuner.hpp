@@ -1,0 +1,47 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/alpha_profile.hpp"
+#include "core/cost_model.hpp"
+#include "dist/platform.hpp"
+
+namespace extdict::core {
+
+/// What the tuner minimises (§VII): the runtime model (Eq. 2), energy model
+/// (Eq. 3), or per-node memory (Eq. 4).
+enum class Objective { kTime, kEnergy, kMemory };
+
+struct TunerConfig {
+  AlphaProfileConfig profile;
+  Objective objective = Objective::kTime;
+  /// Subset sizes for the low-overhead α estimation; empty = profile the
+  /// full matrix (Brute Force, used by tests for ground truth).
+  std::vector<Index> subset_sizes;
+  Real convergence_threshold = 0.15;
+};
+
+struct TunerResult {
+  Index best_l = -1;
+  double best_cost = 0;
+  AlphaProfile profile;
+  /// Modelled cost per feasible grid point (for Fig. 8's predicted curves).
+  std::vector<std::pair<Index, double>> costs;
+  double tuning_ms = 0;
+};
+
+/// ExtDict's automated ExD customisation: estimates α(L) (from subsets when
+/// configured), evaluates the platform cost model at every feasible L, and
+/// returns the argmin. Throws std::runtime_error when no grid point meets
+/// the tolerance (grid below L_min everywhere).
+[[nodiscard]] TunerResult tune(const Matrix& a, const dist::PlatformSpec& platform,
+                               const TunerConfig& config);
+
+/// Cost-model evaluation helper shared with the benches: the objective value
+/// of one (L, α) pair on `platform`.
+[[nodiscard]] double objective_value(Objective objective, Index m, Index l,
+                                     Real alpha, Index n,
+                                     const dist::PlatformSpec& platform);
+
+}  // namespace extdict::core

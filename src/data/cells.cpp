@@ -1,0 +1,18 @@
+#include "data/cells.hpp"
+
+namespace extdict::data {
+
+SubspaceData make_cells(const CellsConfig& config) {
+  SubspaceModelConfig model;
+  model.ambient_dim = config.features;
+  model.num_columns = config.num_cells;
+  model.num_subspaces = config.num_phenotypes;
+  model.subspace_dim = config.phenotype_dim;
+  model.shared_dims = config.shared_dims;
+  model.noise_stddev = config.noise_stddev;
+  model.outlier_fraction = config.outlier_fraction;
+  model.seed = config.seed;
+  return make_union_of_subspaces(model);
+}
+
+}  // namespace extdict::data

@@ -1,0 +1,84 @@
+#include "data/datasets.hpp"
+
+#include <stdexcept>
+
+#include "data/cells.hpp"
+#include "data/hyperspectral.hpp"
+#include "data/lightfield.hpp"
+
+namespace extdict::data {
+
+const std::vector<DatasetSpec>& all_datasets() {
+  static const std::vector<DatasetSpec> specs = {
+      {DatasetId::kSalina, "Salina", "PCA (Power method)", "204 x 54129",
+       "87.9 MB", 200, 4000, {15, 25, 40, 60, 100, 160, 260, 400, 640, 1000}},
+      {DatasetId::kCancerCells, "Cancer Cells", "PCA (Power method)",
+       "11024 x 110196", "911.7 MB", 500, 3000,
+       {60, 100, 160, 240, 320, 400, 640}},
+      {DatasetId::kLightField, "Light Field",
+       "Denoising / Super-Resolution (gradient descent)", "18496 x 27000",
+       "4.3 GB", 576, 2000, {8, 15, 25, 40, 80, 140, 240, 400, 640}},
+  };
+  return specs;
+}
+
+const DatasetSpec& dataset_spec(DatasetId id) {
+  for (const auto& spec : all_datasets()) {
+    if (spec.id == id) return spec;
+  }
+  throw std::invalid_argument("dataset_spec: unknown dataset");
+}
+
+la::Matrix make_dataset(DatasetId id, Scale scale) {
+  const bool bench = scale == Scale::kBench;
+  switch (id) {
+    case DatasetId::kSalina: {
+      HyperspectralConfig config;
+      config.bands = bench ? 200 : 60;
+      config.num_pixels = bench ? 4000 : 400;
+      config.num_endmembers = bench ? 28 : 6;
+      config.mix_size = bench ? 4 : 3;
+      config.num_regions = bench ? 60 : 6;
+      config.noise_stddev = bench ? 0.0005 : 0.003;
+      return make_hyperspectral(config).a;
+    }
+    case DatasetId::kCancerCells: {
+      CellsConfig config;
+      config.features = 500;
+      config.num_cells = 3000;
+      config.num_phenotypes = 20;
+      config.phenotype_dim = 12;
+      config.shared_dims = 5;
+      config.noise_stddev = 0.0003;
+      config.outlier_fraction = 0.01;
+      if (!bench) {
+        config.features = 80;
+        config.num_cells = 400;
+        config.num_phenotypes = 8;
+        config.phenotype_dim = 6;
+        config.shared_dims = 2;
+        config.noise_stddev = 0.02;
+        config.outlier_fraction = 0.02;
+      }
+      return make_cells(config).a;
+    }
+    case DatasetId::kLightField: {
+      LightFieldConfig config;
+      config.views = 3;  // 3x3 grid keeps M = 576 for the sweep benches
+      config.num_patches = bench ? 2000 : 300;
+      if (bench) {
+        config.scene_size = 160;  // more texture -> richer patch structure
+        config.disparity = 2.5;
+        config.view_gain_jitter = 0.05;
+        config.noise_stddev = 0.0003;
+      } else {
+        config.scene_size = 64;
+        config.patch = 6;
+      }
+      return make_light_field(config).a;
+    }
+  }
+  throw std::invalid_argument("make_dataset: unknown dataset");
+}
+
+}  // namespace extdict::data

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "la/types.hpp"
+
+namespace extdict::data {
+
+/// The three evaluation datasets of Table I, backed by the synthetic
+/// generators (see DESIGN.md §2 for the substitution rationale).
+enum class DatasetId { kSalina, kCancerCells, kLightField };
+
+/// Generation scale: tests use tiny instances, benches the scaled-down
+/// evaluation instances (the paper's originals are listed in `paper_dims`).
+enum class Scale { kTest, kBench };
+
+struct DatasetSpec {
+  DatasetId id;
+  std::string name;
+  std::string application;       ///< what the paper uses it for
+  std::string paper_dims;        ///< M x N in the paper
+  std::string paper_size;        ///< on-disk size in the paper
+  la::Index bench_rows;
+  la::Index bench_cols;
+  /// Dictionary sizes swept in the figures (scaled to our N).
+  std::vector<la::Index> l_grid;
+};
+
+[[nodiscard]] const std::vector<DatasetSpec>& all_datasets();
+
+[[nodiscard]] const DatasetSpec& dataset_spec(DatasetId id);
+
+/// Generates the dataset (unit-norm columns) at the requested scale.
+[[nodiscard]] la::Matrix make_dataset(DatasetId id, Scale scale);
+
+}  // namespace extdict::data

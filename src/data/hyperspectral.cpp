@@ -1,0 +1,94 @@
+#include "data/hyperspectral.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "la/random.hpp"
+
+namespace extdict::data {
+
+namespace {
+
+// Smooth positive spectrum: sum of a few Gaussian absorption bumps over a
+// gentle baseline.
+la::Vector make_endmember(Index bands, la::Rng& rng) {
+  la::Vector s(static_cast<std::size_t>(bands), Real{0});
+  const Real base = rng.uniform(0.2, 0.6);
+  const Real slope = rng.uniform(-0.3, 0.3);
+  const int bumps = static_cast<int>(rng.uniform_index(3, 7));
+  std::vector<Real> centers, widths, heights;
+  for (int b = 0; b < bumps; ++b) {
+    centers.push_back(rng.uniform(0, static_cast<Real>(bands - 1)));
+    widths.push_back(rng.uniform(static_cast<Real>(bands) / 40,
+                                 static_cast<Real>(bands) / 8));
+    heights.push_back(rng.uniform(-0.4, 0.8));
+  }
+  for (Index i = 0; i < bands; ++i) {
+    const Real t = static_cast<Real>(i) / static_cast<Real>(bands - 1);
+    Real v = base + slope * t;
+    for (int b = 0; b < bumps; ++b) {
+      const Real d = (static_cast<Real>(i) - centers[static_cast<std::size_t>(b)]) /
+                     widths[static_cast<std::size_t>(b)];
+      v += heights[static_cast<std::size_t>(b)] * std::exp(-d * d / 2);
+    }
+    s[static_cast<std::size_t>(i)] = std::max(Real{0.01}, v);
+  }
+  return s;
+}
+
+}  // namespace
+
+HyperspectralData make_hyperspectral(const HyperspectralConfig& config) {
+  if (config.mix_size > config.num_endmembers) {
+    throw std::invalid_argument("make_hyperspectral: mix_size > endmembers");
+  }
+  la::Rng rng(config.seed);
+
+  HyperspectralData out;
+  out.endmembers = Matrix(config.bands, config.num_endmembers);
+  for (Index e = 0; e < config.num_endmembers; ++e) {
+    const auto spec = make_endmember(config.bands, rng);
+    std::copy(spec.begin(), spec.end(), out.endmembers.col(e).begin());
+  }
+
+  // Each region picks a palette of `mix_size` materials; pixels of a region
+  // mix that palette with random abundances (sum-to-one), so all pixels of a
+  // region share a mix_size-dimensional subspace.
+  std::vector<std::vector<Index>> palettes;
+  palettes.reserve(static_cast<std::size_t>(config.num_regions));
+  for (Index r = 0; r < config.num_regions; ++r) {
+    palettes.push_back(
+        rng.sample_without_replacement(config.num_endmembers, config.mix_size));
+  }
+
+  out.a = Matrix(config.bands, config.num_pixels);
+  la::Vector abundances(static_cast<std::size_t>(config.mix_size));
+  for (Index j = 0; j < config.num_pixels; ++j) {
+    const auto& palette =
+        palettes[static_cast<std::size_t>(rng.uniform_index(0, config.num_regions - 1))];
+    // Dirichlet-ish abundances via normalised exponentials.
+    Real total = 0;
+    for (Real& w : abundances) {
+      w = -std::log(std::max(rng.uniform(), Real{1e-12}));
+      total += w;
+    }
+    auto col = out.a.col(j);
+    std::fill(col.begin(), col.end(), Real{0});
+    for (Index k = 0; k < config.mix_size; ++k) {
+      const Real w = abundances[static_cast<std::size_t>(k)] / total;
+      const auto em = out.endmembers.col(palette[static_cast<std::size_t>(k)]);
+      for (Index i = 0; i < config.bands; ++i) {
+        col[static_cast<std::size_t>(i)] += w * em[static_cast<std::size_t>(i)];
+      }
+    }
+    if (config.noise_stddev > 0) {
+      for (Real& v : col) v += rng.gaussian(0, config.noise_stddev);
+    }
+  }
+
+  out.a.normalize_columns();
+  return out;
+}
+
+}  // namespace extdict::data

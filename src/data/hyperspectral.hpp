@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+
+#include "la/matrix.hpp"
+#include "la/types.hpp"
+
+namespace extdict::data {
+
+using la::Index;
+using la::Matrix;
+using la::Real;
+
+/// Synthetic hyperspectral dataset (the paper's "Salina" scene [34]).
+///
+/// Hyperspectral pixels follow the linear mixing model: each spectrum is a
+/// non-negative combination of a handful of material "endmember" spectra.
+/// Pixels mixing the same few materials therefore share a low-dimensional
+/// subspace — a textbook union-of-subspaces instance. The generator builds
+/// `num_endmembers` smooth spectra and mixes `mix_size` of them per pixel
+/// with region-coherent material choices.
+struct HyperspectralConfig {
+  Index bands = 200;        ///< M (Salina: 204)
+  Index num_pixels = 4000;  ///< N (Salina: 54129, scaled down)
+  Index num_endmembers = 12;
+  Index mix_size = 3;       ///< materials blended per pixel
+  Index num_regions = 16;   ///< spatial regions sharing a material palette
+  Real noise_stddev = 0.003;
+  std::uint64_t seed = 11;
+};
+
+struct HyperspectralData {
+  Matrix a;           ///< bands x num_pixels, unit-norm columns
+  Matrix endmembers;  ///< bands x num_endmembers
+};
+
+[[nodiscard]] HyperspectralData make_hyperspectral(const HyperspectralConfig& config);
+
+}  // namespace extdict::data

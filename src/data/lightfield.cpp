@@ -1,0 +1,84 @@
+#include "data/lightfield.hpp"
+
+#include <stdexcept>
+
+#include "la/random.hpp"
+
+namespace extdict::data {
+
+std::vector<Index> LightFieldData::view_subset_rows(Index sub) const {
+  const Index views = config.views;
+  const Index patch = config.patch;
+  if (sub > views) {
+    throw std::invalid_argument("view_subset_rows: subset larger than grid");
+  }
+  // Rows are laid out view-major: view (u, v) occupies the patch²-row block
+  // at index (v * views + u). The subset is the centred sub x sub window.
+  const Index off = (views - sub) / 2;
+  std::vector<Index> rows;
+  rows.reserve(static_cast<std::size_t>(sub * sub * patch * patch));
+  for (Index v = 0; v < sub; ++v) {
+    for (Index u = 0; u < sub; ++u) {
+      const Index block = (v + off) * views + (u + off);
+      for (Index k = 0; k < patch * patch; ++k) {
+        rows.push_back(block * patch * patch + k);
+      }
+    }
+  }
+  return rows;
+}
+
+LightFieldData make_light_field(const LightFieldConfig& config) {
+  la::Rng rng(config.seed);
+  LightFieldData out;
+  out.config = config;
+  out.scene = make_smooth_scene(config.scene_size, config.scene_size, rng);
+
+  const Index views = config.views;
+  const Index patch = config.patch;
+  const Index m = patch * patch * views * views;
+  out.a = Matrix(m, config.num_patches);
+
+  // Per-view multiplicative gain (vignetting / exposure jitter) — keeps the
+  // views correlated but not identical.
+  std::vector<Real> gain(static_cast<std::size_t>(views * views), Real{1});
+  for (Real& g : gain) g += rng.gaussian(0, config.view_gain_jitter);
+
+  const Real margin =
+      config.disparity * static_cast<Real>(views) + static_cast<Real>(patch) + 2;
+  if (static_cast<Real>(config.scene_size) <= 2 * margin) {
+    throw std::invalid_argument("make_light_field: scene too small for patches");
+  }
+
+  const Real center = static_cast<Real>(views - 1) / 2;
+  for (Index j = 0; j < config.num_patches; ++j) {
+    const Real x0 = rng.uniform(margin, static_cast<Real>(config.scene_size) - margin);
+    const Real y0 = rng.uniform(margin, static_cast<Real>(config.scene_size) - margin);
+    // Per-patch depth determines how strongly views shift.
+    const Real depth = rng.uniform(0.5, 1.5);
+    auto col = out.a.col(j);
+    Index k = 0;
+    for (Index v = 0; v < views; ++v) {
+      for (Index u = 0; u < views; ++u) {
+        const Real du = (static_cast<Real>(u) - center) * config.disparity * depth;
+        const Real dv = (static_cast<Real>(v) - center) * config.disparity * depth;
+        const Real g = gain[static_cast<std::size_t>(v * views + u)];
+        for (Index py = 0; py < patch; ++py) {
+          for (Index px = 0; px < patch; ++px) {
+            Real value = g * out.scene.sample(x0 + static_cast<Real>(px) + du,
+                                              y0 + static_cast<Real>(py) + dv);
+            if (config.noise_stddev > 0) {
+              value += rng.gaussian(0, config.noise_stddev);
+            }
+            col[static_cast<std::size_t>(k++)] = value;
+          }
+        }
+      }
+    }
+  }
+
+  out.a.normalize_columns();
+  return out;
+}
+
+}  // namespace extdict::data

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+
+#include "data/image.hpp"
+#include "la/matrix.hpp"
+#include "la/types.hpp"
+
+namespace extdict::data {
+
+/// Synthetic light-field dataset (the paper's "Light Field" set [35]).
+///
+/// A light-field camera array captures the same scene from a `views x views`
+/// grid of viewpoints; an 8x8 patch observed from every view forms one
+/// column of length patch² · views². Because the views are near-shifted
+/// copies of each other, these columns live on a union of low-rank
+/// subspaces — exactly the structure ExD exploits. The generator renders a
+/// smooth random scene and samples each view with a per-view disparity
+/// shift plus slight per-view gain, then adds sensor noise.
+struct LightFieldConfig {
+  Index scene_size = 96;    ///< square scene resolution
+  Index views = 5;          ///< camera grid side (paper: 5x5)
+  Index patch = 8;          ///< spatial patch side (paper: 8x8)
+  Index num_patches = 2000; ///< N, number of columns
+  Real disparity = 1.3;     ///< pixel shift per view step (depth proxy)
+  Real view_gain_jitter = 0.02;
+  Real noise_stddev = 0.005;
+  std::uint64_t seed = 7;
+};
+
+/// Result: the data matrix plus the scene (kept for the imaging apps).
+struct LightFieldData {
+  Matrix a;     ///< (patch²·views²) x num_patches, unit-norm columns
+  Image scene;
+  LightFieldConfig config;
+
+  /// Row indices of `a` that belong to the central `sub x sub` camera
+  /// subset — the paper's super-resolution setup derives its observation
+  /// matrix by restricting A_lf to a 3x3 camera subset (576 of 1600 rows).
+  [[nodiscard]] std::vector<Index> view_subset_rows(Index sub) const;
+};
+
+[[nodiscard]] LightFieldData make_light_field(const LightFieldConfig& config);
+
+}  // namespace extdict::data

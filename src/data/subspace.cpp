@@ -1,0 +1,108 @@
+#include "data/subspace.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "la/blas.hpp"
+#include "la/qr.hpp"
+
+namespace extdict::data {
+
+namespace {
+
+// Orthonormal basis with `shared` leading directions copied from `prev`
+// (when requested) and the rest sampled fresh; Gram-Schmidt against the
+// shared block keeps the basis orthonormal.
+Matrix make_basis(Index ambient, Index dim, Index shared, const Matrix* prev,
+                  la::Rng& rng) {
+  Matrix b = rng.gaussian_matrix(ambient, dim);
+  if (prev && shared > 0) {
+    const Index s = std::min({shared, dim, prev->cols()});
+    for (Index j = 0; j < s; ++j) {
+      auto dst = b.col(j);
+      auto src = prev->col(j);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+  }
+  // Modified Gram-Schmidt, two passes.
+  for (Index j = 0; j < b.cols(); ++j) {
+    auto cj = b.col(j);
+    for (int pass = 0; pass < 2; ++pass) {
+      for (Index k = 0; k < j; ++k) {
+        const Real r = la::dot(b.col(k), cj);
+        la::axpy(-r, b.col(k), cj);
+      }
+    }
+    const Real norm = la::nrm2(cj);
+    if (norm < 1e-12) {
+      throw std::runtime_error("make_basis: degenerate direction");
+    }
+    la::scal(1 / norm, cj);
+  }
+  return b;
+}
+
+}  // namespace
+
+SubspaceData make_union_of_subspaces(const SubspaceModelConfig& config) {
+  if (config.subspace_dim > config.ambient_dim) {
+    throw std::invalid_argument("make_union_of_subspaces: K > M");
+  }
+  la::Rng rng(config.seed);
+
+  SubspaceData out;
+  out.bases.reserve(static_cast<std::size_t>(config.num_subspaces));
+  for (Index s = 0; s < config.num_subspaces; ++s) {
+    const Matrix* prev = s > 0 ? &out.bases.back() : nullptr;
+    out.bases.push_back(make_basis(config.ambient_dim, config.subspace_dim,
+                                   config.shared_dims, prev, rng));
+  }
+
+  out.a = Matrix(config.ambient_dim, config.num_columns);
+  out.membership.assign(static_cast<std::size_t>(config.num_columns), -1);
+
+  const Index num_outliers = static_cast<Index>(
+      config.outlier_fraction * static_cast<Real>(config.num_columns));
+  la::Vector coeffs(static_cast<std::size_t>(config.subspace_dim));
+
+  for (Index j = 0; j < config.num_columns; ++j) {
+    auto col = out.a.col(j);
+    if (j < num_outliers) {
+      rng.fill_gaussian(col);
+    } else {
+      const Index s = j % config.num_subspaces;
+      out.membership[static_cast<std::size_t>(j)] = s;
+      rng.fill_gaussian(coeffs);
+      std::fill(col.begin(), col.end(), Real{0});
+      la::gemv(1, out.bases[static_cast<std::size_t>(s)], coeffs, 0, col);
+    }
+    if (config.noise_stddev > 0) {
+      for (Real& v : col) v += rng.gaussian(0, config.noise_stddev);
+    }
+  }
+
+  // Shuffle columns so subsets of the data are representative (the §VII
+  // subset-estimation property relies on exchangeability).
+  const auto perm = rng.permutation(config.num_columns);
+  Matrix shuffled(out.a.rows(), out.a.cols());
+  std::vector<Index> shuffled_membership(out.membership.size());
+  for (Index j = 0; j < config.num_columns; ++j) {
+    const Index src = perm[static_cast<std::size_t>(j)];
+    auto s = out.a.col(src);
+    std::copy(s.begin(), s.end(), shuffled.col(j).begin());
+    shuffled_membership[static_cast<std::size_t>(j)] =
+        out.membership[static_cast<std::size_t>(src)];
+  }
+  out.a = std::move(shuffled);
+  out.membership = std::move(shuffled_membership);
+
+  out.a.normalize_columns();
+  return out;
+}
+
+Index numerical_rank(const Matrix& a, Real rel_tol) {
+  if (a.rows() >= a.cols()) return la::HouseholderQr(a).rank(rel_tol);
+  return la::HouseholderQr(a.transposed()).rank(rel_tol);
+}
+
+}  // namespace extdict::data

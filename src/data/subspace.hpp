@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "la/random.hpp"
+#include "la/types.hpp"
+
+namespace extdict::data {
+
+using la::Index;
+using la::Matrix;
+using la::Real;
+
+/// Parameters of the union-of-subspaces signal model (§II-B, §V-B): columns
+/// live on `num_subspaces` subspaces of dimension `subspace_dim` inside an
+/// `ambient_dim`-dimensional space, optionally corrupted by dense noise and
+/// a few outlier columns. This is the structural property ExD exploits.
+struct SubspaceModelConfig {
+  Index ambient_dim = 100;   ///< M
+  Index num_columns = 1000;  ///< N
+  Index num_subspaces = 8;   ///< N_s
+  Index subspace_dim = 5;    ///< K_i (uniform across subspaces)
+  Real noise_stddev = 0;     ///< additive Gaussian noise on each entry
+  Real outlier_fraction = 0; ///< fraction of columns replaced by full-rank noise
+  /// Number of basis directions shared between consecutive subspaces; > 0
+  /// produces the "denser geometry" of the Cancer Cells set.
+  Index shared_dims = 0;
+  std::uint64_t seed = 1;
+};
+
+/// A generated dataset plus its ground truth: per-column subspace membership
+/// (-1 for outliers) and the orthonormal basis of each subspace.
+struct SubspaceData {
+  Matrix a;  ///< ambient_dim x num_columns, unit-norm columns
+  std::vector<Index> membership;
+  std::vector<Matrix> bases;
+};
+
+/// Samples the model. Columns are generated subspace-round-robin and then
+/// shuffled; every column is normalised (the ExD preprocessing contract).
+[[nodiscard]] SubspaceData make_union_of_subspaces(const SubspaceModelConfig& config);
+
+/// Numerical rank of the matrix (via QR diagonal) — used by tests to verify
+/// generators produce genuinely full-rank data that nevertheless has sparse
+/// union-of-subspace structure, like the paper's Fig. 2 example.
+[[nodiscard]] Index numerical_rank(const Matrix& a, Real rel_tol = 1e-8);
+
+}  // namespace extdict::data

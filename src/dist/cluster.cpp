@@ -1,0 +1,53 @@
+#include "dist/cluster.hpp"
+
+#include <omp.h>
+
+#include <thread>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace extdict::dist {
+
+RunStats Cluster::run(const Body& body) const {
+  const Index p = topology_.total();
+  SharedState shared(topology_);
+
+  RunStats stats;
+  stats.per_rank.resize(static_cast<std::size_t>(p));
+
+  util::Timer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(p));
+  for (Index r = 0; r < p; ++r) {
+    threads.emplace_back([&, r] {
+      // Each emulated rank is a single processor; suppress nested OpenMP so
+      // kernel-side work maps 1:1 onto the rank. (num_threads is a
+      // thread-local ICV, so this does not affect other ranks or the host.)
+      omp_set_num_threads(1);
+      Communicator comm(shared, r);
+      try {
+        body(comm);
+      } catch (...) {
+        shared.abort(std::current_exception());
+      }
+      stats.per_rank[static_cast<std::size_t>(r)] = comm.cost();
+    });
+  }
+  for (auto& t : threads) t.join();
+  stats.wall_seconds = timer.elapsed_seconds();
+
+  if (shared.first_error) {
+    try {
+      std::rethrow_exception(shared.first_error);
+    } catch (const ClusterAborted&) {
+      // A rank can observe the poison before the original error is recorded;
+      // if the *first* recorded error is the abort echo itself, surface a
+      // generic failure instead of the echo.
+      throw std::runtime_error("Cluster::run: SPMD region failed");
+    }
+  }
+  return stats;
+}
+
+}  // namespace extdict::dist

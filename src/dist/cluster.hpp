@@ -1,0 +1,38 @@
+#pragma once
+
+#include <functional>
+
+#include "dist/communicator.hpp"
+#include "dist/cost.hpp"
+#include "dist/topology.hpp"
+
+namespace extdict::dist {
+
+/// Emulated message-passing cluster.
+///
+/// `run` executes one SPMD region: it spawns `topology.total()` host threads,
+/// gives each a rank-scoped `Communicator`, waits for all of them, and
+/// returns the per-rank cost counters plus host wall time. Exceptions thrown
+/// by any rank abort the whole region (peers blocked in recv/barrier unwind
+/// via `ClusterAborted`) and the first exception is rethrown to the caller.
+///
+/// Within a region each rank pins its OpenMP team to a single thread so the
+/// emulation's FLOP/communication counters are not skewed by nested
+/// parallelism; the library's OpenMP kernels remain parallel outside SPMD
+/// regions (preprocessing, serial baselines).
+class Cluster {
+ public:
+  explicit Cluster(Topology topology) : topology_(topology) {}
+
+  [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
+
+  using Body = std::function<void(Communicator&)>;
+
+  /// Runs `body` on every rank; returns the merged statistics.
+  RunStats run(const Body& body) const;
+
+ private:
+  Topology topology_;
+};
+
+}  // namespace extdict::dist

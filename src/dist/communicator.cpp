@@ -1,0 +1,78 @@
+#include "dist/communicator.hpp"
+
+#include <algorithm>
+
+namespace extdict::dist {
+
+void CentralBarrier::arrive_and_wait() {
+  std::unique_lock lock(mu_);
+  if (poisoned_) throw ClusterAborted{};
+  const std::uint64_t my_generation = generation_;
+  if (++count_ == total_) {
+    count_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [&] { return generation_ != my_generation || poisoned_; });
+  if (poisoned_ && generation_ == my_generation) throw ClusterAborted{};
+}
+
+void CentralBarrier::poison() noexcept {
+  {
+    const std::scoped_lock lock(mu_);
+    poisoned_ = true;
+  }
+  cv_.notify_all();
+}
+
+SharedState::SharedState(Topology topo)
+    : topology(topo), barrier(topo.total()) {
+  boxes.reserve(static_cast<std::size_t>(topo.total()));
+  for (Index r = 0; r < topo.total(); ++r) {
+    boxes.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+void SharedState::abort(std::exception_ptr err) noexcept {
+  {
+    const std::scoped_lock lock(error_mu);
+    if (!first_error) first_error = err;
+  }
+  aborted.store(true, std::memory_order_release);
+  for (auto& box : boxes) box->poison();
+  barrier.poison();
+}
+
+void Communicator::reduce_sum(Index root, std::span<la::Real> buf) {
+  const Index p = size();
+  const Index vr = (rank_ - root + p) % p;
+  std::vector<la::Real> incoming(buf.size());
+  for (Index mask = 1; mask < p; mask <<= 1) {
+    if (vr & mask) {
+      send(real_rank(vr - mask, root), kTagReduce, std::span<const la::Real>(buf));
+      return;  // this rank's contribution is absorbed upstream
+    }
+    if (vr + mask < p) {
+      recv(real_rank(vr + mask, root), kTagReduce, std::span<la::Real>(incoming));
+      for (std::size_t i = 0; i < buf.size(); ++i) buf[i] += incoming[i];
+      cost_.add_flops(buf.size());
+    }
+  }
+}
+
+la::Real Communicator::allreduce_max_scalar(la::Real v) {
+  // Flat max at root + broadcast; scalar traffic is negligible in the cost
+  // model but still metered.
+  if (rank_ == 0) {
+    for (Index r = 1; r < size(); ++r) {
+      v = std::max(v, recv_value<la::Real>(r, kTagScalar));
+    }
+  } else {
+    send_value(Index{0}, kTagScalar, v);
+  }
+  broadcast(0, std::span<la::Real>(&v, 1));
+  return v;
+}
+
+}  // namespace extdict::dist

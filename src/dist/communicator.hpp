@@ -1,0 +1,280 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "dist/cost.hpp"
+#include "dist/mailbox.hpp"
+#include "dist/topology.hpp"
+#include "la/types.hpp"
+
+namespace extdict::dist {
+
+/// Sense-free central barrier with generation counting.
+class CentralBarrier {
+ public:
+  explicit CentralBarrier(Index total) : total_(total) {}
+
+  void arrive_and_wait();
+
+  /// Releases all waiters with ClusterAborted.
+  void poison() noexcept;
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  Index total_;
+  Index count_ = 0;
+  std::uint64_t generation_ = 0;
+  bool poisoned_ = false;
+};
+
+/// State shared by all ranks of one SPMD run.
+struct SharedState {
+  explicit SharedState(Topology topo);
+
+  Topology topology;
+  std::vector<std::unique_ptr<Mailbox>> boxes;
+  CentralBarrier barrier;
+
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  std::atomic<bool> aborted{false};
+
+  /// Records the first error and poisons every blocking primitive.
+  void abort(std::exception_ptr err) noexcept;
+};
+
+/// Rank-local handle for message passing, collectives, and cost accounting.
+///
+/// The interface deliberately mirrors the MPI subset the paper's open-source
+/// API uses (point-to-point send/recv, broadcast, reduce, barrier, gather /
+/// scatter), but every transfer is also metered: words moved, intra- vs
+/// inter-node locality, message counts. Kernels running inside an SPMD
+/// region report their FLOPs and resident memory through `cost()`.
+class Communicator {
+ public:
+  Communicator(SharedState& shared, Index rank)
+      : shared_(&shared), rank_(rank) {}
+
+  [[nodiscard]] Index rank() const noexcept { return rank_; }
+  [[nodiscard]] Index size() const noexcept { return shared_->topology.total(); }
+  [[nodiscard]] const Topology& topology() const noexcept {
+    return shared_->topology;
+  }
+  [[nodiscard]] bool is_root() const noexcept { return rank_ == 0; }
+
+  CostCounters& cost() noexcept { return cost_; }
+  [[nodiscard]] const CostCounters& cost() const noexcept { return cost_; }
+
+  // -- point to point --------------------------------------------------------
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void send(Index dest, int tag, std::span<const T> data) {
+    check_peer(dest);
+    check_tag(tag);
+    Mailbox::Envelope env{rank_, tag, to_bytes(data)};
+    account_send(dest, env.payload.size());
+    shared_->boxes[static_cast<std::size_t>(dest)]->push(std::move(env));
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void send_value(Index dest, int tag, const T& value) {
+    send(dest, tag, std::span<const T>(&value, 1));
+  }
+
+  /// Receives exactly `out.size()` elements from `source`.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void recv(Index source, int tag, std::span<T> out) {
+    check_peer(source);
+    check_tag(tag);
+    const std::vector<std::byte> payload = pop(source, tag);
+    if (payload.size() != out.size() * sizeof(T)) {
+      throw std::runtime_error("Communicator::recv: size mismatch");
+    }
+    std::memcpy(out.data(), payload.data(), payload.size());
+    account_recv(source, payload.size());
+  }
+
+  /// Receives a message of a-priori-unknown length.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  [[nodiscard]] std::vector<T> recv_vector(Index source, int tag) {
+    check_peer(source);
+    check_tag(tag);
+    const std::vector<std::byte> payload = pop(source, tag);
+    if (payload.size() % sizeof(T) != 0) {
+      throw std::runtime_error("Communicator::recv_vector: torn payload");
+    }
+    std::vector<T> out(payload.size() / sizeof(T));
+    std::memcpy(out.data(), payload.data(), payload.size());
+    account_recv(source, payload.size());
+    return out;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  [[nodiscard]] T recv_value(Index source, int tag) {
+    T value{};
+    recv(source, tag, std::span<T>(&value, 1));
+    return value;
+  }
+
+  // -- collectives -----------------------------------------------------------
+
+  void barrier() { shared_->barrier.arrive_and_wait(); }
+
+  /// Binomial-tree broadcast of `buf` from `root` to all ranks.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void broadcast(Index root, std::span<T> buf) {
+    const Index p = size();
+    const Index vr = (rank_ - root + p) % p;
+    for (Index mask = 1; mask < p; mask <<= 1) {
+      if (vr < mask) {
+        const Index dest_v = vr + mask;
+        if (dest_v < p) {
+          send(real_rank(dest_v, root), kTagBroadcast, std::span<const T>(buf));
+        }
+      } else if (vr < 2 * mask) {
+        recv(real_rank(vr - mask, root), kTagBroadcast, buf);
+      }
+    }
+  }
+
+  /// Binomial-tree sum-reduction into `buf` at `root`; on non-root ranks the
+  /// buffer contents are clobbered (partial sums), matching MPI_Reduce with
+  /// an in/out buffer. Reduction arithmetic is charged as FLOPs.
+  void reduce_sum(Index root, std::span<la::Real> buf);
+
+  /// reduce_sum followed by broadcast (semantics of MPI_Allreduce).
+  void allreduce_sum(std::span<la::Real> buf) {
+    reduce_sum(0, buf);
+    broadcast(0, buf);
+  }
+
+  [[nodiscard]] la::Real allreduce_sum_scalar(la::Real v) {
+    allreduce_sum(std::span<la::Real>(&v, 1));
+    return v;
+  }
+
+  /// Max-reduction to everyone (small scalars; flat exchange via root).
+  [[nodiscard]] la::Real allreduce_max_scalar(la::Real v);
+
+  /// Flat gather of variable-length contributions to `root`. On root the
+  /// return value holds all contributions concatenated in rank order and
+  /// `counts` (if non-null) the per-rank element counts; on other ranks the
+  /// return is empty.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  [[nodiscard]] std::vector<T> gather(Index root, std::span<const T> local,
+                                      std::vector<Index>* counts = nullptr) {
+    if (rank_ != root) {
+      send(root, kTagGather, local);
+      return {};
+    }
+    std::vector<T> all;
+    if (counts) counts->assign(static_cast<std::size_t>(size()), 0);
+    for (Index r = 0; r < size(); ++r) {
+      std::vector<T> chunk;
+      if (r == root) {
+        chunk.assign(local.begin(), local.end());
+      } else {
+        chunk = recv_vector<T>(r, kTagGather);
+      }
+      if (counts) (*counts)[static_cast<std::size_t>(r)] = static_cast<Index>(chunk.size());
+      all.insert(all.end(), chunk.begin(), chunk.end());
+    }
+    return all;
+  }
+
+  /// Flat scatter from `root`: rank r receives chunks[r]. Non-root ranks
+  /// pass an empty `chunks`.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  [[nodiscard]] std::vector<T> scatter(Index root,
+                                       const std::vector<std::vector<T>>& chunks) {
+    if (rank_ == root) {
+      if (static_cast<Index>(chunks.size()) != size()) {
+        throw std::invalid_argument("Communicator::scatter: chunk count != size()");
+      }
+      for (Index r = 0; r < size(); ++r) {
+        if (r == root) continue;
+        send(r, kTagScatter,
+             std::span<const T>(chunks[static_cast<std::size_t>(r)]));
+      }
+      return chunks[static_cast<std::size_t>(root)];
+    }
+    return recv_vector<T>(root, kTagScatter);
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  [[nodiscard]] std::vector<T> allgather(std::span<const T> local) {
+    std::vector<T> all = gather(0, local);
+    Index n = static_cast<Index>(all.size());
+    broadcast(0, std::span<Index>(&n, 1));
+    all.resize(static_cast<std::size_t>(n));
+    broadcast(0, std::span<T>(all));
+    return all;
+  }
+
+ private:
+  static constexpr int kTagBroadcast = 1 << 20;
+  static constexpr int kTagReduce = (1 << 20) + 1;
+  static constexpr int kTagGather = (1 << 20) + 2;
+  static constexpr int kTagScatter = (1 << 20) + 3;
+  static constexpr int kTagScalar = (1 << 20) + 4;
+
+  SharedState* shared_;
+  Index rank_;
+  CostCounters cost_;
+
+  [[nodiscard]] Index real_rank(Index virtual_rank, Index root) const noexcept {
+    return (virtual_rank + root) % size();
+  }
+
+  void check_peer(Index peer) const {
+    if (peer < 0 || peer >= size()) {
+      throw std::out_of_range("Communicator: peer rank out of range");
+    }
+  }
+  static void check_tag(int tag) {
+    if (tag < 0) throw std::invalid_argument("Communicator: user tags must be >= 0 ");
+  }
+
+  template <typename T>
+  static std::vector<std::byte> to_bytes(std::span<const T> data) {
+    std::vector<std::byte> bytes(data.size_bytes());
+    std::memcpy(bytes.data(), data.data(), data.size_bytes());
+    return bytes;
+  }
+
+  void account_send(Index dest, std::size_t bytes) noexcept {
+    cost_.add_send(bytes / sizeof(la::Real),
+                   !shared_->topology.same_node(rank_, dest));
+  }
+  void account_recv(Index source, std::size_t bytes) noexcept {
+    cost_.add_recv(bytes / sizeof(la::Real),
+                   !shared_->topology.same_node(rank_, source));
+  }
+
+  [[nodiscard]] std::vector<std::byte> pop(Index source, int tag) {
+    return shared_->boxes[static_cast<std::size_t>(rank_)]->pop(source, tag);
+  }
+
+  friend class Cluster;
+};
+
+}  // namespace extdict::dist

@@ -1,0 +1,63 @@
+#include "dist/cost.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace extdict::dist {
+
+CostCounters& CostCounters::operator+=(const CostCounters& o) noexcept {
+  flops += o.flops;
+  words_sent_intra += o.words_sent_intra;
+  words_sent_inter += o.words_sent_inter;
+  words_recv_intra += o.words_recv_intra;
+  words_recv_inter += o.words_recv_inter;
+  messages_sent += o.messages_sent;
+  messages_recv += o.messages_recv;
+  peak_memory_words = std::max(peak_memory_words, o.peak_memory_words);
+  return *this;
+}
+
+std::uint64_t RunStats::total_flops() const noexcept {
+  std::uint64_t s = 0;
+  for (const auto& c : per_rank) s += c.flops;
+  return s;
+}
+
+std::uint64_t RunStats::max_rank_flops() const noexcept {
+  std::uint64_t m = 0;
+  for (const auto& c : per_rank) m = std::max(m, c.flops);
+  return m;
+}
+
+std::uint64_t RunStats::total_words() const noexcept {
+  std::uint64_t s = 0;
+  for (const auto& c : per_rank) s += c.words_sent();
+  return s;
+}
+
+std::uint64_t RunStats::max_rank_words() const noexcept {
+  std::uint64_t m = 0;
+  for (const auto& c : per_rank) m = std::max(m, c.words_touched());
+  return m;
+}
+
+std::uint64_t RunStats::max_peak_memory_words() const noexcept {
+  std::uint64_t m = 0;
+  for (const auto& c : per_rank) m = std::max(m, c.peak_memory_words);
+  return m;
+}
+
+RunStats& RunStats::operator+=(const RunStats& o) {
+  if (per_rank.empty()) {
+    per_rank = o.per_rank;
+  } else {
+    if (per_rank.size() != o.per_rank.size()) {
+      throw std::invalid_argument("RunStats::operator+=: rank count mismatch");
+    }
+    for (std::size_t i = 0; i < per_rank.size(); ++i) per_rank[i] += o.per_rank[i];
+  }
+  wall_seconds += o.wall_seconds;
+  return *this;
+}
+
+}  // namespace extdict::dist

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "la/types.hpp"
+
+namespace extdict::dist {
+
+/// Per-rank accounting of the three quantities the paper's performance model
+/// is built on (§VI-B): floating point operations, words communicated
+/// (split by locality and direction), and memory footprint.
+struct CostCounters {
+  std::uint64_t flops = 0;
+
+  std::uint64_t words_sent_intra = 0;   ///< words sent to a same-node rank
+  std::uint64_t words_sent_inter = 0;   ///< words sent across nodes
+  std::uint64_t words_recv_intra = 0;
+  std::uint64_t words_recv_inter = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_recv = 0;
+
+  /// High-water mark of words resident on this rank (matrices the rank
+  /// loads/owns). Updated via `record_memory`.
+  std::uint64_t peak_memory_words = 0;
+
+  void add_flops(std::uint64_t n) noexcept { flops += n; }
+
+  void add_send(std::uint64_t words, bool inter_node) noexcept {
+    (inter_node ? words_sent_inter : words_sent_intra) += words;
+    ++messages_sent;
+  }
+
+  void add_recv(std::uint64_t words, bool inter_node) noexcept {
+    (inter_node ? words_recv_inter : words_recv_intra) += words;
+    ++messages_recv;
+  }
+
+  void record_memory(std::uint64_t resident_words) noexcept {
+    if (resident_words > peak_memory_words) peak_memory_words = resident_words;
+  }
+
+  [[nodiscard]] std::uint64_t words_sent() const noexcept {
+    return words_sent_intra + words_sent_inter;
+  }
+  [[nodiscard]] std::uint64_t words_recv() const noexcept {
+    return words_recv_intra + words_recv_inter;
+  }
+  [[nodiscard]] std::uint64_t words_touched() const noexcept {
+    return words_sent() + words_recv();
+  }
+
+  CostCounters& operator+=(const CostCounters& o) noexcept;
+};
+
+/// Aggregated result of one SPMD run on the emulated cluster.
+struct RunStats {
+  std::vector<CostCounters> per_rank;
+  double wall_seconds = 0;  ///< host wall-clock of the whole run
+
+  [[nodiscard]] std::uint64_t total_flops() const noexcept;
+  [[nodiscard]] std::uint64_t max_rank_flops() const noexcept;
+  [[nodiscard]] std::uint64_t total_words() const noexcept;        ///< sum of sends
+  [[nodiscard]] std::uint64_t max_rank_words() const noexcept;     ///< max send+recv
+  [[nodiscard]] std::uint64_t max_peak_memory_words() const noexcept;
+
+  RunStats& operator+=(const RunStats& o);
+};
+
+}  // namespace extdict::dist

@@ -1,0 +1,44 @@
+#include "dist/mailbox.hpp"
+
+#include <algorithm>
+
+namespace extdict::dist {
+
+void Mailbox::push(Envelope env) {
+  {
+    const std::scoped_lock lock(mu_);
+    queue_.push_back(std::move(env));
+  }
+  cv_.notify_all();
+}
+
+std::vector<std::byte> Mailbox::pop(Index source, int tag) {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    const auto it = std::find_if(queue_.begin(), queue_.end(), [&](const Envelope& e) {
+      return e.source == source && e.tag == tag;
+    });
+    if (it != queue_.end()) {
+      std::vector<std::byte> payload = std::move(it->payload);
+      queue_.erase(it);
+      return payload;
+    }
+    if (poisoned_) throw ClusterAborted{};
+    cv_.wait(lock);
+  }
+}
+
+void Mailbox::poison() noexcept {
+  {
+    const std::scoped_lock lock(mu_);
+    poisoned_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool Mailbox::empty() const {
+  const std::scoped_lock lock(mu_);
+  return queue_.empty();
+}
+
+}  // namespace extdict::dist

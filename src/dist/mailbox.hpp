@@ -1,0 +1,56 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <vector>
+
+#include "la/types.hpp"
+
+namespace extdict::dist {
+
+using la::Index;
+
+/// Raised on every rank when some rank aborted the SPMD region with an
+/// exception, so blocked receivers unwind instead of deadlocking.
+class ClusterAborted : public std::exception {
+ public:
+  [[nodiscard]] const char* what() const noexcept override {
+    return "SPMD region aborted by a peer rank";
+  }
+};
+
+/// One rank's inbox. Senders push byte payloads tagged with (source, tag);
+/// the owning rank pops the earliest message matching a (source, tag) pair.
+/// Per-sender FIFO order is preserved, mirroring MPI's non-overtaking rule.
+class Mailbox {
+ public:
+  struct Envelope {
+    Index source;
+    int tag;
+    std::vector<std::byte> payload;
+  };
+
+  void push(Envelope env);
+
+  /// Blocks until a message from `source` with `tag` is available (or the
+  /// run is aborted, in which case ClusterAborted is thrown).
+  [[nodiscard]] std::vector<std::byte> pop(Index source, int tag);
+
+  /// Wakes all blocked poppers with ClusterAborted.
+  void poison() noexcept;
+
+  /// True if any message is queued (used by tests).
+  [[nodiscard]] bool empty() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Envelope> queue_;
+  bool poisoned_ = false;
+};
+
+}  // namespace extdict::dist

@@ -1,0 +1,9 @@
+#include "dist/topology.hpp"
+
+namespace extdict::dist {
+
+std::string Topology::name() const {
+  return std::to_string(nodes) + "x" + std::to_string(cores_per_node);
+}
+
+}  // namespace extdict::dist

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+
+#include "la/types.hpp"
+
+namespace extdict::dist {
+
+using la::Index;
+
+/// Shape of the emulated cluster: `nodes` machines with `cores_per_node`
+/// processors each. Ranks 0..total()-1 are laid out node-major, so ranks
+/// [k*cores_per_node, (k+1)*cores_per_node) share node k. Intra-node traffic
+/// is cheaper than inter-node traffic; the paper's platform configurations
+/// (1x1, 1x4, 2x8, 8x8) are instances of this type.
+struct Topology {
+  Index nodes = 1;
+  Index cores_per_node = 1;
+
+  [[nodiscard]] Index total() const noexcept { return nodes * cores_per_node; }
+
+  [[nodiscard]] Index node_of(Index rank) const noexcept {
+    return rank / cores_per_node;
+  }
+
+  [[nodiscard]] bool same_node(Index a, Index b) const noexcept {
+    return node_of(a) == node_of(b);
+  }
+
+  /// "nodes x cores" label used in tables (e.g. "8x8").
+  [[nodiscard]] std::string name() const;
+
+  friend bool operator==(const Topology&, const Topology&) = default;
+};
+
+/// The four platform configurations evaluated in the paper (§VIII-B3).
+inline constexpr Topology kPaperPlatforms[] = {
+    {.nodes = 1, .cores_per_node = 1},
+    {.nodes = 1, .cores_per_node = 4},
+    {.nodes = 2, .cores_per_node = 8},
+    {.nodes = 8, .cores_per_node = 8},
+};
+
+}  // namespace extdict::dist

@@ -1,0 +1,179 @@
+#include "la/blas.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace extdict::la {
+
+void axpy(Real alpha, std::span<const Real> x, std::span<Real> y) noexcept {
+  assert(x.size() == y.size());
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void scal(Real alpha, std::span<Real> x) noexcept {
+  for (Real& v : x) v *= alpha;
+}
+
+Real dot(std::span<const Real> x, std::span<const Real> y) noexcept {
+  assert(x.size() == y.size());
+  Real s = 0;
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+Real nrm2(std::span<const Real> x) noexcept {
+  Real scale = 0, ssq = 1;
+  for (Real v : x) {
+    if (v == Real{0}) continue;
+    const Real a = std::abs(v);
+    if (scale < a) {
+      ssq = 1 + ssq * (scale / a) * (scale / a);
+      scale = a;
+    } else {
+      ssq += (a / scale) * (a / scale);
+    }
+  }
+  return scale * std::sqrt(ssq);
+}
+
+Index iamax(std::span<const Real> x) noexcept {
+  if (x.empty()) return -1;
+  Index best = 0;
+  Real best_val = std::abs(x[0]);
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    const Real a = std::abs(x[i]);
+    if (a > best_val) {
+      best_val = a;
+      best = static_cast<Index>(i);
+    }
+  }
+  return best;
+}
+
+void gemv(Real alpha, const Matrix& a, std::span<const Real> x, Real beta,
+          std::span<Real> y) {
+  if (static_cast<Index>(x.size()) != a.cols() ||
+      static_cast<Index>(y.size()) != a.rows()) {
+    throw std::invalid_argument("gemv: dimension mismatch");
+  }
+  if (beta == Real{0}) {
+    std::fill(y.begin(), y.end(), Real{0});
+  } else if (beta != Real{1}) {
+    scal(beta, y);
+  }
+  // Column-major: accumulate alpha * x_j * A(:,j) into y. Sequential over
+  // columns (races on y otherwise); columns themselves are contiguous.
+  for (Index j = 0; j < a.cols(); ++j) {
+    const Real axj = alpha * x[static_cast<std::size_t>(j)];
+    if (axj == Real{0}) continue;
+    axpy(axj, a.col(j), y);
+  }
+}
+
+void gemv_t(Real alpha, const Matrix& a, std::span<const Real> x, Real beta,
+            std::span<Real> y) {
+  if (static_cast<Index>(x.size()) != a.rows() ||
+      static_cast<Index>(y.size()) != a.cols()) {
+    throw std::invalid_argument("gemv_t: dimension mismatch");
+  }
+  const Index cols = a.cols();
+#pragma omp parallel for schedule(static) if (cols > 256)
+  for (Index j = 0; j < cols; ++j) {
+    const Real d = dot(a.col(j), x);
+    auto& yj = y[static_cast<std::size_t>(j)];
+    yj = alpha * d + (beta == Real{0} ? Real{0} : beta * yj);
+  }
+}
+
+namespace {
+
+// Resolves op(A) dimensions.
+Index op_rows(const Matrix& a, Trans t) { return t == Trans::kNo ? a.rows() : a.cols(); }
+Index op_cols(const Matrix& a, Trans t) { return t == Trans::kNo ? a.cols() : a.rows(); }
+Real op_at(const Matrix& a, Trans t, Index i, Index j) {
+  return t == Trans::kNo ? a(i, j) : a(j, i);
+}
+
+}  // namespace
+
+void gemm(Real alpha, const Matrix& a, Trans ta, const Matrix& b, Trans tb,
+          Real beta, Matrix& c) {
+  const Index m = op_rows(a, ta);
+  const Index k = op_cols(a, ta);
+  const Index n = op_cols(b, tb);
+  if (op_rows(b, tb) != k || c.rows() != m || c.cols() != n) {
+    throw std::invalid_argument("gemm: dimension mismatch");
+  }
+
+  // Fast path: no transposes. Accumulate rank-1 style per column of C, which
+  // streams contiguous columns of A — this is the shape ExtDict hits in the
+  // hot loop (D * V, etc.).
+  if (ta == Trans::kNo && tb == Trans::kNo) {
+#pragma omp parallel for schedule(static) if (n > 1)
+    for (Index j = 0; j < n; ++j) {
+      auto cj = c.col(j);
+      if (beta == Real{0}) {
+        std::fill(cj.begin(), cj.end(), Real{0});
+      } else if (beta != Real{1}) {
+        scal(beta, cj);
+      }
+      for (Index l = 0; l < k; ++l) {
+        const Real ab = alpha * b(l, j);
+        if (ab == Real{0}) continue;
+        axpy(ab, a.col(l), cj);
+      }
+    }
+    return;
+  }
+
+  // A^T * B: each C(i,j) is a dot of two contiguous columns.
+  if (ta == Trans::kYes && tb == Trans::kNo) {
+#pragma omp parallel for schedule(static) if (n > 1)
+    for (Index j = 0; j < n; ++j) {
+      for (Index i = 0; i < m; ++i) {
+        const Real d = dot(a.col(i), b.col(j));
+        Real& cij = c(i, j);
+        cij = alpha * d + (beta == Real{0} ? Real{0} : beta * cij);
+      }
+    }
+    return;
+  }
+
+  // Generic fallback for the remaining transpose combinations.
+#pragma omp parallel for schedule(static) if (n > 1)
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i < m; ++i) {
+      Real s = 0;
+      for (Index l = 0; l < k; ++l) s += op_at(a, ta, i, l) * op_at(b, tb, l, j);
+      Real& cij = c(i, j);
+      cij = alpha * s + (beta == Real{0} ? Real{0} : beta * cij);
+    }
+  }
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b, Trans ta, Trans tb) {
+  Matrix c(op_rows(a, ta), op_cols(b, tb));
+  gemm(Real{1}, a, ta, b, tb, Real{0}, c);
+  return c;
+}
+
+Matrix gram(const Matrix& a) {
+  const Index n = a.cols();
+  Matrix g(n, n);
+#pragma omp parallel for schedule(dynamic, 8) if (n > 1)
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = 0; i <= j; ++i) {
+      g(i, j) = dot(a.col(i), a.col(j));
+    }
+  }
+  for (Index j = 0; j < n; ++j) {
+    for (Index i = j + 1; i < n; ++i) g(i, j) = g(j, i);
+  }
+  return g;
+}
+
+}  // namespace extdict::la

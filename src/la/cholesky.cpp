@@ -1,0 +1,110 @@
+#include "la/cholesky.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace extdict::la {
+
+Cholesky::Cholesky(const Matrix& a) : l_(a.rows(), a.cols()) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("Cholesky: matrix must be square");
+  }
+  const Index n = a.rows();
+  for (Index j = 0; j < n; ++j) {
+    Real d = a(j, j);
+    for (Index k = 0; k < j; ++k) d -= l_(j, k) * l_(j, k);
+    if (d <= Real{0}) {
+      throw std::domain_error("Cholesky: matrix is not positive definite");
+    }
+    l_(j, j) = std::sqrt(d);
+    for (Index i = j + 1; i < n; ++i) {
+      Real s = a(i, j);
+      for (Index k = 0; k < j; ++k) s -= l_(i, k) * l_(j, k);
+      l_(i, j) = s / l_(j, j);
+    }
+  }
+}
+
+void Cholesky::solve_in_place(std::span<Real> b) const {
+  const Index n = l_.rows();
+  if (static_cast<Index>(b.size()) != n) {
+    throw std::invalid_argument("Cholesky::solve: size mismatch");
+  }
+  // L w = b
+  for (Index i = 0; i < n; ++i) {
+    Real s = b[static_cast<std::size_t>(i)];
+    for (Index k = 0; k < i; ++k) s -= l_(i, k) * b[static_cast<std::size_t>(k)];
+    b[static_cast<std::size_t>(i)] = s / l_(i, i);
+  }
+  // L^T x = w
+  for (Index i = n - 1; i >= 0; --i) {
+    Real s = b[static_cast<std::size_t>(i)];
+    for (Index k = i + 1; k < n; ++k) s -= l_(k, i) * b[static_cast<std::size_t>(k)];
+    b[static_cast<std::size_t>(i)] = s / l_(i, i);
+  }
+}
+
+Vector Cholesky::solve(std::span<const Real> b) const {
+  Vector x(b.begin(), b.end());
+  solve_in_place(x);
+  return x;
+}
+
+ProgressiveCholesky::ProgressiveCholesky(Index capacity)
+    : capacity_(capacity),
+      l_(static_cast<std::size_t>(capacity * (capacity + 1) / 2), Real{0}) {
+  if (capacity <= 0) {
+    throw std::invalid_argument("ProgressiveCholesky: capacity must be > 0");
+  }
+}
+
+bool ProgressiveCholesky::append(std::span<const Real> g_new, Real g_diag) {
+  if (static_cast<Index>(g_new.size()) != n_) {
+    throw std::invalid_argument("ProgressiveCholesky::append: size mismatch");
+  }
+  if (n_ >= capacity_) {
+    throw std::logic_error("ProgressiveCholesky::append: capacity exceeded");
+  }
+  // Solve L w = g_new; the new row of L is [w^T, sqrt(g_diag - ||w||^2)].
+  const Index i = n_;
+  Real ssq = 0;
+  for (Index j = 0; j < i; ++j) {
+    Real s = g_new[static_cast<std::size_t>(j)];
+    for (Index k = 0; k < j; ++k) s -= at(j, k) * at(i, k);
+    const Real w = s / at(j, j);
+    at(i, j) = w;
+    ssq += w * w;
+  }
+  const Real d = g_diag - ssq;
+  constexpr Real kMinPivot = 1e-12;
+  if (d <= kMinPivot) return false;
+  at(i, i) = std::sqrt(d);
+  ++n_;
+  return true;
+}
+
+void ProgressiveCholesky::solve_lower(std::span<Real> b) const {
+  for (Index i = 0; i < n_; ++i) {
+    Real s = b[static_cast<std::size_t>(i)];
+    for (Index k = 0; k < i; ++k) s -= at(i, k) * b[static_cast<std::size_t>(k)];
+    b[static_cast<std::size_t>(i)] = s / at(i, i);
+  }
+}
+
+void ProgressiveCholesky::solve_lower_t(std::span<Real> b) const {
+  for (Index i = n_ - 1; i >= 0; --i) {
+    Real s = b[static_cast<std::size_t>(i)];
+    for (Index k = i + 1; k < n_; ++k) s -= at(k, i) * b[static_cast<std::size_t>(k)];
+    b[static_cast<std::size_t>(i)] = s / at(i, i);
+  }
+}
+
+void ProgressiveCholesky::solve_in_place(std::span<Real> b) const {
+  if (static_cast<Index>(b.size()) != n_) {
+    throw std::invalid_argument("ProgressiveCholesky::solve: size mismatch");
+  }
+  solve_lower(b);
+  solve_lower_t(b);
+}
+
+}  // namespace extdict::la

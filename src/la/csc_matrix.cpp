@@ -1,0 +1,151 @@
+#include "la/csc_matrix.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace extdict::la {
+
+void CscMatrix::spmv_range(Index j0, Index j1, std::span<const Real> x,
+                           std::span<Real> v) const {
+  assert(j0 >= 0 && j1 <= cols_ && j0 <= j1);
+  if (static_cast<Index>(x.size()) != j1 - j0 ||
+      static_cast<Index>(v.size()) != rows_) {
+    throw std::invalid_argument("CscMatrix::spmv_range: dimension mismatch");
+  }
+  for (Index j = j0; j < j1; ++j) {
+    const Real xj = x[static_cast<std::size_t>(j - j0)];
+    if (xj == Real{0}) continue;
+    const auto rows = col_rows(j);
+    const auto vals = col_values(j);
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      v[static_cast<std::size_t>(rows[k])] += xj * vals[k];
+    }
+  }
+}
+
+void CscMatrix::spmv(std::span<const Real> x, std::span<Real> v) const {
+  std::fill(v.begin(), v.end(), Real{0});
+  spmv_range(0, cols_, x, v);
+}
+
+void CscMatrix::spmv_t(std::span<const Real> w, std::span<Real> y) const {
+  spmv_t_range(0, cols_, w, y);
+}
+
+void CscMatrix::spmv_t_range(Index j0, Index j1, std::span<const Real> w,
+                             std::span<Real> y) const {
+  assert(j0 >= 0 && j1 <= cols_ && j0 <= j1);
+  if (static_cast<Index>(w.size()) != rows_ ||
+      static_cast<Index>(y.size()) != j1 - j0) {
+    throw std::invalid_argument("CscMatrix::spmv_t_range: dimension mismatch");
+  }
+  const Index span = j1 - j0;
+#pragma omp parallel for schedule(static) if (span > 1024)
+  for (Index j = j0; j < j1; ++j) {
+    const auto rows = col_rows(j);
+    const auto vals = col_values(j);
+    Real s = 0;
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      s += vals[k] * w[static_cast<std::size_t>(rows[k])];
+    }
+    y[static_cast<std::size_t>(j - j0)] = s;
+  }
+}
+
+CscMatrix CscMatrix::slice_columns(Index j0, Index j1) const {
+  if (j0 < 0 || j1 > cols_ || j0 > j1) {
+    throw std::out_of_range("CscMatrix::slice_columns: bad range");
+  }
+  CscMatrix out(rows_, j1 - j0);
+  const auto b = col_ptr_[static_cast<std::size_t>(j0)];
+  const auto e = col_ptr_[static_cast<std::size_t>(j1)];
+  out.row_idx_.assign(row_idx_.begin() + b, row_idx_.begin() + e);
+  out.values_.assign(values_.begin() + b, values_.begin() + e);
+  for (Index j = j0; j <= j1; ++j) {
+    out.col_ptr_[static_cast<std::size_t>(j - j0)] = col_ptr_[static_cast<std::size_t>(j)] - b;
+  }
+  return out;
+}
+
+Matrix CscMatrix::to_dense() const {
+  Matrix d(rows_, cols_);
+  for (Index j = 0; j < cols_; ++j) {
+    const auto rows = col_rows(j);
+    const auto vals = col_values(j);
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      d(rows[k], j) = vals[k];
+    }
+  }
+  return d;
+}
+
+void CscMatrix::append_columns(const CscMatrix& right) {
+  if (right.rows_ != rows_) {
+    throw std::invalid_argument("CscMatrix::append_columns: row mismatch");
+  }
+  const Index base = static_cast<Index>(values_.size());
+  row_idx_.insert(row_idx_.end(), right.row_idx_.begin(), right.row_idx_.end());
+  values_.insert(values_.end(), right.values_.begin(), right.values_.end());
+  col_ptr_.reserve(col_ptr_.size() + static_cast<std::size_t>(right.cols_));
+  for (Index j = 1; j <= right.cols_; ++j) {
+    col_ptr_.push_back(base + right.col_ptr_[static_cast<std::size_t>(j)]);
+  }
+  cols_ += right.cols_;
+}
+
+void CscMatrix::pad_rows(Index new_rows) {
+  if (new_rows < rows_) {
+    throw std::invalid_argument("CscMatrix::pad_rows: cannot shrink");
+  }
+  rows_ = new_rows;
+}
+
+CscMatrix::Builder::Builder(Index rows, Index cols)
+    : rows_(rows),
+      cols_(cols),
+      col_ptr_(static_cast<std::size_t>(cols) + 1, 0) {}
+
+void CscMatrix::Builder::add(Index row, Real value) {
+  if (row < 0 || row >= rows_) {
+    throw std::out_of_range("CscMatrix::Builder::add: row out of range");
+  }
+  pending_.emplace_back(row, value);
+}
+
+void CscMatrix::Builder::commit_column() {
+  if (committed_ >= cols_) {
+    throw std::logic_error("CscMatrix::Builder: too many columns committed");
+  }
+  std::sort(pending_.begin(), pending_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [row, value] : pending_) {
+    row_idx_.push_back(row);
+    values_.push_back(value);
+  }
+  pending_.clear();
+  ++committed_;
+  col_ptr_[static_cast<std::size_t>(committed_)] =
+      static_cast<Index>(values_.size());
+}
+
+CscMatrix CscMatrix::Builder::build() && {
+  while (committed_ < cols_) commit_column();
+  CscMatrix m(rows_, cols_);
+  m.col_ptr_ = std::move(col_ptr_);
+  m.row_idx_ = std::move(row_idx_);
+  m.values_ = std::move(values_);
+  return m;
+}
+
+CscMatrix CscMatrix::from_columns(
+    Index rows, const std::vector<std::vector<std::pair<Index, Real>>>& cols) {
+  Builder b(rows, static_cast<Index>(cols.size()));
+  for (const auto& column : cols) {
+    for (const auto& [row, value] : column) b.add(row, value);
+    b.commit_column();
+  }
+  return std::move(b).build();
+}
+
+}  // namespace extdict::la

@@ -1,0 +1,129 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "la/types.hpp"
+
+namespace extdict::la {
+
+/// Compressed-sparse-column matrix.
+///
+/// The ExD coefficient matrix `C (L x N)` is stored in this format: each
+/// column holds the few OMP-selected atoms of one data signal. CSC makes the
+/// two products Algorithm 2 needs cheap:
+///   * `v = C * x`   — scatter per column (`spmv`),
+///   * `y = C^T * w` — gather per column (`spmv_t`, embarrassingly parallel).
+class CscMatrix {
+ public:
+  CscMatrix() : col_ptr_(1, 0) {}
+
+  /// Empty matrix with a fixed shape (all-zero).
+  CscMatrix(Index rows, Index cols)
+      : rows_(rows), cols_(cols), col_ptr_(static_cast<std::size_t>(cols) + 1, 0) {}
+
+  [[nodiscard]] Index rows() const noexcept { return rows_; }
+  [[nodiscard]] Index cols() const noexcept { return cols_; }
+  [[nodiscard]] std::uint64_t nnz() const noexcept { return values_.size(); }
+
+  /// Average number of non-zeros per column — the paper's density measure
+  /// alpha(L) (Eq. 5). Zero for an empty matrix.
+  [[nodiscard]] Real density_per_column() const noexcept {
+    return cols_ == 0 ? Real{0} : static_cast<Real>(nnz()) / static_cast<Real>(cols_);
+  }
+
+  [[nodiscard]] std::span<const Index> col_rows(Index j) const noexcept {
+    const auto b = static_cast<std::size_t>(col_ptr_[static_cast<std::size_t>(j)]);
+    const auto e = static_cast<std::size_t>(col_ptr_[static_cast<std::size_t>(j) + 1]);
+    return {row_idx_.data() + b, e - b};
+  }
+  [[nodiscard]] std::span<const Real> col_values(Index j) const noexcept {
+    const auto b = static_cast<std::size_t>(col_ptr_[static_cast<std::size_t>(j)]);
+    const auto e = static_cast<std::size_t>(col_ptr_[static_cast<std::size_t>(j) + 1]);
+    return {values_.data() + b, e - b};
+  }
+
+  /// v += alpha * C(:, j0..j1) * x where x indexes the *local* column range.
+  /// The full product is `spmv` with the whole range.
+  void spmv_range(Index j0, Index j1, std::span<const Real> x,
+                  std::span<Real> v) const;
+
+  /// v = C * x  (v sized rows(), x sized cols()).
+  void spmv(std::span<const Real> x, std::span<Real> v) const;
+
+  /// y = C^T * w (y sized cols(), w sized rows()). Parallel over columns.
+  void spmv_t(std::span<const Real> w, std::span<Real> y) const;
+
+  /// y(j - j0) = C(:, j)^T w for j in [j0, j1) — the local slice of C^T w.
+  void spmv_t_range(Index j0, Index j1, std::span<const Real> w,
+                    std::span<Real> y) const;
+
+  /// Extracts columns [j0, j1) as a new CSC matrix with the same row space.
+  [[nodiscard]] CscMatrix slice_columns(Index j0, Index j1) const;
+
+  /// Converts to a dense matrix (tests / small problems only).
+  [[nodiscard]] Matrix to_dense() const;
+
+  /// Number of non-zeros in column `j`.
+  [[nodiscard]] Index col_nnz(Index j) const noexcept {
+    return col_ptr_[static_cast<std::size_t>(j) + 1] - col_ptr_[static_cast<std::size_t>(j)];
+  }
+
+  /// Words of memory: one Real-sized word per value plus half a word per
+  /// index (row indices and column pointers are stored as 32-bit integers
+  /// in any practical CSC implementation; a word here is a 64-bit Real).
+  [[nodiscard]] std::uint64_t memory_words() const noexcept {
+    const std::uint64_t values = values_.size();
+    const std::uint64_t indices = values_.size() + col_ptr_.size();
+    return values + (indices + 1) / 2;
+  }
+
+  /// Horizontally concatenates `right` (row counts must match). Supports the
+  /// evolving-data zero-padding update.
+  void append_columns(const CscMatrix& right);
+
+  /// Grows the row dimension to `new_rows >= rows()`; existing entries keep
+  /// their indices (i.e. zero-pads at the bottom). Needed when the dictionary
+  /// is extended with new atoms.
+  void pad_rows(Index new_rows);
+
+  /// Column-by-column builder. Columns must be appended in order; rows
+  /// within a column may arrive unsorted and are sorted on commit.
+  class Builder {
+   public:
+    Builder(Index rows, Index cols);
+
+    /// Appends one entry to the column currently being built.
+    void add(Index row, Real value);
+
+    /// Finishes the current column and moves to the next.
+    void commit_column();
+
+    /// Finalises; all remaining columns are committed empty.
+    [[nodiscard]] CscMatrix build() &&;
+
+   private:
+    Index rows_;
+    Index cols_;
+    std::vector<Index> col_ptr_;
+    std::vector<Index> row_idx_;
+    std::vector<Real> values_;
+    std::vector<std::pair<Index, Real>> pending_;
+    Index committed_ = 0;
+  };
+
+  /// Assembles from per-column (row, value) lists — used by the parallel
+  /// sparse coder, where column supports are produced out of order.
+  static CscMatrix from_columns(Index rows,
+                                const std::vector<std::vector<std::pair<Index, Real>>>& cols);
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<Index> col_ptr_;
+  std::vector<Index> row_idx_;
+  std::vector<Real> values_;
+};
+
+}  // namespace extdict::la

@@ -1,0 +1,153 @@
+#include "la/io.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace extdict::la {
+
+namespace {
+
+constexpr char kArrayHeader[] = "%%MatrixMarket matrix array real general";
+constexpr char kCoordHeader[] = "%%MatrixMarket matrix coordinate real general";
+
+std::ifstream open_input(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("matrix market: cannot open " + path);
+  return in;
+}
+
+std::ofstream open_output(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("matrix market: cannot create " + path);
+  return out;
+}
+
+// Reads the banner line and skips comment lines; returns the banner.
+std::string read_banner(std::ifstream& in, const std::string& path) {
+  std::string banner;
+  if (!std::getline(in, banner)) {
+    throw std::runtime_error("matrix market: empty file " + path);
+  }
+  std::string line;
+  while (in.peek() == '%') std::getline(in, line);
+  return banner;
+}
+
+}  // namespace
+
+void write_matrix_market(const Matrix& a, const std::string& path) {
+  std::ofstream out = open_output(path);
+  out << kArrayHeader << '\n';
+  out << a.rows() << ' ' << a.cols() << '\n';
+  out.precision(17);
+  for (Index j = 0; j < a.cols(); ++j) {
+    for (Index i = 0; i < a.rows(); ++i) out << a(i, j) << '\n';
+  }
+  if (!out) throw std::runtime_error("matrix market: write failed " + path);
+}
+
+void write_matrix_market(const CscMatrix& a, const std::string& path) {
+  std::ofstream out = open_output(path);
+  out << kCoordHeader << '\n';
+  out << a.rows() << ' ' << a.cols() << ' ' << a.nnz() << '\n';
+  out.precision(17);
+  for (Index j = 0; j < a.cols(); ++j) {
+    const auto rows = a.col_rows(j);
+    const auto vals = a.col_values(j);
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      out << rows[k] + 1 << ' ' << j + 1 << ' ' << vals[k] << '\n';
+    }
+  }
+  if (!out) throw std::runtime_error("matrix market: write failed " + path);
+}
+
+Matrix read_matrix_market_dense(const std::string& path) {
+  std::ifstream in = open_input(path);
+  const std::string banner = read_banner(in, path);
+  if (banner.find("array") == std::string::npos) {
+    throw std::runtime_error("matrix market: not an array file: " + path);
+  }
+  Index rows = 0, cols = 0;
+  if (!(in >> rows >> cols) || rows < 0 || cols < 0) {
+    throw std::runtime_error("matrix market: bad dimensions in " + path);
+  }
+  Matrix a(rows, cols);
+  for (Index j = 0; j < cols; ++j) {
+    for (Index i = 0; i < rows; ++i) {
+      if (!(in >> a(i, j))) {
+        throw std::runtime_error("matrix market: truncated payload in " + path);
+      }
+    }
+  }
+  return a;
+}
+
+CscMatrix read_matrix_market_sparse(const std::string& path) {
+  std::ifstream in = open_input(path);
+  const std::string banner = read_banner(in, path);
+  if (banner.find("coordinate") == std::string::npos) {
+    throw std::runtime_error("matrix market: not a coordinate file: " + path);
+  }
+  Index rows = 0, cols = 0;
+  std::uint64_t nnz = 0;
+  if (!(in >> rows >> cols >> nnz)) {
+    throw std::runtime_error("matrix market: bad header in " + path);
+  }
+  // Collect per column; duplicates summed.
+  std::vector<std::map<Index, Real>> columns(static_cast<std::size_t>(cols));
+  for (std::uint64_t k = 0; k < nnz; ++k) {
+    Index i = 0, j = 0;
+    Real v = 0;
+    if (!(in >> i >> j >> v)) {
+      throw std::runtime_error("matrix market: truncated payload in " + path);
+    }
+    if (i < 1 || i > rows || j < 1 || j > cols) {
+      throw std::runtime_error("matrix market: index out of range in " + path);
+    }
+    columns[static_cast<std::size_t>(j - 1)][i - 1] += v;
+  }
+  CscMatrix::Builder builder(rows, cols);
+  for (Index j = 0; j < cols; ++j) {
+    for (const auto& [row, value] : columns[static_cast<std::size_t>(j)]) {
+      builder.add(row, value);
+    }
+    builder.commit_column();
+  }
+  return std::move(builder).build();
+}
+
+namespace {
+constexpr std::uint64_t kBinaryMagic = 0x4558544449435401ULL;  // "EXTDICT\x01"
+}
+
+void write_binary(const Matrix& a, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_binary: cannot create " + path);
+  const std::uint64_t header[3] = {kBinaryMagic,
+                                   static_cast<std::uint64_t>(a.rows()),
+                                   static_cast<std::uint64_t>(a.cols())};
+  out.write(reinterpret_cast<const char*>(header), sizeof(header));
+  out.write(reinterpret_cast<const char*>(a.data()),
+            static_cast<std::streamsize>(a.size() * static_cast<Index>(sizeof(Real))));
+  if (!out) throw std::runtime_error("write_binary: write failed " + path);
+}
+
+Matrix read_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_binary: cannot open " + path);
+  std::uint64_t header[3] = {};
+  in.read(reinterpret_cast<char*>(header), sizeof(header));
+  if (!in || header[0] != kBinaryMagic) {
+    throw std::runtime_error("read_binary: bad magic in " + path);
+  }
+  Matrix a(static_cast<Index>(header[1]), static_cast<Index>(header[2]));
+  in.read(reinterpret_cast<char*>(a.data()),
+          static_cast<std::streamsize>(a.size() * static_cast<Index>(sizeof(Real))));
+  if (!in) throw std::runtime_error("read_binary: truncated payload " + path);
+  return a;
+}
+
+}  // namespace extdict::la

@@ -1,0 +1,109 @@
+#include "la/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace extdict::la {
+
+Matrix Matrix::from_rows(std::initializer_list<std::initializer_list<Real>> rows) {
+  const Index r = static_cast<Index>(rows.size());
+  const Index c = r == 0 ? 0 : static_cast<Index>(rows.begin()->size());
+  Matrix m(r, c);
+  Index i = 0;
+  for (const auto& row : rows) {
+    if (static_cast<Index>(row.size()) != c) {
+      throw std::invalid_argument("Matrix::from_rows: ragged rows");
+    }
+    Index j = 0;
+    for (Real v : row) m(i, j++) = v;
+    ++i;
+  }
+  return m;
+}
+
+Matrix Matrix::select_columns(std::span<const Index> idx) const {
+  Matrix out(rows_, static_cast<Index>(idx.size()));
+  for (Index j = 0; j < out.cols(); ++j) {
+    const Index src = idx[static_cast<std::size_t>(j)];
+    if (src < 0 || src >= cols_) {
+      throw std::out_of_range("Matrix::select_columns: index out of range");
+    }
+    auto s = col(src);
+    std::copy(s.begin(), s.end(), out.col(j).begin());
+  }
+  return out;
+}
+
+Matrix Matrix::select_rows(std::span<const Index> idx) const {
+  Matrix out(static_cast<Index>(idx.size()), cols_);
+  for (Index i = 0; i < out.rows(); ++i) {
+    const Index src = idx[static_cast<std::size_t>(i)];
+    if (src < 0 || src >= rows_) {
+      throw std::out_of_range("Matrix::select_rows: index out of range");
+    }
+    for (Index j = 0; j < cols_; ++j) out(i, j) = (*this)(src, j);
+  }
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (Index j = 0; j < cols_; ++j) {
+    for (Index i = 0; i < rows_; ++i) out(j, i) = (*this)(i, j);
+  }
+  return out;
+}
+
+void Matrix::append_columns(const Matrix& other) {
+  if (other.empty()) return;
+  if (rows_ != 0 && other.rows() != rows_) {
+    throw std::invalid_argument("Matrix::append_columns: row mismatch");
+  }
+  if (rows_ == 0) rows_ = other.rows();
+  data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+  cols_ += other.cols();
+}
+
+Real Matrix::frobenius_norm() const noexcept {
+  // Scaled accumulation to avoid overflow on large matrices.
+  Real scale = 0, ssq = 1;
+  for (Real v : data_) {
+    if (v == Real{0}) continue;
+    const Real a = std::abs(v);
+    if (scale < a) {
+      ssq = 1 + ssq * (scale / a) * (scale / a);
+      scale = a;
+    } else {
+      ssq += (a / scale) * (a / scale);
+    }
+  }
+  return scale * std::sqrt(ssq);
+}
+
+void Matrix::normalize_columns() {
+  for (Index j = 0; j < cols_; ++j) {
+    auto c = col(j);
+    Real ss = 0;
+    for (Real v : c) ss += v * v;
+    const Real norm = std::sqrt(ss);
+    if (norm > Real{0}) {
+      for (Real& v : c) v /= norm;
+    }
+  }
+}
+
+Real max_abs_diff(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw std::invalid_argument("max_abs_diff: shape mismatch");
+  }
+  Real m = 0;
+  for (Index j = 0; j < a.cols(); ++j) {
+    for (Index i = 0; i < a.rows(); ++i) {
+      m = std::max(m, std::abs(a(i, j) - b(i, j)));
+    }
+  }
+  return m;
+}
+
+}  // namespace extdict::la

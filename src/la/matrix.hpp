@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cassert>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "la/types.hpp"
+
+namespace extdict::la {
+
+/// Dense column-major matrix of `Real`.
+///
+/// Column-major is the natural layout for ExtDict: data matrices are
+/// collections of column signals, dictionaries are formed by sampling
+/// columns, and the sparse coder works column-by-column. `col(j)` hands out a
+/// contiguous `std::span` with no copies.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Creates a `rows x cols` matrix initialised to zero.
+  Matrix(Index rows, Index cols)
+      : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows * cols), Real{0}) {
+    assert(rows >= 0 && cols >= 0);
+  }
+
+  /// Builds from a row-major initialiser list (convenient in tests):
+  /// Matrix::from_rows({{1,2},{3,4}}).
+  static Matrix from_rows(std::initializer_list<std::initializer_list<Real>> rows);
+
+  [[nodiscard]] Index rows() const noexcept { return rows_; }
+  [[nodiscard]] Index cols() const noexcept { return cols_; }
+  [[nodiscard]] Index size() const noexcept { return rows_ * cols_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  Real& operator()(Index i, Index j) noexcept {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(j * rows_ + i)];
+  }
+  Real operator()(Index i, Index j) const noexcept {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(j * rows_ + i)];
+  }
+
+  /// Contiguous view of column `j`.
+  [[nodiscard]] std::span<Real> col(Index j) noexcept {
+    assert(j >= 0 && j < cols_);
+    return {data_.data() + j * rows_, static_cast<std::size_t>(rows_)};
+  }
+  [[nodiscard]] std::span<const Real> col(Index j) const noexcept {
+    assert(j >= 0 && j < cols_);
+    return {data_.data() + j * rows_, static_cast<std::size_t>(rows_)};
+  }
+
+  [[nodiscard]] Real* data() noexcept { return data_.data(); }
+  [[nodiscard]] const Real* data() const noexcept { return data_.data(); }
+
+  void set_zero() noexcept { std::fill(data_.begin(), data_.end(), Real{0}); }
+
+  /// Copies the columns whose indices are listed in `idx` (in order) into a
+  /// new `rows() x idx.size()` matrix. This is how dictionaries are formed.
+  [[nodiscard]] Matrix select_columns(std::span<const Index> idx) const;
+
+  /// Copies the rows whose indices are listed in `idx` into a new matrix
+  /// (used by the super-resolution app and SGD mini-batching).
+  [[nodiscard]] Matrix select_rows(std::span<const Index> idx) const;
+
+  /// Returns the transpose as a new matrix.
+  [[nodiscard]] Matrix transposed() const;
+
+  /// Appends the columns of `other` on the right (rows must match). Used by
+  /// the evolving-data update (Fig. 3 zero-padding scheme).
+  void append_columns(const Matrix& other);
+
+  /// Frobenius norm.
+  [[nodiscard]] Real frobenius_norm() const noexcept;
+
+  /// Scales each column to unit Euclidean norm in place; zero columns are
+  /// left untouched. The ExD algorithm expects a normalised input matrix.
+  void normalize_columns();
+
+  /// Number of `Real` words stored (memory-footprint accounting).
+  [[nodiscard]] std::uint64_t memory_words() const noexcept {
+    return static_cast<std::uint64_t>(data_.size());
+  }
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<Real> data_;
+};
+
+/// Dense vector of `Real`. Thin wrapper over std::vector that interoperates
+/// with `std::span`-based kernels.
+using Vector = std::vector<Real>;
+
+/// Max |a_ij - b_ij| over all entries; matrices must have equal shape.
+Real max_abs_diff(const Matrix& a, const Matrix& b);
+
+}  // namespace extdict::la

@@ -1,0 +1,115 @@
+#include "la/qr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "la/blas.hpp"
+
+namespace extdict::la {
+
+HouseholderQr::HouseholderQr(Matrix a) : qr_(std::move(a)) {
+  const Index m = qr_.rows();
+  const Index n = qr_.cols();
+  if (m < n) {
+    throw std::invalid_argument("HouseholderQr: requires rows >= cols");
+  }
+  beta_.assign(static_cast<std::size_t>(n), Real{0});
+
+  for (Index k = 0; k < n; ++k) {
+    // Build the Householder vector for column k below row k.
+    Real norm = 0;
+    for (Index i = k; i < m; ++i) norm += qr_(i, k) * qr_(i, k);
+    norm = std::sqrt(norm);
+    if (norm == Real{0}) continue;  // column already zero below diagonal
+
+    const Real alpha = qr_(k, k) >= 0 ? -norm : norm;
+    const Real v0 = qr_(k, k) - alpha;
+    qr_(k, k) = alpha;
+    // Store v (scaled so v[0] = 1) below the diagonal.
+    for (Index i = k + 1; i < m; ++i) qr_(i, k) /= v0;
+    beta_[static_cast<std::size_t>(k)] = -v0 / alpha;
+
+    // Apply the reflector to trailing columns.
+    for (Index j = k + 1; j < n; ++j) {
+      Real s = qr_(k, j);
+      for (Index i = k + 1; i < m; ++i) s += qr_(i, k) * qr_(i, j);
+      s *= beta_[static_cast<std::size_t>(k)];
+      qr_(k, j) -= s;
+      for (Index i = k + 1; i < m; ++i) qr_(i, j) -= s * qr_(i, k);
+    }
+  }
+}
+
+void HouseholderQr::apply_qt(std::span<Real> v) const {
+  const Index m = qr_.rows();
+  const Index n = qr_.cols();
+  for (Index k = 0; k < n; ++k) {
+    const Real beta = beta_[static_cast<std::size_t>(k)];
+    if (beta == Real{0}) continue;
+    Real s = v[static_cast<std::size_t>(k)];
+    for (Index i = k + 1; i < m; ++i) s += qr_(i, k) * v[static_cast<std::size_t>(i)];
+    s *= beta;
+    v[static_cast<std::size_t>(k)] -= s;
+    for (Index i = k + 1; i < m; ++i) v[static_cast<std::size_t>(i)] -= s * qr_(i, k);
+  }
+}
+
+void HouseholderQr::back_substitute(std::span<Real> v) const {
+  const Index n = qr_.cols();
+  for (Index i = n - 1; i >= 0; --i) {
+    Real s = v[static_cast<std::size_t>(i)];
+    for (Index k = i + 1; k < n; ++k) s -= qr_(i, k) * v[static_cast<std::size_t>(k)];
+    const Real d = qr_(i, i);
+    if (d == Real{0}) {
+      // Rank-deficient column: pick the minimum-norm-ish solution component.
+      v[static_cast<std::size_t>(i)] = 0;
+    } else {
+      v[static_cast<std::size_t>(i)] = s / d;
+    }
+  }
+}
+
+Vector HouseholderQr::solve(std::span<const Real> b) const {
+  if (static_cast<Index>(b.size()) != qr_.rows()) {
+    throw std::invalid_argument("HouseholderQr::solve: size mismatch");
+  }
+  Vector v(b.begin(), b.end());
+  apply_qt(v);
+  back_substitute(v);
+  v.resize(static_cast<std::size_t>(qr_.cols()));
+  return v;
+}
+
+Matrix HouseholderQr::solve_many(const Matrix& b) const {
+  if (b.rows() != qr_.rows()) {
+    throw std::invalid_argument("HouseholderQr::solve_many: size mismatch");
+  }
+  Matrix x(qr_.cols(), b.cols());
+  const Index cols = b.cols();
+#pragma omp parallel for schedule(static) if (cols > 8)
+  for (Index j = 0; j < cols; ++j) {
+    Vector v(b.col(j).begin(), b.col(j).end());
+    apply_qt(v);
+    back_substitute(v);
+    for (Index i = 0; i < qr_.cols(); ++i) x(i, j) = v[static_cast<std::size_t>(i)];
+  }
+  return x;
+}
+
+Index HouseholderQr::rank(Real rel_tol) const {
+  Real dmax = 0;
+  for (Index i = 0; i < qr_.cols(); ++i) dmax = std::max(dmax, std::abs(qr_(i, i)));
+  if (dmax == Real{0}) return 0;
+  Index r = 0;
+  for (Index i = 0; i < qr_.cols(); ++i) {
+    if (std::abs(qr_(i, i)) > rel_tol * dmax) ++r;
+  }
+  return r;
+}
+
+Vector least_squares(const Matrix& a, std::span<const Real> b) {
+  return HouseholderQr(a).solve(b);
+}
+
+}  // namespace extdict::la

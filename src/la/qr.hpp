@@ -1,0 +1,44 @@
+#pragma once
+
+#include <span>
+
+#include "la/matrix.hpp"
+#include "la/types.hpp"
+
+namespace extdict::la {
+
+/// Householder QR factorisation of a tall (rows >= cols) matrix, used for
+/// least-squares solves: the pseudo-inverse application `D⁺ a` in the OMP
+/// reference path, RCSS's dense projection `C = D⁺ A`, and tests.
+class HouseholderQr {
+ public:
+  /// Factors `a` (rows >= cols required). The factorisation is stored
+  /// compactly (Householder vectors below the diagonal of R).
+  explicit HouseholderQr(Matrix a);
+
+  [[nodiscard]] Index rows() const noexcept { return qr_.rows(); }
+  [[nodiscard]] Index cols() const noexcept { return qr_.cols(); }
+
+  /// Least-squares solution of min_x ||A x - b||_2; b.size() == rows().
+  [[nodiscard]] Vector solve(std::span<const Real> b) const;
+
+  /// Solves for every column of B at once; returns the cols() x B.cols()
+  /// solution matrix.
+  [[nodiscard]] Matrix solve_many(const Matrix& b) const;
+
+  /// Rank estimate from the magnitude of R's diagonal relative to the
+  /// largest diagonal entry.
+  [[nodiscard]] Index rank(Real rel_tol = 1e-10) const;
+
+ private:
+  Matrix qr_;    // Householder vectors + R
+  Vector beta_;  // Householder scalars
+
+  void apply_qt(std::span<Real> v) const;          // v := Q^T v
+  void back_substitute(std::span<Real> v) const;   // R x = v(0..cols)
+};
+
+/// Convenience one-shot least squares: returns argmin_x ||A x - b||.
+[[nodiscard]] Vector least_squares(const Matrix& a, std::span<const Real> b);
+
+}  // namespace extdict::la

@@ -1,0 +1,39 @@
+#include "la/random.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace extdict::la {
+
+std::vector<Index> Rng::sample_without_replacement(Index n, Index count) {
+  if (count > n || count < 0) {
+    throw std::invalid_argument("sample_without_replacement: count > n");
+  }
+  // Partial Fisher-Yates: O(n) memory but only `count` swaps; fine at the
+  // problem sizes the library targets and exactly uniform.
+  std::vector<Index> pool(static_cast<std::size_t>(n));
+  std::iota(pool.begin(), pool.end(), Index{0});
+  for (Index i = 0; i < count; ++i) {
+    const Index j = uniform_index(i, n - 1);
+    std::swap(pool[static_cast<std::size_t>(i)], pool[static_cast<std::size_t>(j)]);
+  }
+  pool.resize(static_cast<std::size_t>(count));
+  return pool;
+}
+
+std::vector<Index> Rng::permutation(Index n) {
+  std::vector<Index> p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), Index{0});
+  std::shuffle(p.begin(), p.end(), engine_);
+  return p;
+}
+
+Matrix Rng::gaussian_matrix(Index rows, Index cols, bool normalize_columns) {
+  Matrix m(rows, cols);
+  fill_gaussian({m.data(), static_cast<std::size_t>(m.size())});
+  if (normalize_columns) m.normalize_columns();
+  return m;
+}
+
+}  // namespace extdict::la

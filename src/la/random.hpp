@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "la/types.hpp"
+
+namespace extdict::la {
+
+/// Deterministic RNG wrapper. All randomness in the library flows through
+/// this type so every experiment is reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eedULL) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] Index uniform_index(Index lo, Index hi) {
+    std::uniform_int_distribution<Index> d(lo, hi);
+    return d(engine_);
+  }
+
+  [[nodiscard]] Real uniform(Real lo = 0, Real hi = 1) {
+    std::uniform_real_distribution<Real> d(lo, hi);
+    return d(engine_);
+  }
+
+  [[nodiscard]] Real gaussian(Real mean = 0, Real stddev = 1) {
+    std::normal_distribution<Real> d(mean, stddev);
+    return d(engine_);
+  }
+
+  void fill_gaussian(std::span<Real> x, Real mean = 0, Real stddev = 1) {
+    std::normal_distribution<Real> d(mean, stddev);
+    for (Real& v : x) v = d(engine_);
+  }
+
+  void fill_uniform(std::span<Real> x, Real lo = 0, Real hi = 1) {
+    std::uniform_real_distribution<Real> d(lo, hi);
+    for (Real& v : x) v = d(engine_);
+  }
+
+  /// `count` distinct indices drawn uniformly from [0, n), in random order.
+  /// This is how ExD draws its dictionary columns (Alg. 1 step 0).
+  [[nodiscard]] std::vector<Index> sample_without_replacement(Index n, Index count);
+
+  /// Random permutation of [0, n).
+  [[nodiscard]] std::vector<Index> permutation(Index n);
+
+  /// Gaussian random matrix, optionally with unit-norm columns.
+  [[nodiscard]] Matrix gaussian_matrix(Index rows, Index cols,
+                                       bool normalize_columns = false);
+
+  /// Derives an independent child RNG (e.g. one per SPMD rank) from this one.
+  [[nodiscard]] Rng fork() {
+    return Rng(static_cast<std::uint64_t>(engine_()) * 0x9e3779b97f4a7c15ULL + 1);
+  }
+
+  std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace extdict::la

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace extdict::la {
+
+/// Scalar type used throughout the library. The paper's cost model counts
+/// "words"; one word == one `Real`.
+using Real = double;
+
+/// Index type for matrix dimensions and sparse structures. Signed to allow
+/// safe arithmetic in loop bounds (per C++ Core Guidelines ES.100-ish usage
+/// of one consistent signed index type).
+using Index = std::ptrdiff_t;
+
+}  // namespace extdict::la

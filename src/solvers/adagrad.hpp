@@ -1,0 +1,43 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "la/types.hpp"
+
+namespace extdict::solvers {
+
+using la::Index;
+using la::Real;
+
+/// Per-coordinate Adagrad step sizes (Duchi et al. [36], the update rule the
+/// paper uses for both its gradient-descent LASSO and the SGD baseline):
+/// accumulate squared gradients and scale the base rate by 1/sqrt(acc + ε).
+class Adagrad {
+ public:
+  Adagrad(Index dim, Real base_rate, Real epsilon = 1e-8);
+
+  /// Applies one descent step x -= rate_i * g_i in place and updates the
+  /// accumulators.
+  void step(std::span<const Real> gradient, std::span<Real> x);
+
+  /// Effective step size currently associated with coordinate i (used by the
+  /// proximal L1 update, which must shrink with the same per-coordinate
+  /// rate).
+  [[nodiscard]] Real rate(Index i) const noexcept;
+
+  /// Accumulates only (for callers that fuse the step with a prox operator).
+  void accumulate(std::span<const Real> gradient);
+
+  void reset();
+
+ private:
+  std::vector<Real> accum_;
+  Real base_rate_;
+  Real epsilon_;
+};
+
+/// Soft-thresholding operator: sign(v) * max(|v| - t, 0) — the prox of t·|·|.
+[[nodiscard]] Real soft_threshold(Real v, Real t) noexcept;
+
+}  // namespace extdict::solvers

@@ -1,0 +1,36 @@
+#pragma once
+
+#include "core/gram_operator.hpp"
+#include "la/types.hpp"
+
+namespace extdict::solvers {
+
+using core::GramOperator;
+using la::Index;
+using la::Real;
+
+/// Conjugate gradient for shifted Gram systems (G + shift·I) x = b.
+///
+/// G = AᵀA is positive semi-definite, so any shift > 0 makes the system
+/// SPD and CG applies. This is the workhorse behind the Ridge closed-form
+/// path and the LS-SVM solver; like every solver in the library it runs
+/// against the GramOperator interface, so the ExD-transformed product
+/// accelerates it transparently.
+struct CgConfig {
+  Real shift = 0;
+  int max_iterations = 500;
+  Real tolerance = 1e-10;  ///< relative residual ||r|| / ||b||
+};
+
+struct CgResult {
+  la::Vector x;
+  int iterations = 0;
+  Real relative_residual = 0;
+  bool converged = false;
+};
+
+[[nodiscard]] CgResult conjugate_gradient(const GramOperator& op,
+                                          const la::Vector& b,
+                                          const CgConfig& config);
+
+}  // namespace extdict::solvers

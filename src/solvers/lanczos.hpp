@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/gram_operator.hpp"
+#include "la/matrix.hpp"
+
+namespace extdict::solvers {
+
+using core::GramOperator;
+using la::Index;
+using la::Matrix;
+using la::Real;
+
+/// Lanczos iteration with full reorthogonalisation for the top-k spectrum
+/// of the Gram matrix — an extension beyond the paper's Power method
+/// (mentioned as its natural competitor for large-scale PCA): one Krylov
+/// subspace yields all k leading eigenvalues at once instead of k deflated
+/// power runs. `bench/ablation_lanczos` quantifies the saving in Gram
+/// products, which is what the ExD transform makes cheap.
+struct LanczosConfig {
+  int num_eigenpairs = 10;
+  int max_subspace = 0;    ///< Krylov dimension cap (0 = 4k + 20)
+  Real tolerance = 1e-9;   ///< residual bound on the Ritz pairs
+  std::uint64_t seed = 37;
+};
+
+struct LanczosResult {
+  std::vector<Real> eigenvalues;  ///< non-increasing
+  Matrix eigenvectors;            ///< N x k Ritz vectors
+  int gram_products = 0;          ///< operator applications consumed
+  int subspace_dimension = 0;
+};
+
+[[nodiscard]] LanczosResult lanczos(const GramOperator& op,
+                                    const LanczosConfig& config);
+
+/// Eigenvalues (ascending) and optionally eigenvectors of a symmetric
+/// tridiagonal matrix given its diagonal and sub-diagonal, via the implicit
+/// QL algorithm. Exposed for tests; `z` (if non-null) must be initialised
+/// to the identity (or a basis to rotate) with `diag.size()` columns.
+void tridiagonal_eigen(std::vector<Real>& diag, std::vector<Real>& sub,
+                       Matrix* z);
+
+}  // namespace extdict::solvers

@@ -1,0 +1,268 @@
+#include "solvers/lasso.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/dist_gram.hpp"
+#include "la/blas.hpp"
+#include "la/random.hpp"
+#include "solvers/adagrad.hpp"
+
+namespace extdict::solvers {
+
+namespace {
+
+// Spectral norm of the Gram operator (largest eigenvalue of AᵀA) estimated
+// with a short power iteration; 1/λmax is the classical ISTA step.
+Real estimate_gram_norm(const GramOperator& op) {
+  la::Rng rng(97);
+  la::Vector x(static_cast<std::size_t>(op.dim()));
+  la::Vector gx(static_cast<std::size_t>(op.dim()));
+  rng.fill_gaussian(x);
+  Real lambda = 1;
+  for (int it = 0; it < 30; ++it) {
+    op.apply(x, gx);
+    lambda = la::nrm2(gx);
+    if (lambda == Real{0}) return 1;
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] = gx[i] / lambda;
+  }
+  return lambda;
+}
+
+}  // namespace
+
+Real elastic_net_objective(const GramOperator& op, const la::Vector& y,
+                           const la::Vector& x, Real l1, Real l2) {
+  la::Vector ax(static_cast<std::size_t>(op.data_dim()));
+  op.apply_forward(x, ax);
+  Real fit = 0;
+  for (std::size_t i = 0; i < ax.size(); ++i) {
+    const Real d = ax[i] - y[i];
+    fit += d * d;
+  }
+  Real abs_sum = 0, sq_sum = 0;
+  for (Real v : x) {
+    abs_sum += std::abs(v);
+    sq_sum += v * v;
+  }
+  return Real{0.5} * fit + l1 * abs_sum + Real{0.5} * l2 * sq_sum;
+}
+
+Real lasso_objective(const GramOperator& op, const la::Vector& y,
+                     const la::Vector& x, Real lambda) {
+  return elastic_net_objective(op, y, x, lambda, 0);
+}
+
+LassoResult lasso_solve(const GramOperator& op, const la::Vector& y,
+                        const LassoConfig& config) {
+  const Index n = op.dim();
+  if (static_cast<Index>(y.size()) != op.data_dim()) {
+    throw std::invalid_argument("lasso_solve: y size mismatch");
+  }
+
+  la::Vector aty(static_cast<std::size_t>(n));
+  op.apply_adjoint(y, aty);
+
+  const Real rate = config.base_rate > 0
+                        ? config.base_rate
+                        : 1 / (estimate_gram_norm(op) + config.lambda2);
+
+  LassoResult result;
+  result.x.assign(static_cast<std::size_t>(n), Real{0});
+  la::Vector g(static_cast<std::size_t>(n));
+  Adagrad adagrad(n, rate);
+
+  for (int it = 0; it < config.max_iterations; ++it) {
+    // g = G x - Aᵀy (+ lambda2 x for the Elastic-Net/Ridge smooth part).
+    op.apply(result.x, g);
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      g[i] += config.lambda2 * result.x[i] - aty[i];
+    }
+
+    Real change_sq = 0, x_sq = 0;
+    if (config.use_adagrad) {
+      adagrad.accumulate(g);
+      for (std::size_t i = 0; i < g.size(); ++i) {
+        const Real r = adagrad.rate(static_cast<Index>(i));
+        const Real next =
+            soft_threshold(result.x[i] - r * g[i], r * config.lambda);
+        const Real d = next - result.x[i];
+        change_sq += d * d;
+        result.x[i] = next;
+        x_sq += next * next;
+      }
+    } else {
+      for (std::size_t i = 0; i < g.size(); ++i) {
+        const Real next =
+            soft_threshold(result.x[i] - rate * g[i], rate * config.lambda);
+        const Real d = next - result.x[i];
+        change_sq += d * d;
+        result.x[i] = next;
+        x_sq += next * next;
+      }
+    }
+    result.iterations = it + 1;
+
+    if (config.objective_every > 0 && (it % config.objective_every == 0)) {
+      result.objective_trace.emplace_back(
+          it, elastic_net_objective(op, y, result.x, config.lambda,
+                                    config.lambda2));
+    }
+    if (std::sqrt(change_sq) <=
+        config.tolerance * std::max(Real{1}, std::sqrt(x_sq))) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.final_objective =
+      elastic_net_objective(op, y, result.x, config.lambda, config.lambda2);
+  return result;
+}
+
+LassoResult ridge_solve(const GramOperator& op, const la::Vector& y, Real l2,
+                        int max_iterations, Real tolerance) {
+  LassoConfig config;
+  config.lambda = 0;
+  config.lambda2 = l2;
+  config.max_iterations = max_iterations;
+  config.tolerance = tolerance;
+  config.use_adagrad = false;  // the ridge objective is smooth & strongly convex
+  return lasso_solve(op, y, config);
+}
+
+DistLassoResult lasso_solve_distributed(const dist::Cluster& cluster,
+                                        const Matrix& d, const CscMatrix& c,
+                                        const la::Vector& y,
+                                        const LassoConfig& config) {
+  const Index m = d.rows();
+  const Index l = d.cols();
+  const Index n = c.cols();
+  if (static_cast<Index>(y.size()) != m) {
+    throw std::invalid_argument("lasso_solve_distributed: y size mismatch");
+  }
+
+  // The step size must be identical on every rank; estimate it once up
+  // front with the serial operator (the paper's API measures platform
+  // constants in the same offline spirit).
+  const core::TransformedGramOperator op(d, c);
+  const Real rate = config.base_rate > 0
+                        ? config.base_rate
+                        : 1 / (estimate_gram_norm(op) + config.lambda2);
+
+  const core::ColumnPartition part{n, cluster.topology().total()};
+
+  DistLassoResult result;
+  result.x.assign(static_cast<std::size_t>(n), Real{0});
+  int iterations_shared = 0;
+  bool converged_shared = false;
+
+  dist::RunStats stats = cluster.run([&](dist::Communicator& comm) {
+    const Index rank = comm.rank();
+    const Index b = part.begin(rank);
+    const Index e = part.end(rank);
+    const Index local_n = e - b;
+
+    std::uint64_t nnz_local = 0;
+    for (Index j = b; j < e; ++j) nnz_local += static_cast<std::uint64_t>(c.col_nnz(j));
+    comm.cost().record_memory(
+        nnz_local * 3 / 2 + static_cast<std::uint64_t>(local_n) * 3 +
+        (rank == 0 ? static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(l) +
+                         static_cast<std::uint64_t>(m)
+                   : 0));
+
+    // One-time: aty_local = (Cᵀ Dᵀ y)_local. Rank 0 owns D and y, computes
+    // w = Dᵀ y, and broadcasts the L-vector.
+    la::Vector w(static_cast<std::size_t>(l));
+    if (rank == 0) {
+      la::gemv_t(1, d, y, 0, w);
+      comm.cost().add_flops(la::gemv_flops(m, l));
+    }
+    comm.broadcast(0, std::span<Real>(w));
+    la::Vector aty_local(static_cast<std::size_t>(local_n));
+    c.spmv_t_range(b, e, w, aty_local);
+    comm.cost().add_flops(2 * nnz_local);
+
+    la::Vector x_local(static_cast<std::size_t>(local_n), Real{0});
+    la::Vector g_local(static_cast<std::size_t>(local_n));
+    la::Vector v1(static_cast<std::size_t>(l));
+    la::Vector v2(static_cast<std::size_t>(m));
+    la::Vector v3(static_cast<std::size_t>(l));
+    Adagrad adagrad(std::max<Index>(local_n, 1), rate);
+
+    int it = 0;
+    bool converged = false;
+    for (; it < config.max_iterations; ++it) {
+      // Gram product through Alg. 2 (Case 1 layout: D on rank 0).
+      std::fill(v1.begin(), v1.end(), Real{0});
+      c.spmv_range(b, e, x_local, v1);
+      comm.cost().add_flops(2 * nnz_local);
+      comm.reduce_sum(0, v1);
+      if (rank == 0) {
+        la::gemv(1, d, v1, 0, v2);
+        la::gemv_t(1, d, v2, 0, v3);
+        comm.cost().add_flops(2 * la::gemv_flops(m, l));
+      }
+      comm.broadcast(0, std::span<Real>(v3));
+      c.spmv_t_range(b, e, v3, g_local);
+      comm.cost().add_flops(2 * nnz_local);
+
+      // g = Gx - Aᵀy (+ lambda2 x); proximal Adagrad step on the slice.
+      for (std::size_t i = 0; i < g_local.size(); ++i) {
+        g_local[i] += config.lambda2 * x_local[i] - aty_local[i];
+      }
+
+      Real change_sq = 0, x_sq = 0;
+      if (local_n > 0) {
+        if (config.use_adagrad) {
+          adagrad.accumulate(g_local);
+          for (std::size_t i = 0; i < g_local.size(); ++i) {
+            const Real r = adagrad.rate(static_cast<Index>(i));
+            const Real next =
+                soft_threshold(x_local[i] - r * g_local[i], r * config.lambda);
+            const Real delta = next - x_local[i];
+            change_sq += delta * delta;
+            x_local[i] = next;
+            x_sq += next * next;
+          }
+        } else {
+          for (std::size_t i = 0; i < g_local.size(); ++i) {
+            const Real next = soft_threshold(x_local[i] - rate * g_local[i],
+                                             rate * config.lambda);
+            const Real delta = next - x_local[i];
+            change_sq += delta * delta;
+            x_local[i] = next;
+            x_sq += next * next;
+          }
+        }
+        comm.cost().add_flops(static_cast<std::uint64_t>(local_n) * 6);
+      }
+
+      const Real total_change = comm.allreduce_sum_scalar(change_sq);
+      const Real total_x = comm.allreduce_sum_scalar(x_sq);
+      if (std::sqrt(total_change) <=
+          config.tolerance * std::max(Real{1}, std::sqrt(total_x))) {
+        converged = true;
+        ++it;
+        break;
+      }
+    }
+
+    std::vector<Index> counts;
+    const la::Vector gathered =
+        comm.gather(0, std::span<const Real>(x_local), &counts);
+    if (rank == 0) {
+      std::copy(gathered.begin(), gathered.end(), result.x.begin());
+      iterations_shared = it;
+      converged_shared = converged;
+    }
+  });
+
+  result.stats = std::move(stats);
+  result.iterations = iterations_shared;
+  result.converged = converged_shared;
+  result.final_objective =
+      elastic_net_objective(op, y, result.x, config.lambda, config.lambda2);
+  return result;
+}
+
+}  // namespace extdict::solvers

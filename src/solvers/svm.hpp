@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/gram_operator.hpp"
+#include "la/matrix.hpp"
+#include "solvers/cg.hpp"
+
+namespace extdict::solvers {
+
+/// Least-Squares SVM classifier over the columns of A (Suykens & Vandewalle
+/// 1999) with the linear kernel K = AᵀA — the paper's third family of
+/// target algorithms ("interior point methods for solving SVM [10]"; LS-SVM
+/// replaces the inequality constraints with equalities, reducing training
+/// to one Gram-matrix linear system, which the ExD transform accelerates
+/// like every other iterative update on G).
+///
+/// Training solves
+///     [ 0    1ᵀ          ] [ b ]   [ 0 ]
+///     [ 1    K + I/gamma ] [ a ] = [ y ]
+/// by block elimination with two conjugate-gradient solves on
+/// (K + I/gamma); prediction is f(x) = Σ a_i <x_i, x> + b.
+struct SvmConfig {
+  Real gamma = 10;        ///< inverse regularisation (larger = harder margin)
+  int max_cg_iterations = 500;
+  Real cg_tolerance = 1e-10;
+};
+
+class LsSvm {
+ public:
+  /// Trains on the operator's N columns with labels y in {-1, +1}.
+  LsSvm(const core::GramOperator& op, const la::Vector& labels,
+        const SvmConfig& config);
+
+  /// Decision value for a new signal (length = data_dim of the operator).
+  [[nodiscard]] Real decision(std::span<const Real> signal) const;
+
+  /// Class in {-1, +1}.
+  [[nodiscard]] int classify(std::span<const Real> signal) const {
+    return decision(signal) >= 0 ? 1 : -1;
+  }
+
+  /// Decision values for the training columns themselves (via K a + b).
+  [[nodiscard]] la::Vector training_decisions() const;
+
+  [[nodiscard]] Real bias() const noexcept { return bias_; }
+  [[nodiscard]] const la::Vector& dual_coefficients() const noexcept {
+    return alpha_;
+  }
+  [[nodiscard]] int cg_iterations() const noexcept { return cg_iterations_; }
+
+ private:
+  const core::GramOperator* op_;
+  la::Vector alpha_;
+  Real bias_ = 0;
+  int cg_iterations_ = 0;
+};
+
+/// Fraction of correctly classified training columns (sanity metric used by
+/// the tests and the example).
+[[nodiscard]] Real training_accuracy(const LsSvm& svm, const la::Vector& labels);
+
+}  // namespace extdict::solvers

@@ -1,0 +1,135 @@
+#include "sparsecoding/batch_omp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "la/blas.hpp"
+#include "la/cholesky.hpp"
+
+namespace extdict::sparsecoding {
+
+BatchOmp::BatchOmp(const Matrix& dict, OmpConfig config)
+    : dict_(&dict), gram_(la::gram(dict)), config_(config) {
+  max_atoms_ = config_.max_atoms > 0
+                   ? std::min(config_.max_atoms, std::min(dict.rows(), dict.cols()))
+                   : std::min(dict.rows(), dict.cols());
+}
+
+SparseCode BatchOmp::encode(std::span<const Real> signal) const {
+  const Index m = dict_->rows();
+  const Index l = dict_->cols();
+  if (static_cast<Index>(signal.size()) != m) {
+    throw std::invalid_argument("BatchOmp::encode: signal size mismatch");
+  }
+
+  SparseCode code;
+  const Real eps0 = la::dot(signal, signal);
+  if (eps0 == Real{0} || max_atoms_ == 0) return code;
+  // Stop when ||r||² <= (ε ||x||)².
+  const Real target_sq = config_.tolerance * config_.tolerance * eps0;
+
+  // alpha0 = Dᵀ x (computed once); alpha = Dᵀ r maintained via the Gram.
+  la::Vector alpha0(static_cast<std::size_t>(l));
+  la::gemv_t(1, *dict_, signal, 0, alpha0);
+  la::Vector alpha = alpha0;
+
+  la::ProgressiveCholesky chol(max_atoms_);
+  std::vector<Index> selected;
+  std::vector<bool> used(static_cast<std::size_t>(l), false);
+  la::Vector gamma;                 // coefficients on the selection
+  la::Vector g_new;                 // G(selected, k) scratch
+  la::Vector beta(static_cast<std::size_t>(l));
+  Real eps = eps0;
+
+  while (eps > target_sq && static_cast<Index>(selected.size()) < max_atoms_) {
+    Index best = -1;
+    Real best_abs = 0;
+    for (Index j = 0; j < l; ++j) {
+      if (used[static_cast<std::size_t>(j)]) continue;
+      const Real a = std::abs(alpha[static_cast<std::size_t>(j)]);
+      if (a > best_abs) {
+        best_abs = a;
+        best = j;
+      }
+    }
+    if (best < 0 || best_abs <= 1e-14 * std::sqrt(eps0)) break;
+
+    // Grow the Cholesky factor of G(selected, selected).
+    const Index k = static_cast<Index>(selected.size());
+    g_new.resize(static_cast<std::size_t>(k));
+    for (Index a = 0; a < k; ++a) {
+      g_new[static_cast<std::size_t>(a)] =
+          gram_(selected[static_cast<std::size_t>(a)], best);
+    }
+    if (!chol.append(g_new, gram_(best, best))) {
+      // Linearly dependent atom — exclude it and keep searching.
+      used[static_cast<std::size_t>(best)] = true;
+      alpha[static_cast<std::size_t>(best)] = 0;
+      continue;
+    }
+    used[static_cast<std::size_t>(best)] = true;
+    selected.push_back(best);
+    ++code.iterations;
+
+    // gamma = G(S,S)⁻¹ alpha0(S).
+    const Index ks = static_cast<Index>(selected.size());
+    gamma.resize(static_cast<std::size_t>(ks));
+    for (Index a = 0; a < ks; ++a) {
+      gamma[static_cast<std::size_t>(a)] =
+          alpha0[static_cast<std::size_t>(selected[static_cast<std::size_t>(a)])];
+    }
+    chol.solve_in_place(gamma);
+
+    // alpha = alpha0 - G(:,S) gamma; residual energy via the normal
+    // equations: ||r||² = ||x||² - alpha0(S)ᵀ gamma.
+    std::copy(alpha0.begin(), alpha0.end(), beta.begin());
+    for (Index a = 0; a < ks; ++a) {
+      const Index atom = selected[static_cast<std::size_t>(a)];
+      const Real ga = gamma[static_cast<std::size_t>(a)];
+      if (ga == Real{0}) continue;
+      la::axpy(-ga, gram_.col(atom), beta);
+    }
+    alpha = beta;
+    for (const Index s : selected) alpha[static_cast<std::size_t>(s)] = 0;
+
+    Real fit = 0;
+    for (Index a = 0; a < ks; ++a) {
+      fit += gamma[static_cast<std::size_t>(a)] *
+             alpha0[static_cast<std::size_t>(selected[static_cast<std::size_t>(a)])];
+    }
+    eps = std::max(Real{0}, eps0 - fit);
+  }
+
+  code.entries.reserve(selected.size());
+  for (std::size_t a = 0; a < selected.size(); ++a) {
+    code.entries.emplace_back(selected[a], gamma[a]);
+  }
+  code.residual_norm = std::sqrt(eps);
+  return code;
+}
+
+la::CscMatrix BatchOmp::encode_all(const Matrix& signals) const {
+  if (signals.rows() != dict_->rows()) {
+    throw std::invalid_argument("BatchOmp::encode_all: row mismatch");
+  }
+  const Index n = signals.cols();
+  std::vector<std::vector<std::pair<Index, Real>>> columns(
+      static_cast<std::size_t>(n));
+#pragma omp parallel for schedule(dynamic, 16) if (n > 1)
+  for (Index j = 0; j < n; ++j) {
+    columns[static_cast<std::size_t>(j)] = encode(signals.col(j)).entries;
+  }
+  return la::CscMatrix::from_columns(dict_->cols(), columns);
+}
+
+std::uint64_t BatchOmp::encode_flops(Index k) const noexcept {
+  const auto m = static_cast<std::uint64_t>(dict_->rows());
+  const auto l = static_cast<std::uint64_t>(dict_->cols());
+  const auto kk = static_cast<std::uint64_t>(k);
+  // Dᵀx (2ML) + per-iteration argmax (L) + Gram column update (2L·k) +
+  // triangular solves (k²).
+  return 2 * m * l + kk * (l + 2 * l * kk / 2 + kk * kk);
+}
+
+}  // namespace extdict::sparsecoding

@@ -1,0 +1,95 @@
+#include "sparsecoding/omp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "la/blas.hpp"
+#include "la/cholesky.hpp"
+
+namespace extdict::sparsecoding {
+
+SparseCode omp_sparse_code(const Matrix& dict, std::span<const Real> signal,
+                           const OmpConfig& config) {
+  const Index m = dict.rows();
+  const Index l = dict.cols();
+  if (static_cast<Index>(signal.size()) != m) {
+    throw std::invalid_argument("omp_sparse_code: signal size mismatch");
+  }
+  const Index max_atoms =
+      config.max_atoms > 0 ? std::min(config.max_atoms, std::min(m, l))
+                           : std::min(m, l);
+
+  const Real signal_norm = la::nrm2(signal);
+  SparseCode code;
+  if (signal_norm == Real{0} || max_atoms == 0) return code;
+  const Real target = config.tolerance * signal_norm;
+
+  la::Vector residual(signal.begin(), signal.end());
+  la::Vector correlations(static_cast<std::size_t>(l));
+  std::vector<Index> selected;
+  std::vector<bool> used(static_cast<std::size_t>(l), false);
+  Real residual_norm = signal_norm;
+
+  while (residual_norm > target &&
+         static_cast<Index>(selected.size()) < max_atoms) {
+    // Step 3.1: most correlated unused atom.
+    la::gemv_t(1, dict, residual, 0, correlations);
+    Index best = -1;
+    Real best_abs = 0;
+    for (Index j = 0; j < l; ++j) {
+      if (used[static_cast<std::size_t>(j)]) continue;
+      const Real a = std::abs(correlations[static_cast<std::size_t>(j)]);
+      if (a > best_abs) {
+        best_abs = a;
+        best = j;
+      }
+    }
+    if (best < 0 || best_abs <= 1e-14 * signal_norm) break;  // residual ⟂ dict
+    used[static_cast<std::size_t>(best)] = true;
+    selected.push_back(best);
+    ++code.iterations;
+
+    // Steps 3.3/3.4: least-squares fit on the selection via the normal
+    // equations, then an explicit residual.
+    const Index k = static_cast<Index>(selected.size());
+    Matrix g(k, k);
+    la::Vector rhs(static_cast<std::size_t>(k));
+    for (Index a = 0; a < k; ++a) {
+      const auto ca = dict.col(selected[static_cast<std::size_t>(a)]);
+      rhs[static_cast<std::size_t>(a)] = la::dot(ca, signal);
+      for (Index b = 0; b <= a; ++b) {
+        const Real v = la::dot(ca, dict.col(selected[static_cast<std::size_t>(b)]));
+        g(a, b) = v;
+        g(b, a) = v;
+      }
+    }
+    la::Vector gamma;
+    try {
+      gamma = la::Cholesky(g).solve(rhs);
+    } catch (const std::domain_error&) {
+      // Dependent atom slipped in; drop it and stop.
+      selected.pop_back();
+      break;
+    }
+
+    residual.assign(signal.begin(), signal.end());
+    for (Index a = 0; a < k; ++a) {
+      la::axpy(-gamma[static_cast<std::size_t>(a)],
+               dict.col(selected[static_cast<std::size_t>(a)]), residual);
+    }
+    residual_norm = la::nrm2(residual);
+
+    code.entries.clear();
+    code.entries.reserve(static_cast<std::size_t>(k));
+    for (Index a = 0; a < k; ++a) {
+      code.entries.emplace_back(selected[static_cast<std::size_t>(a)],
+                                gamma[static_cast<std::size_t>(a)]);
+    }
+  }
+
+  code.residual_norm = residual_norm;
+  return code;
+}
+
+}  // namespace extdict::sparsecoding

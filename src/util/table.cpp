@@ -1,0 +1,65 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace extdict::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("Table: empty header");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("Table: row width does not match header");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "| " : " ");
+      out << row[c] << std::string(width[c] - row[c].size(), ' ') << " |";
+    }
+    out << '\n';
+  };
+  emit(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out << (c == 0 ? "|" : "") << std::string(width[c] + 2, '-') << "|";
+  }
+  out << '\n';
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string fmt(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", digits, value);
+  return buf;
+}
+
+std::string fmt_count(std::uint64_t value) {
+  std::string raw = std::to_string(value);
+  std::string out;
+  out.reserve(raw.size() + raw.size() / 3);
+  const std::size_t lead = raw.size() % 3 == 0 ? 3 : raw.size() % 3;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out.push_back(',');
+    out.push_back(raw[i]);
+  }
+  return out;
+}
+
+}  // namespace extdict::util

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace extdict::util {
+
+/// Minimal ASCII table printer used by the benchmark harness to emit the
+/// rows/series of the paper's tables and figures.
+///
+/// Usage:
+///   Table t({"dataset", "L", "alpha(L)"});
+///   t.add_row({"salina", "200", "12.4"});
+///   std::cout << t.str();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table with a separator line under the header; columns are
+  /// padded to the widest cell.
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant digits (drops trailing noise
+/// for table cells).
+std::string fmt(double value, int digits = 4);
+
+/// Formats an integer count with thousands separators ("1,234,567").
+std::string fmt_count(std::uint64_t value);
+
+}  // namespace extdict::util

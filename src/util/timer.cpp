@@ -1,0 +1,24 @@
+#include "util/timer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace extdict::util {
+
+std::string format_duration_ms(double ms) {
+  char buf[64];
+  if (ms < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", ms);
+  } else if (ms < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1f ms", ms);
+  } else if (ms < 60e3) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", ms / 1e3);
+  } else {
+    const int minutes = static_cast<int>(ms / 60e3);
+    const double seconds = (ms - minutes * 60e3) / 1e3;
+    std::snprintf(buf, sizeof(buf), "%d m %04.1f s", minutes, seconds);
+  }
+  return buf;
+}
+
+}  // namespace extdict::util

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace extdict::util {
+
+/// Monotonic wall-clock stopwatch.
+///
+/// Starts running on construction; `elapsed_ms()` may be sampled repeatedly,
+/// `restart()` resets the origin.
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  void restart() noexcept { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_ms() const noexcept {
+    return elapsed_seconds() * 1e3;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Formats a duration in milliseconds as a short human-readable string
+/// (e.g. "12.3 ms", "4.56 s", "2 m 03 s").
+std::string format_duration_ms(double ms);
+
+}  // namespace extdict::util

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "baselines/oasis.hpp"
+#include "baselines/rankmap.hpp"
+#include "baselines/rcss.hpp"
+#include "core/exd.hpp"
+#include "data/subspace.hpp"
+#include "la/blas.hpp"
+
+namespace extdict::baselines {
+namespace {
+
+Matrix test_data(std::uint64_t seed = 121, Index n = 300) {
+  data::SubspaceModelConfig config;
+  config.ambient_dim = 40;
+  config.num_columns = n;
+  config.num_subspaces = 5;
+  config.subspace_dim = 4;
+  config.seed = seed;
+  return data::make_union_of_subspaces(config).a;
+}
+
+TEST(DenseToCsc, PreservesValuesDropsZeros) {
+  Matrix c = Matrix::from_rows({{1, 0}, {0, 2}, {0, 0}});
+  la::CscMatrix s = dense_to_csc(c);
+  EXPECT_EQ(s.nnz(), 2u);
+  EXPECT_EQ(la::max_abs_diff(s.to_dense(), c), 0.0);
+}
+
+TEST(Rcss, ProducesLeastSquaresProjection) {
+  const Matrix a = test_data();
+  const TransformResult r = rcss_transform(a, 60, 7);
+  EXPECT_EQ(r.method, "RCSS");
+  EXPECT_EQ(r.dictionary.cols(), 60);
+  EXPECT_EQ(r.coefficients.rows(), 60);
+  EXPECT_EQ(r.coefficients.cols(), 300);
+  // Dense projection: essentially every coefficient entry is non-zero.
+  EXPECT_GT(r.coefficients.nnz(), 60u * 300 / 2);
+}
+
+TEST(Rcss, ErrorDecreasesWithL) {
+  const Matrix a = test_data(122);
+  const TransformResult small = rcss_transform(a, 15, 7);
+  const TransformResult big = rcss_transform(a, 120, 7);
+  EXPECT_LT(big.transformation_error, small.transformation_error);
+}
+
+TEST(Rcss, ForErrorMeetsTolerance) {
+  const Matrix a = test_data(123);
+  const TransformResult r = rcss_transform_for_error(a, 0.1, 7);
+  EXPECT_LE(r.transformation_error, 0.1);
+  EXPECT_GT(r.dictionary.cols(), 0);
+  EXPECT_LT(r.dictionary.cols(), 300);
+}
+
+TEST(Rcss, BadLThrows) {
+  const Matrix a = test_data(124, 50);
+  EXPECT_THROW(rcss_transform(a, 0, 1), std::invalid_argument);
+  EXPECT_THROW(rcss_transform(a, 51, 1), std::invalid_argument);
+}
+
+TEST(Oasis, MeetsToleranceWithAdaptiveSelection) {
+  const Matrix a = test_data(125);
+  const TransformResult r = oasis_transform(a, 0.1, 7);
+  EXPECT_EQ(r.method, "oASIS");
+  EXPECT_LE(r.transformation_error, 0.1 * 1.05);
+}
+
+TEST(Oasis, AdaptiveNeedsNoMoreColumnsThanRandom) {
+  // Adaptive selection is the whole point: for the same error it should
+  // select at most about as many columns as random selection.
+  const Matrix a = test_data(126);
+  const TransformResult adaptive = oasis_transform(a, 0.08, 7);
+  const TransformResult random = rcss_transform_for_error(a, 0.08, 7);
+  EXPECT_LE(adaptive.dictionary.cols(),
+            random.dictionary.cols() + random.dictionary.cols() / 4);
+}
+
+TEST(Oasis, MaxLCapRespected) {
+  const Matrix a = test_data(127);
+  const TransformResult r = oasis_transform(a, 1e-9, 7, /*max_l=*/12);
+  EXPECT_LE(r.dictionary.cols(), 12);
+}
+
+TEST(Oasis, ZeroMatrixThrows) {
+  Matrix zero(10, 20);
+  EXPECT_THROW(oasis_transform(zero, 0.1, 1), std::invalid_argument);
+}
+
+TEST(RankMap, MeetsToleranceWithSparseC) {
+  const Matrix a = test_data(128);
+  const TransformResult r = rankmap_transform(a, 0.1, 7);
+  EXPECT_EQ(r.method, "RankMap");
+  EXPECT_LE(r.transformation_error, 0.1);
+  // Sparse coefficients (that is what distinguishes it from RCSS/oASIS).
+  EXPECT_LT(r.coefficients.nnz(),
+            static_cast<std::uint64_t>(r.coefficients.rows()) *
+                static_cast<std::uint64_t>(r.coefficients.cols()) / 4);
+}
+
+TEST(RankMap, PicksSmallerDictionaryThanPlatformTunedExd) {
+  // RankMap minimises L subject to the error; ExD tuned for a compute-rich
+  // platform may choose a (much) larger L. RankMap's choice must be at most
+  // any feasible ExD grid point's L.
+  const Matrix a = test_data(129);
+  const TransformResult rankmap = rankmap_transform(a, 0.1, 7);
+  core::ExdConfig big;
+  big.dictionary_size = 200;
+  big.tolerance = 0.1;
+  big.seed = 7;
+  const core::ExdResult exd = core::exd_transform(a, big);
+  ASSERT_LE(exd.transformation_error, 0.1 * 1.05);
+  EXPECT_LT(rankmap.dictionary.cols(), 200);
+  // And the bigger dictionary is sparser per column — the ExtDict trade.
+  EXPECT_LE(exd.alpha(), static_cast<Real>(rankmap.coefficients.nnz()) /
+                             static_cast<Real>(rankmap.coefficients.cols()) * 1.1);
+}
+
+TEST(Baselines, MemoryWordsOrdering) {
+  // On union-of-subspace data at the same error: ExD with an over-complete
+  // dictionary beats the dense baselines on memory (Table III's shape).
+  const Matrix a = test_data(130);
+  const TransformResult rcss = rcss_transform_for_error(a, 0.1, 7);
+  core::ExdConfig config;
+  config.dictionary_size = 150;
+  config.tolerance = 0.1;
+  config.seed = 7;
+  const core::ExdResult exd = core::exd_transform(a, config);
+  const std::uint64_t exd_words =
+      exd.dictionary.memory_words() + exd.coefficients.memory_words();
+  EXPECT_LT(exd_words, rcss.memory_words());
+}
+
+}  // namespace
+}  // namespace extdict::baselines

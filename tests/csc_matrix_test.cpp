@@ -1,0 +1,206 @@
+#include "la/csc_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "la/blas.hpp"
+#include "la/random.hpp"
+
+namespace extdict::la {
+namespace {
+
+// A fixed 3x4 test matrix:
+//   [1 0 2 0]
+//   [0 3 0 0]
+//   [4 0 5 0]
+CscMatrix small() {
+  CscMatrix::Builder b(3, 4);
+  b.add(0, 1);
+  b.add(2, 4);
+  b.commit_column();
+  b.add(1, 3);
+  b.commit_column();
+  b.add(2, 5);
+  b.add(0, 2);  // unsorted on purpose; builder sorts on commit
+  b.commit_column();
+  return std::move(b).build();
+}
+
+TEST(CscMatrix, BuilderBuildsExpectedStructure) {
+  CscMatrix m = small();
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.nnz(), 5u);
+  EXPECT_EQ(m.col_nnz(0), 2);
+  EXPECT_EQ(m.col_nnz(3), 0);
+  // Rows sorted within each column.
+  auto rows2 = m.col_rows(2);
+  EXPECT_EQ(rows2[0], 0);
+  EXPECT_EQ(rows2[1], 2);
+}
+
+TEST(CscMatrix, ToDenseMatchesLayout) {
+  Matrix d = small().to_dense();
+  Matrix expected = Matrix::from_rows({{1, 0, 2, 0}, {0, 3, 0, 0}, {4, 0, 5, 0}});
+  EXPECT_EQ(max_abs_diff(d, expected), 0.0);
+}
+
+TEST(CscMatrix, BuilderRejectsBadRow) {
+  CscMatrix::Builder b(2, 1);
+  EXPECT_THROW(b.add(5, 1.0), std::out_of_range);
+}
+
+TEST(CscMatrix, DensityPerColumn) {
+  EXPECT_NEAR(small().density_per_column(), 5.0 / 4.0, 1e-15);
+  EXPECT_EQ(CscMatrix(3, 0).density_per_column(), 0.0);
+}
+
+TEST(CscMatrix, SpmvMatchesDense) {
+  Rng rng(2);
+  CscMatrix m = small();
+  Matrix d = m.to_dense();
+  Vector x(4), y_sparse(3), y_dense(3);
+  rng.fill_gaussian(x);
+  m.spmv(x, y_sparse);
+  gemv(1, d, x, 0, y_dense);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(y_sparse[i], y_dense[i], 1e-14);
+}
+
+TEST(CscMatrix, SpmvTMatchesDense) {
+  Rng rng(3);
+  CscMatrix m = small();
+  Matrix d = m.to_dense();
+  Vector w(3), y_sparse(4), y_dense(4);
+  rng.fill_gaussian(w);
+  m.spmv_t(w, y_sparse);
+  gemv_t(1, d, w, 0, y_dense);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(y_sparse[i], y_dense[i], 1e-14);
+}
+
+TEST(CscMatrix, RangeProductsEqualSumOfParts) {
+  // Partition columns into [0,2) and [2,4): partial spmv products must sum
+  // to the full product — the invariant Algorithm 2 step 1 relies on.
+  Rng rng(4);
+  CscMatrix m = small();
+  Vector x(4);
+  rng.fill_gaussian(x);
+  Vector full(3), part(3, 0.0);
+  m.spmv(x, full);
+  m.spmv_range(0, 2, {x.data(), 2}, part);
+  m.spmv_range(2, 4, {x.data() + 2, 2}, part);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(part[i], full[i], 1e-14);
+}
+
+TEST(CscMatrix, SpmvTRangeIsSliceOfFull) {
+  Rng rng(5);
+  CscMatrix m = small();
+  Vector w(3);
+  rng.fill_gaussian(w);
+  Vector full(4);
+  m.spmv_t(w, full);
+  Vector slice(2);
+  m.spmv_t_range(1, 3, w, slice);
+  EXPECT_NEAR(slice[0], full[1], 1e-14);
+  EXPECT_NEAR(slice[1], full[2], 1e-14);
+}
+
+TEST(CscMatrix, SliceColumns) {
+  CscMatrix s = small().slice_columns(1, 3);
+  EXPECT_EQ(s.cols(), 2);
+  EXPECT_EQ(s.nnz(), 3u);
+  Matrix expected = Matrix::from_rows({{0, 2}, {3, 0}, {0, 5}});
+  EXPECT_EQ(max_abs_diff(s.to_dense(), expected), 0.0);
+}
+
+TEST(CscMatrix, SliceColumnsBadRangeThrows) {
+  EXPECT_THROW(small().slice_columns(3, 1), std::out_of_range);
+  EXPECT_THROW(small().slice_columns(0, 9), std::out_of_range);
+}
+
+TEST(CscMatrix, AppendColumns) {
+  CscMatrix a = small();
+  CscMatrix b = small();
+  a.append_columns(b);
+  EXPECT_EQ(a.cols(), 8);
+  EXPECT_EQ(a.nnz(), 10u);
+  EXPECT_EQ(a.col_nnz(4), 2);
+  // The appended block reproduces the original values.
+  Matrix d = a.to_dense();
+  EXPECT_EQ(d(2, 6), 5.0);
+}
+
+TEST(CscMatrix, AppendColumnsRowMismatchThrows) {
+  CscMatrix a = small();
+  CscMatrix b(4, 2);
+  EXPECT_THROW(a.append_columns(b), std::invalid_argument);
+}
+
+TEST(CscMatrix, PadRowsKeepsEntries) {
+  CscMatrix m = small();
+  m.pad_rows(6);
+  EXPECT_EQ(m.rows(), 6);
+  EXPECT_EQ(m.nnz(), 5u);
+  Matrix d = m.to_dense();
+  EXPECT_EQ(d.rows(), 6);
+  EXPECT_EQ(d(2, 2), 5.0);
+  EXPECT_EQ(d(5, 2), 0.0);
+  EXPECT_THROW(m.pad_rows(2), std::invalid_argument);
+}
+
+TEST(CscMatrix, FromColumnsAssembles) {
+  std::vector<std::vector<std::pair<Index, Real>>> cols(2);
+  cols[0] = {{1, 2.0}};
+  cols[1] = {{0, -1.0}, {2, 3.0}};
+  CscMatrix m = CscMatrix::from_columns(3, cols);
+  EXPECT_EQ(m.nnz(), 3u);
+  EXPECT_EQ(m.to_dense()(2, 1), 3.0);
+}
+
+TEST(CscMatrix, MemoryWordsFormula) {
+  // nnz values (1 word each) + nnz row indices + cols+1 pointers at half a
+  // word each (int32): 5 + ceil((5 + 5) / 2) = 10.
+  CscMatrix m = small();
+  EXPECT_EQ(m.memory_words(), 10u);
+}
+
+// Property sweep: random sparse matrices agree with their dense counterpart
+// on both products.
+class CscRandomTest : public ::testing::TestWithParam<std::tuple<Index, Index, double>> {};
+
+TEST_P(CscRandomTest, ProductsMatchDense) {
+  const auto [rows, cols, density] = GetParam();
+  Rng rng(1000 + rows * cols);
+  CscMatrix::Builder builder(rows, cols);
+  for (Index j = 0; j < cols; ++j) {
+    for (Index i = 0; i < rows; ++i) {
+      if (rng.uniform() < density) builder.add(i, rng.gaussian());
+    }
+    builder.commit_column();
+  }
+  CscMatrix m = std::move(builder).build();
+  Matrix d = m.to_dense();
+
+  Vector x(static_cast<std::size_t>(cols)), w(static_cast<std::size_t>(rows));
+  rng.fill_gaussian(x);
+  rng.fill_gaussian(w);
+
+  Vector y1(static_cast<std::size_t>(rows)), y2(static_cast<std::size_t>(rows));
+  m.spmv(x, y1);
+  gemv(1, d, x, 0, y2);
+  for (std::size_t i = 0; i < y1.size(); ++i) EXPECT_NEAR(y1[i], y2[i], 1e-11);
+
+  Vector z1(static_cast<std::size_t>(cols)), z2(static_cast<std::size_t>(cols));
+  m.spmv_t(w, z1);
+  gemv_t(1, d, w, 0, z2);
+  for (std::size_t i = 0; i < z1.size(); ++i) EXPECT_NEAR(z1[i], z2[i], 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CscRandomTest,
+    ::testing::Values(std::tuple<Index, Index, double>{1, 1, 1.0},
+                      std::tuple<Index, Index, double>{10, 30, 0.1},
+                      std::tuple<Index, Index, double>{50, 20, 0.3},
+                      std::tuple<Index, Index, double>{100, 100, 0.02},
+                      std::tuple<Index, Index, double>{5, 200, 0.5}));
+
+}  // namespace
+}  // namespace extdict::la

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/exd.hpp"
+#include "core/gram_operator.hpp"
+#include "data/subspace.hpp"
+#include "solvers/power_method.hpp"
+
+namespace extdict::solvers {
+namespace {
+
+using core::TransformedGramOperator;
+using la::Index;
+using la::Matrix;
+
+struct Problem {
+  Matrix a;
+  core::ExdResult exd;
+};
+
+Problem make_problem(Index l, std::uint64_t seed = 171) {
+  data::SubspaceModelConfig config;
+  config.ambient_dim = 40;
+  config.num_columns = 200;
+  config.num_subspaces = 5;
+  config.subspace_dim = 4;
+  config.seed = seed;
+  Problem p;
+  p.a = data::make_union_of_subspaces(config).a;
+  core::ExdConfig exd;
+  exd.dictionary_size = l;
+  exd.tolerance = 0.05;
+  exd.seed = 3;
+  p.exd = core::exd_transform(p.a, exd);
+  return p;
+}
+
+class DistPowerTest : public ::testing::TestWithParam<dist::Topology> {};
+
+TEST_P(DistPowerTest, SpectrumMatchesSerialPowerMethod) {
+  const Problem p = make_problem(30);  // Case 1 layout (L <= M)
+  PowerConfig config;
+  config.num_eigenpairs = 4;
+  config.tolerance = 1e-9;
+  config.max_iterations = 1500;
+
+  TransformedGramOperator op(p.exd.dictionary, p.exd.coefficients);
+  const PowerResult serial = power_method(op, config);
+
+  const dist::Cluster cluster(GetParam());
+  const DistPowerResult dist =
+      power_method_distributed(cluster, p.exd.dictionary, p.exd.coefficients,
+                               config);
+  ASSERT_EQ(dist.eigenvalues.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(dist.eigenvalues[i], serial.eigenvalues[i],
+                1e-4 * serial.eigenvalues[0])
+        << "pair " << i << " on " << GetParam().name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, DistPowerTest,
+                         ::testing::Values(dist::Topology{1, 1},
+                                           dist::Topology{1, 4},
+                                           dist::Topology{2, 3}));
+
+TEST(DistPower, Case2LayoutAlsoWorks) {
+  const Problem p = make_problem(60);  // L=60 > M=40
+  PowerConfig config;
+  config.num_eigenpairs = 3;
+  config.tolerance = 1e-9;
+  config.max_iterations = 1500;
+  TransformedGramOperator op(p.exd.dictionary, p.exd.coefficients);
+  const PowerResult serial = power_method(op, config);
+  const DistPowerResult dist = power_method_distributed(
+      dist::Cluster(dist::Topology{1, 4}), p.exd.dictionary, p.exd.coefficients,
+      config);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(dist.eigenvalues[i], serial.eigenvalues[i],
+                1e-4 * serial.eigenvalues[0]);
+  }
+}
+
+TEST(DistPower, EigenvaluesNonIncreasingAndCostsMetered) {
+  const Problem p = make_problem(30, 172);
+  PowerConfig config;
+  config.num_eigenpairs = 5;
+  config.max_iterations = 600;
+  const DistPowerResult r = power_method_distributed(
+      dist::Cluster(dist::Topology{1, 4}), p.exd.dictionary, p.exd.coefficients,
+      config);
+  for (std::size_t i = 1; i < r.eigenvalues.size(); ++i) {
+    EXPECT_LE(r.eigenvalues[i], r.eigenvalues[i - 1] * (1 + 1e-6));
+  }
+  EXPECT_GT(r.total_iterations(), 0);
+  EXPECT_GT(r.stats.total_flops(), 0u);
+  EXPECT_GT(r.stats.total_words(), 0u);
+  EXPECT_GT(r.stats.max_peak_memory_words(), 0u);
+}
+
+TEST(DistPower, ShapeMismatchThrows) {
+  const Problem p = make_problem(30, 173);
+  la::CscMatrix bad(p.exd.dictionary.cols() + 1, 10);
+  EXPECT_THROW(power_method_distributed(dist::Cluster(dist::Topology{1, 1}),
+                                        p.exd.dictionary, bad, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace extdict::solvers

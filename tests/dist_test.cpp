@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <numeric>
+#include <thread>
+
+#include "dist/cluster.hpp"
+#include "dist/communicator.hpp"
+#include "dist/mailbox.hpp"
+#include "dist/topology.hpp"
+
+namespace extdict::dist {
+namespace {
+
+using la::Real;
+
+TEST(Topology, LayoutAndNames) {
+  Topology t{.nodes = 2, .cores_per_node = 8};
+  EXPECT_EQ(t.total(), 16);
+  EXPECT_EQ(t.name(), "2x8");
+  EXPECT_EQ(t.node_of(0), 0);
+  EXPECT_EQ(t.node_of(7), 0);
+  EXPECT_EQ(t.node_of(8), 1);
+  EXPECT_TRUE(t.same_node(0, 7));
+  EXPECT_FALSE(t.same_node(7, 8));
+}
+
+TEST(Topology, PaperPlatformsShape) {
+  ASSERT_EQ(std::size(kPaperPlatforms), 4u);
+  EXPECT_EQ(kPaperPlatforms[0].total(), 1);
+  EXPECT_EQ(kPaperPlatforms[1].total(), 4);
+  EXPECT_EQ(kPaperPlatforms[2].total(), 16);
+  EXPECT_EQ(kPaperPlatforms[3].total(), 64);
+}
+
+TEST(Mailbox, FifoPerSenderAndTagMatching) {
+  Mailbox box;
+  box.push({0, 1, {std::byte{1}}});
+  box.push({0, 2, {std::byte{2}}});
+  box.push({0, 1, {std::byte{3}}});
+  // Tag 2 first even though it arrived second.
+  EXPECT_EQ(box.pop(0, 2)[0], std::byte{2});
+  // Tag 1 messages keep FIFO order.
+  EXPECT_EQ(box.pop(0, 1)[0], std::byte{1});
+  EXPECT_EQ(box.pop(0, 1)[0], std::byte{3});
+  EXPECT_TRUE(box.empty());
+}
+
+TEST(Mailbox, PoisonUnblocksPop) {
+  Mailbox box;
+  std::atomic<bool> threw{false};
+  std::thread waiter([&] {
+    try {
+      (void)box.pop(0, 0);
+    } catch (const ClusterAborted&) {
+      threw = true;
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  box.poison();
+  waiter.join();
+  EXPECT_TRUE(threw);
+}
+
+TEST(Cluster, RunsEveryRankOnce) {
+  Cluster cluster(Topology{1, 4});
+  std::array<std::atomic<int>, 4> hits{};
+  cluster.run([&](Communicator& comm) {
+    hits[static_cast<std::size_t>(comm.rank())]++;
+    EXPECT_EQ(comm.size(), 4);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Cluster, PointToPointRoundTrip) {
+  Cluster cluster(Topology{1, 2});
+  cluster.run([](Communicator& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<Real> payload = {1.5, 2.5, 3.5};
+      comm.send(1, 7, std::span<const Real>(payload));
+      const auto echoed = comm.recv_vector<Real>(1, 8);
+      ASSERT_EQ(echoed.size(), 3u);
+      EXPECT_EQ(echoed[2], 7.0);
+    } else {
+      auto got = comm.recv_vector<Real>(0, 7);
+      for (Real& v : got) v *= 2;
+      comm.send(0, 8, std::span<const Real>(got));
+    }
+  });
+}
+
+TEST(Cluster, UserTagsMustBeNonNegative) {
+  Cluster cluster(Topology{1, 1});
+  EXPECT_THROW(cluster.run([](Communicator& comm) {
+    const Real v = 1;
+    comm.send(0, -1, std::span<const Real>(&v, 1));
+  }),
+               std::invalid_argument);
+}
+
+TEST(Cluster, BroadcastDeliversToAllRanks) {
+  for (const Index p : {1, 2, 3, 5, 8}) {
+    Cluster cluster(Topology{1, p});
+    cluster.run([&](Communicator& comm) {
+      std::vector<Real> buf(10, comm.rank() == 2 % p ? 42.0 : -1.0);
+      comm.broadcast(2 % p, std::span<Real>(buf));
+      for (Real v : buf) EXPECT_EQ(v, 42.0) << "p=" << p;
+    });
+  }
+}
+
+TEST(Cluster, ReduceSumsAllContributions) {
+  for (const Index p : {1, 2, 4, 7}) {
+    Cluster cluster(Topology{1, p});
+    cluster.run([&](Communicator& comm) {
+      std::vector<Real> buf = {static_cast<Real>(comm.rank() + 1), 1.0};
+      comm.reduce_sum(0, buf);
+      if (comm.rank() == 0) {
+        const Real expected = static_cast<Real>(p * (p + 1)) / 2;
+        EXPECT_NEAR(buf[0], expected, 1e-12) << "p=" << p;
+        EXPECT_NEAR(buf[1], static_cast<Real>(p), 1e-12);
+      }
+    });
+  }
+}
+
+TEST(Cluster, AllreduceGivesSameAnswerEverywhere) {
+  Cluster cluster(Topology{2, 3});
+  cluster.run([](Communicator& comm) {
+    std::vector<Real> buf = {static_cast<Real>(comm.rank())};
+    comm.allreduce_sum(std::span<Real>(buf));
+    EXPECT_NEAR(buf[0], 15.0, 1e-12);  // 0+1+...+5
+    EXPECT_NEAR(comm.allreduce_sum_scalar(1.0), 6.0, 1e-12);
+    EXPECT_NEAR(comm.allreduce_max_scalar(static_cast<Real>(comm.rank())), 5.0, 1e-12);
+  });
+}
+
+TEST(Cluster, GatherConcatenatesInRankOrder) {
+  Cluster cluster(Topology{1, 4});
+  cluster.run([](Communicator& comm) {
+    // Rank r contributes r+1 copies of the value r.
+    std::vector<Real> local(static_cast<std::size_t>(comm.rank() + 1),
+                            static_cast<Real>(comm.rank()));
+    std::vector<la::Index> counts;
+    auto all = comm.gather(0, std::span<const Real>(local), &counts);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(counts.size(), 4u);
+      EXPECT_EQ(all.size(), 10u);
+      EXPECT_EQ(all[0], 0.0);
+      EXPECT_EQ(all[1], 1.0);
+      EXPECT_EQ(all[9], 3.0);
+      for (la::Index r = 0; r < 4; ++r) EXPECT_EQ(counts[static_cast<std::size_t>(r)], r + 1);
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST(Cluster, ScatterDeliversChunks) {
+  Cluster cluster(Topology{1, 3});
+  cluster.run([](Communicator& comm) {
+    std::vector<std::vector<Real>> chunks;
+    if (comm.rank() == 0) {
+      chunks = {{0.0}, {1.0, 1.0}, {2.0, 2.0, 2.0}};
+    }
+    auto mine = comm.scatter(0, chunks);
+    EXPECT_EQ(mine.size(), static_cast<std::size_t>(comm.rank() + 1));
+    for (Real v : mine) EXPECT_EQ(v, static_cast<Real>(comm.rank()));
+  });
+}
+
+TEST(Cluster, AllgatherGivesEveryoneEverything) {
+  Cluster cluster(Topology{1, 4});
+  cluster.run([](Communicator& comm) {
+    const Real mine = static_cast<Real>(comm.rank() * 10);
+    auto all = comm.allgather(std::span<const Real>(&mine, 1));
+    ASSERT_EQ(all.size(), 4u);
+    for (la::Index r = 0; r < 4; ++r) {
+      EXPECT_EQ(all[static_cast<std::size_t>(r)], static_cast<Real>(r * 10));
+    }
+  });
+}
+
+TEST(Cluster, BarrierSynchronises) {
+  // Every rank increments a counter before the barrier; after the barrier
+  // all ranks must observe the full count.
+  Cluster cluster(Topology{1, 6});
+  std::atomic<int> counter{0};
+  cluster.run([&](Communicator& comm) {
+    counter.fetch_add(1);
+    comm.barrier();
+    EXPECT_EQ(counter.load(), 6);
+  });
+}
+
+TEST(Cluster, ExceptionOnOneRankAbortsAll) {
+  Cluster cluster(Topology{1, 3});
+  EXPECT_THROW(cluster.run([](Communicator& comm) {
+    if (comm.rank() == 1) throw std::runtime_error("boom");
+    // Other ranks block forever waiting for a message that never comes;
+    // the abort must unblock them.
+    (void)comm.recv_vector<Real>(comm.rank() == 0 ? 1 : 0, 5);
+  }),
+               std::runtime_error);
+}
+
+TEST(Cluster, CostCountersMeterWordsAndLocality) {
+  // 2 nodes x 2 cores: rank 0 -> rank 1 is intra-node, rank 0 -> rank 2 is
+  // inter-node. 16 Reals = 16 words each way.
+  Cluster cluster(Topology{2, 2});
+  RunStats stats = cluster.run([](Communicator& comm) {
+    std::vector<Real> buf(16, 1.0);
+    if (comm.rank() == 0) {
+      comm.send(1, 1, std::span<const Real>(buf));
+      comm.send(2, 1, std::span<const Real>(buf));
+    } else if (comm.rank() <= 2) {
+      (void)comm.recv_vector<Real>(0, 1);
+    }
+  });
+  const auto& c0 = stats.per_rank[0];
+  EXPECT_EQ(c0.words_sent_intra, 16u);
+  EXPECT_EQ(c0.words_sent_inter, 16u);
+  EXPECT_EQ(c0.messages_sent, 2u);
+  EXPECT_EQ(stats.per_rank[1].words_recv_intra, 16u);
+  EXPECT_EQ(stats.per_rank[2].words_recv_inter, 16u);
+  EXPECT_EQ(stats.total_words(), 32u);
+}
+
+TEST(Cluster, FlopAndMemoryAccounting) {
+  Cluster cluster(Topology{1, 2});
+  RunStats stats = cluster.run([](Communicator& comm) {
+    comm.cost().add_flops(100 * static_cast<std::uint64_t>(comm.rank() + 1));
+    comm.cost().record_memory(50);
+    comm.cost().record_memory(20);  // high-water mark stays 50
+  });
+  EXPECT_EQ(stats.per_rank[0].flops, 100u);
+  EXPECT_EQ(stats.per_rank[1].flops, 200u);
+  EXPECT_EQ(stats.total_flops(), 300u);
+  EXPECT_EQ(stats.max_rank_flops(), 200u);
+  EXPECT_EQ(stats.max_peak_memory_words(), 50u);
+}
+
+TEST(Cluster, BroadcastWordCountScalesWithTree) {
+  // A binomial broadcast of W words to P ranks moves exactly (P-1)*W words.
+  for (const Index p : {2, 4, 8}) {
+    Cluster cluster(Topology{1, p});
+    RunStats stats = cluster.run([](Communicator& comm) {
+      std::vector<Real> buf(32, 0.0);
+      comm.broadcast(0, std::span<Real>(buf));
+    });
+    EXPECT_EQ(stats.total_words(), static_cast<std::uint64_t>((p - 1) * 32));
+  }
+}
+
+TEST(RunStats, AccumulateAcrossRuns) {
+  RunStats a, b;
+  a.per_rank.resize(2);
+  b.per_rank.resize(2);
+  a.per_rank[0].flops = 10;
+  b.per_rank[0].flops = 5;
+  a.wall_seconds = 1.0;
+  b.wall_seconds = 0.5;
+  a += b;
+  EXPECT_EQ(a.per_rank[0].flops, 15u);
+  EXPECT_DOUBLE_EQ(a.wall_seconds, 1.5);
+  RunStats c;
+  c.per_rank.resize(3);
+  EXPECT_THROW(a += c, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace extdict::dist

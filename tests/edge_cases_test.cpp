@@ -1,0 +1,116 @@
+// Assorted edge cases that the mainline tests do not reach.
+
+#include <gtest/gtest.h>
+
+#include "core/alpha_profile.hpp"
+#include "core/evolving.hpp"
+#include "core/exd.hpp"
+#include "data/subspace.hpp"
+#include "dist/cluster.hpp"
+#include "la/matrix.hpp"
+
+namespace extdict {
+namespace {
+
+using la::Index;
+using la::Matrix;
+using la::Real;
+
+TEST(MatrixEdge, FromRowsEmptyList) {
+  const Matrix m = Matrix::from_rows({});
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+}
+
+TEST(MatrixEdge, SelectZeroColumns) {
+  la::Rng rng(1);
+  const Matrix m = rng.gaussian_matrix(4, 6);
+  const Matrix s = m.select_columns({});
+  EXPECT_EQ(s.rows(), 4);
+  EXPECT_EQ(s.cols(), 0);
+}
+
+TEST(ClusterEdge, ScatterChunkCountMismatchThrows) {
+  const dist::Cluster cluster(dist::Topology{1, 2});
+  EXPECT_THROW(cluster.run([](dist::Communicator& comm) {
+    std::vector<std::vector<Real>> chunks;
+    if (comm.rank() == 0) chunks = {{1.0}};  // one chunk for two ranks
+    (void)comm.scatter(0, chunks);
+  }),
+               std::invalid_argument);
+}
+
+TEST(ClusterEdge, SelfSendIsDeliverable) {
+  const dist::Cluster cluster(dist::Topology{1, 2});
+  cluster.run([](dist::Communicator& comm) {
+    const Real v = static_cast<Real>(comm.rank()) + 0.5;
+    comm.send(comm.rank(), 3, std::span<const Real>(&v, 1));
+    EXPECT_EQ(comm.recv_value<Real>(comm.rank(), 3), v);
+  });
+}
+
+TEST(EvolveEdge, AtomBudgetCappedByFailingColumnCount) {
+  data::SubspaceModelConfig base;
+  base.ambient_dim = 30;
+  base.num_columns = 150;
+  base.num_subspaces = 3;
+  base.subspace_dim = 3;
+  base.seed = 7;
+  const auto data = data::make_union_of_subspaces(base);
+  core::ExdConfig exd_config;
+  exd_config.dictionary_size = 60;
+  exd_config.tolerance = 0.05;
+  core::ExdResult exd = core::exd_transform(data.a, exd_config);
+  const Index old_l = exd.dictionary.cols();
+
+  // Five novel columns, but ask for 50 new atoms: the extension must cap
+  // at the number of failing columns.
+  data::SubspaceModelConfig novel = base;
+  novel.num_columns = 5;
+  novel.seed = 7000;
+  const auto fresh = data::make_union_of_subspaces(novel);
+  core::ExdConfig evolve_config = exd_config;
+  evolve_config.dictionary_size = 50;
+  const auto report = core::evolve(exd, fresh.a, evolve_config);
+  EXPECT_LE(report.new_atoms, 5);
+  EXPECT_EQ(exd.dictionary.cols(), old_l + report.new_atoms);
+}
+
+TEST(AlphaProfileEdge, NonConvergingSubsetsReturnLastLadderStep) {
+  data::SubspaceModelConfig config;
+  config.ambient_dim = 30;
+  config.num_columns = 200;
+  config.num_subspaces = 4;
+  config.subspace_dim = 3;
+  config.seed = 9;
+  const Matrix a = data::make_union_of_subspaces(config).a;
+  core::AlphaProfileConfig profile;
+  profile.l_grid = {40};
+  profile.tolerance = 0.1;
+  // Impossible threshold: never "converges", so the estimate must come
+  // from the final (largest) subset.
+  const auto result = core::estimate_alpha_profile_subsets(
+      a, profile, {50, 100, 200}, /*convergence_threshold=*/0.0);
+  EXPECT_EQ(result.columns_used, 200);
+}
+
+TEST(ExdEdge, FullDictionaryGivesIdentityLikeCodes) {
+  // L = N: every column can be coded by itself (the paper's alpha(N) = 1
+  // limit discussion in §VII).
+  data::SubspaceModelConfig config;
+  config.ambient_dim = 20;
+  config.num_columns = 60;
+  config.num_subspaces = 3;
+  config.subspace_dim = 3;
+  config.seed = 11;
+  const Matrix a = data::make_union_of_subspaces(config).a;
+  core::ExdConfig exd;
+  exd.dictionary_size = 60;
+  exd.tolerance = 1e-8;
+  const auto r = core::exd_transform(a, exd);
+  EXPECT_LE(r.alpha(), 1.5);
+  EXPECT_LE(r.transformation_error, 1e-7);
+}
+
+}  // namespace
+}  // namespace extdict

@@ -1,0 +1,162 @@
+// Ridge and Elastic-Net: the paper's other named iterative-update targets
+// (§II-A) that ExtDict serves through the same Gram-operator interface.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/exd.hpp"
+#include "core/gram_operator.hpp"
+#include "la/blas.hpp"
+#include "la/cholesky.hpp"
+#include "la/random.hpp"
+#include "solvers/lasso.hpp"
+
+namespace extdict::solvers {
+namespace {
+
+using core::DenseGramOperator;
+using core::TransformedGramOperator;
+using la::Index;
+using la::Matrix;
+
+struct Problem {
+  Matrix a;
+  la::Vector y;
+};
+
+Problem make_problem(Index m = 40, Index n = 30, std::uint64_t seed = 161) {
+  la::Rng rng(seed);
+  Problem p;
+  p.a = rng.gaussian_matrix(m, n, true);
+  p.y.resize(static_cast<std::size_t>(m));
+  rng.fill_gaussian(p.y);
+  return p;
+}
+
+// Closed-form ridge solution via Cholesky on (AᵀA + l2 I).
+la::Vector ridge_closed_form(const Matrix& a, const la::Vector& y, Real l2) {
+  Matrix g = la::gram(a);
+  for (Index i = 0; i < g.rows(); ++i) g(i, i) += l2;
+  la::Vector aty(static_cast<std::size_t>(a.cols()));
+  la::gemv_t(1, a, y, 0, aty);
+  return la::Cholesky(g).solve(aty);
+}
+
+TEST(Ridge, MatchesClosedForm) {
+  const Problem p = make_problem();
+  DenseGramOperator op(p.a);
+  const Real l2 = 0.1;
+  const LassoResult r = ridge_solve(op, p.y, l2, 3000, 1e-11);
+  ASSERT_TRUE(r.converged);
+  const la::Vector expected = ridge_closed_form(p.a, p.y, l2);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(r.x[i], expected[i], 1e-6);
+  }
+}
+
+TEST(Ridge, StrongerRegularizationShrinksSolution) {
+  const Problem p = make_problem(40, 30, 162);
+  DenseGramOperator op(p.a);
+  const LassoResult weak = ridge_solve(op, p.y, 0.01, 3000, 1e-10);
+  const LassoResult strong = ridge_solve(op, p.y, 10.0, 3000, 1e-10);
+  EXPECT_LT(la::nrm2(strong.x), la::nrm2(weak.x));
+}
+
+TEST(ElasticNet, ObjectiveDefinition) {
+  const Problem p = make_problem(10, 4, 163);
+  DenseGramOperator op(p.a);
+  la::Vector x(4, 0.5);
+  const Real j = elastic_net_objective(op, p.y, x, 0.2, 0.4);
+  // 1/2||Ax-y||^2 + 0.2*|x|_1 + 0.2*||x||^2.
+  la::Vector ax(10);
+  op.apply_forward(x, ax);
+  Real fit = 0;
+  for (std::size_t i = 0; i < 10; ++i) {
+    fit += (ax[i] - p.y[i]) * (ax[i] - p.y[i]);
+  }
+  EXPECT_NEAR(j, 0.5 * fit + 0.2 * 2.0 + 0.2 * 1.0, 1e-12);
+}
+
+TEST(ElasticNet, SolutionIsAStationaryPoint) {
+  // At the Elastic-Net optimum, for non-zero coordinates:
+  //   (Gx - Aᵀy + l2 x)_i = -l1 sign(x_i).
+  const Problem p = make_problem(50, 40, 164);
+  DenseGramOperator op(p.a);
+  LassoConfig config;
+  config.lambda = 0.05;
+  config.lambda2 = 0.1;
+  config.max_iterations = 5000;
+  config.tolerance = 1e-12;
+  config.use_adagrad = false;
+  const LassoResult r = lasso_solve(op, p.y, config);
+  ASSERT_TRUE(r.converged);
+
+  la::Vector g(40);
+  op.apply(r.x, g);
+  la::Vector aty(40);
+  op.apply_adjoint(p.y, aty);
+  for (std::size_t i = 0; i < 40; ++i) {
+    const Real smooth = g[i] - aty[i] + config.lambda2 * r.x[i];
+    if (r.x[i] > 1e-10) {
+      EXPECT_NEAR(smooth, -config.lambda, 1e-5);
+    } else if (r.x[i] < -1e-10) {
+      EXPECT_NEAR(smooth, config.lambda, 1e-5);
+    } else {
+      EXPECT_LE(std::abs(smooth), config.lambda + 1e-5);
+    }
+  }
+}
+
+TEST(ElasticNet, L2PartBreaksLassoTies) {
+  // Duplicate columns: LASSO may put all weight on one; the Elastic-Net's
+  // ridge term spreads it (the classic grouping effect).
+  la::Rng rng(165);
+  Matrix a = rng.gaussian_matrix(30, 10, true);
+  for (Index i = 0; i < 30; ++i) a(i, 9) = a(i, 0);  // col 9 == col 0
+  la::Vector y(30);
+  la::Vector x_true(10, 0.0);
+  x_true[0] = 2.0;
+  la::gemv(1, a, x_true, 0, y);
+
+  DenseGramOperator op(a);
+  LassoConfig config;
+  config.lambda = 0.01;
+  config.lambda2 = 0.5;
+  config.max_iterations = 5000;
+  config.tolerance = 1e-12;
+  config.use_adagrad = false;
+  const LassoResult r = lasso_solve(op, y, config);
+  EXPECT_NEAR(r.x[0], r.x[9], 1e-4);  // weight split evenly across the twins
+  EXPECT_GT(r.x[0], 0.1);
+}
+
+TEST(ElasticNet, WorksThroughTransformedOperator) {
+  // Same solution through (DC)ᵀDC at a tight transform tolerance.
+  la::Rng rng(166);
+  const Matrix a = rng.gaussian_matrix(40, 60, true);
+  la::Vector y(40);
+  rng.fill_gaussian(y);
+
+  core::ExdConfig exd;
+  exd.dictionary_size = 40;
+  exd.tolerance = 1e-8;
+  const auto t = core::exd_transform(a, exd);
+  DenseGramOperator dense(a);
+  TransformedGramOperator transformed(t.dictionary, t.coefficients);
+
+  LassoConfig config;
+  config.lambda = 0.02;
+  config.lambda2 = 0.05;
+  config.max_iterations = 4000;
+  config.tolerance = 1e-11;
+  config.use_adagrad = false;
+  const LassoResult rd = lasso_solve(dense, y, config);
+  const LassoResult rt = lasso_solve(transformed, y, config);
+  for (std::size_t i = 0; i < rd.x.size(); ++i) {
+    EXPECT_NEAR(rd.x[i], rt.x[i], 1e-4);
+  }
+}
+
+}  // namespace
+}  // namespace extdict::solvers

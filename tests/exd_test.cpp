@@ -1,0 +1,169 @@
+#include "core/exd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/subspace.hpp"
+#include "la/blas.hpp"
+#include "la/random.hpp"
+
+namespace extdict::core {
+namespace {
+
+Matrix test_data(Index m = 40, Index n = 240, Index ns = 6, Index k = 4,
+                 std::uint64_t seed = 21) {
+  data::SubspaceModelConfig config;
+  config.ambient_dim = m;
+  config.num_columns = n;
+  config.num_subspaces = ns;
+  config.subspace_dim = k;
+  config.seed = seed;
+  return data::make_union_of_subspaces(config).a;
+}
+
+TEST(Exd, ShapesAndAtomProvenance) {
+  const Matrix a = test_data();
+  ExdConfig config;
+  config.dictionary_size = 60;
+  config.tolerance = 0.1;
+  const ExdResult r = exd_transform(a, config);
+  EXPECT_EQ(r.dictionary.rows(), 40);
+  EXPECT_EQ(r.dictionary.cols(), 60);
+  EXPECT_EQ(r.coefficients.rows(), 60);
+  EXPECT_EQ(r.coefficients.cols(), 240);
+  ASSERT_EQ(r.atom_indices.size(), 60u);
+  // Atoms are distinct columns of A, copied verbatim.
+  std::set<Index> unique(r.atom_indices.begin(), r.atom_indices.end());
+  EXPECT_EQ(unique.size(), 60u);
+  for (Index k2 = 0; k2 < 5; ++k2) {
+    const Index src = r.atom_indices[static_cast<std::size_t>(k2)];
+    for (Index i = 0; i < 40; ++i) {
+      EXPECT_EQ(r.dictionary(i, k2), a(i, src));
+    }
+  }
+}
+
+TEST(Exd, MeetsErrorBoundOnSubspaceData) {
+  // Enough sampled columns -> the Frobenius criterion of Eq. (1) holds.
+  const Matrix a = test_data();
+  ExdConfig config;
+  config.dictionary_size = 80;  // >> Ns*K = 24
+  config.tolerance = 0.1;
+  const ExdResult r = exd_transform(a, config);
+  EXPECT_LE(r.transformation_error, 0.1 * 1.01);
+}
+
+TEST(Exd, ZeroToleranceReachesMachinePrecisionWithFullRankDict) {
+  const Matrix a = test_data(20, 100, 3, 3);
+  ExdConfig config;
+  config.dictionary_size = 50;  // > M: full rank w.h.p.
+  config.tolerance = 1e-10;
+  const ExdResult r = exd_transform(a, config);
+  EXPECT_LE(r.transformation_error, 1e-8);
+}
+
+TEST(Exd, AlphaIsNnzOverN) {
+  const Matrix a = test_data();
+  ExdConfig config;
+  config.dictionary_size = 60;
+  const ExdResult r = exd_transform(a, config);
+  EXPECT_NEAR(r.alpha(),
+              static_cast<Real>(r.coefficients.nnz()) / 240.0, 1e-12);
+}
+
+TEST(Exd, SubspaceColumnsGetSparseCodes) {
+  // On noiseless K=4 union data with a redundant dictionary, codes should
+  // use about K atoms per column — far fewer than M.
+  const Matrix a = test_data(40, 240, 6, 4);
+  ExdConfig config;
+  config.dictionary_size = 120;
+  config.tolerance = 0.05;
+  const ExdResult r = exd_transform(a, config);
+  EXPECT_LE(r.alpha(), 8.0);
+}
+
+TEST(Exd, DictionarySizeValidation) {
+  const Matrix a = test_data(10, 50, 2, 2);
+  ExdConfig config;
+  config.dictionary_size = 0;
+  EXPECT_THROW(exd_transform(a, config), std::invalid_argument);
+  config.dictionary_size = 51;
+  EXPECT_THROW(exd_transform(a, config), std::invalid_argument);
+}
+
+TEST(Exd, DeterministicInSeed) {
+  const Matrix a = test_data();
+  ExdConfig config;
+  config.dictionary_size = 50;
+  config.seed = 5;
+  const ExdResult r1 = exd_transform(a, config);
+  const ExdResult r2 = exd_transform(a, config);
+  EXPECT_EQ(r1.atom_indices, r2.atom_indices);
+  EXPECT_EQ(r1.coefficients.nnz(), r2.coefficients.nnz());
+  EXPECT_EQ(r1.transformation_error, r2.transformation_error);
+}
+
+TEST(Exd, WithDictionaryRowMismatchThrows) {
+  const Matrix a = test_data(10, 50, 2, 2);
+  Matrix d(11, 5);
+  EXPECT_THROW(exd_transform_with_dictionary(a, std::move(d), {}),
+               std::invalid_argument);
+}
+
+TEST(Exd, TransformationErrorAgreesWithDenseReconstruction) {
+  la::Rng rng(3);
+  const Matrix a = test_data(15, 40, 3, 3);
+  ExdConfig config;
+  config.dictionary_size = 25;
+  config.tolerance = 0.2;
+  const ExdResult r = exd_transform(a, config);
+  // Dense check: ||A - D*C||_F / ||A||_F.
+  Matrix dc = la::matmul(r.dictionary, r.coefficients.to_dense());
+  Matrix diff = a;
+  for (Index j = 0; j < a.cols(); ++j) {
+    for (Index i = 0; i < a.rows(); ++i) diff(i, j) -= dc(i, j);
+  }
+  EXPECT_NEAR(r.transformation_error,
+              diff.frobenius_norm() / a.frobenius_norm(), 1e-10);
+}
+
+// Property sweep (the paper's two "novel and critical properties" of ExD,
+// §VIII-B1): alpha decreases with L and with looser tolerance.
+class ExdTunabilityTest : public ::testing::TestWithParam<Real> {};
+
+TEST_P(ExdTunabilityTest, AlphaDecreasesAsLGrows) {
+  const Real eps = GetParam();
+  const Matrix a = test_data(40, 300, 6, 4, 33);
+  Real prev_alpha = 1e18;
+  for (const Index l : {60, 120, 240}) {
+    ExdConfig config;
+    config.dictionary_size = l;
+    config.tolerance = eps;
+    config.seed = 4;
+    const ExdResult r = exd_transform(a, config);
+    // Allow small non-monotonic jitter from the random dictionary draw.
+    EXPECT_LE(r.alpha(), prev_alpha * 1.15) << "L=" << l << " eps=" << eps;
+    prev_alpha = r.alpha();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tolerances, ExdTunabilityTest,
+                         ::testing::Values(0.01, 0.05, 0.1));
+
+TEST(Exd, LooserToleranceGivesSparserC) {
+  const Matrix a = test_data(40, 300, 6, 4, 34);
+  Real prev_alpha = 0;
+  for (const Real eps : {0.1, 0.05, 0.01}) {
+    ExdConfig config;
+    config.dictionary_size = 100;
+    config.tolerance = eps;
+    config.seed = 9;
+    const ExdResult r = exd_transform(a, config);
+    EXPECT_GE(r.alpha(), prev_alpha) << "eps=" << eps;
+    prev_alpha = r.alpha();
+  }
+}
+
+}  // namespace
+}  // namespace extdict::core

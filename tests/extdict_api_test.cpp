@@ -1,0 +1,121 @@
+#include "core/extdict.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/subspace.hpp"
+#include "la/random.hpp"
+
+namespace extdict::core {
+namespace {
+
+Matrix test_data(Index n = 300, std::uint64_t seed = 111) {
+  data::SubspaceModelConfig config;
+  config.ambient_dim = 40;
+  config.num_columns = n;
+  config.num_subspaces = 5;
+  config.subspace_dim = 4;
+  config.seed = seed;
+  return data::make_union_of_subspaces(config).a;
+}
+
+TEST(DefaultLGrid, CoversSensibleRange) {
+  const auto grid = default_l_grid(100, 1000);
+  ASSERT_GE(grid.size(), 3u);
+  EXPECT_GE(grid.front(), 8);
+  for (std::size_t i = 1; i < grid.size(); ++i) EXPECT_GT(grid[i], grid[i - 1]);
+  EXPECT_LE(grid.back(), 1000);
+  // Something at/above min(M, N) so OMP can always converge.
+  EXPECT_GE(grid.back(), 100);
+}
+
+TEST(ExtDictApi, PreprocessWithFixedLSkipsTuning) {
+  const Matrix a = test_data();
+  const auto platform = dist::PlatformSpec::idataplex({1, 4});
+  ExtDict::Options options;
+  options.tolerance = 0.1;
+  options.fixed_l = 70;
+  const ExtDict engine = ExtDict::preprocess(a, platform, options);
+  EXPECT_EQ(engine.tuned_l(), 70);
+  EXPECT_FALSE(engine.tuning().has_value());
+  EXPECT_LE(engine.transform().transformation_error, 0.1 * 1.05);
+}
+
+TEST(ExtDictApi, PreprocessTunesWhenNoFixedL) {
+  const Matrix a = test_data();
+  const auto platform = dist::PlatformSpec::idataplex({2, 8});
+  ExtDict::Options options;
+  options.tolerance = 0.1;
+  options.l_grid = {60, 120, 200};
+  const ExtDict engine = ExtDict::preprocess(a, platform, options);
+  ASSERT_TRUE(engine.tuning().has_value());
+  EXPECT_EQ(engine.tuned_l(), engine.tuning()->best_l);
+  EXPECT_GT(engine.preprocessing_ms(), 0.0);
+}
+
+TEST(ExtDictApi, GramOperatorIsUsable) {
+  const Matrix a = test_data();
+  ExtDict::Options options;
+  options.fixed_l = 80;
+  const ExtDict engine =
+      ExtDict::preprocess(a, dist::PlatformSpec::idataplex({1, 1}), options);
+  la::Rng rng(1);
+  la::Vector x(static_cast<std::size_t>(a.cols())), y(x.size());
+  rng.fill_gaussian(x);
+  engine.gram_operator().apply(x, y);
+  Real sum = 0;
+  for (Real v : y) sum += std::abs(v);
+  EXPECT_GT(sum, 0.0);
+}
+
+TEST(ExtDictApi, RunGramIterationsUsesPlatformTopology) {
+  const Matrix a = test_data();
+  ExtDict::Options options;
+  options.fixed_l = 60;
+  const ExtDict engine =
+      ExtDict::preprocess(a, dist::PlatformSpec::idataplex({1, 4}), options);
+  la::Vector x0(static_cast<std::size_t>(a.cols()), 1.0);
+  const DistGramResult r = engine.run_gram_iterations(x0, 2);
+  EXPECT_EQ(r.stats.per_rank.size(), 4u);
+  EXPECT_EQ(r.iterations, 2);
+  EXPECT_GT(r.stats.total_flops(), 0u);
+}
+
+TEST(ExtDictApi, UpdateCostReflectsTransform) {
+  const Matrix a = test_data();
+  ExtDict::Options options;
+  options.fixed_l = 60;
+  const auto platform = dist::PlatformSpec::idataplex({2, 8});
+  const ExtDict engine = ExtDict::preprocess(a, platform, options);
+  const UpdateCost cost = engine.update_cost();
+  const UpdateCost expected = transformed_update_cost(
+      40, 60, engine.transform().coefficients.nnz(), a.cols(), 16, platform);
+  EXPECT_DOUBLE_EQ(cost.time_cost, expected.time_cost);
+}
+
+TEST(ExtDictApi, ExtendKeepsOperatorConsistent) {
+  const Matrix a = test_data(200, 112);
+  ExtDict::Options options;
+  options.fixed_l = 70;
+  options.tolerance = 0.08;
+  ExtDict engine =
+      ExtDict::preprocess(a, dist::PlatformSpec::idataplex({1, 2}), options);
+
+  data::SubspaceModelConfig fresh;
+  fresh.ambient_dim = 40;
+  fresh.num_columns = 30;
+  fresh.num_subspaces = 2;
+  fresh.subspace_dim = 4;
+  fresh.seed = 999;
+  const Matrix a_new = data::make_union_of_subspaces(fresh).a;
+
+  const EvolveReport report = engine.extend(a_new);
+  EXPECT_EQ(report.new_columns, 30);
+  EXPECT_EQ(engine.gram_operator().dim(), 230);
+  // The rebuilt operator must work on the enlarged problem.
+  la::Vector x(230, 1.0), y(230);
+  engine.gram_operator().apply(x, y);
+  EXPECT_EQ(engine.transform().coefficients.cols(), 230);
+}
+
+}  // namespace
+}  // namespace extdict::core

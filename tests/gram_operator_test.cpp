@@ -1,0 +1,128 @@
+#include "core/gram_operator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/exd.hpp"
+#include "data/subspace.hpp"
+#include "la/blas.hpp"
+#include "la/random.hpp"
+
+namespace extdict::core {
+namespace {
+
+Matrix test_data() {
+  data::SubspaceModelConfig config;
+  config.ambient_dim = 30;
+  config.num_columns = 120;
+  config.num_subspaces = 4;
+  config.subspace_dim = 3;
+  config.seed = 71;
+  return data::make_union_of_subspaces(config).a;
+}
+
+TEST(DenseGramOperator, MatchesExplicitGram) {
+  const Matrix a = test_data();
+  DenseGramOperator op(a);
+  EXPECT_EQ(op.dim(), 120);
+  EXPECT_EQ(op.data_dim(), 30);
+
+  la::Rng rng(1);
+  la::Vector x(120), y(120);
+  rng.fill_gaussian(x);
+  op.apply(x, y);
+
+  const Matrix g = la::gram(a);
+  la::Vector expected(120);
+  la::gemv(1, g, x, 0, expected);
+  for (std::size_t i = 0; i < 120; ++i) EXPECT_NEAR(y[i], expected[i], 1e-9);
+}
+
+TEST(DenseGramOperator, ForwardAndAdjoint) {
+  const Matrix a = test_data();
+  DenseGramOperator op(a);
+  la::Rng rng(2);
+  la::Vector x(120), v(30), y(120), ax(30);
+  rng.fill_gaussian(x);
+  rng.fill_gaussian(v);
+
+  op.apply_forward(x, ax);
+  la::Vector expected_ax(30);
+  la::gemv(1, a, x, 0, expected_ax);
+  for (std::size_t i = 0; i < 30; ++i) EXPECT_NEAR(ax[i], expected_ax[i], 1e-10);
+
+  op.apply_adjoint(v, y);
+  la::Vector expected_y(120);
+  la::gemv_t(1, a, v, 0, expected_y);
+  for (std::size_t i = 0; i < 120; ++i) EXPECT_NEAR(y[i], expected_y[i], 1e-10);
+}
+
+TEST(TransformedGramOperator, ApproximatesDenseGramWithinEpsilon) {
+  // For a tight transform tolerance, (DC)ᵀDC x must track AᵀA x closely.
+  const Matrix a = test_data();
+  ExdConfig config;
+  config.dictionary_size = 60;
+  config.tolerance = 1e-6;
+  const ExdResult exd = exd_transform(a, config);
+  ASSERT_LE(exd.transformation_error, 1e-5);
+
+  DenseGramOperator dense(a);
+  TransformedGramOperator transformed(exd.dictionary, exd.coefficients);
+  EXPECT_EQ(transformed.dim(), 120);
+  EXPECT_EQ(transformed.data_dim(), 30);
+
+  la::Rng rng(3);
+  la::Vector x(120), y1(120), y2(120);
+  rng.fill_gaussian(x);
+  dense.apply(x, y1);
+  transformed.apply(x, y2);
+  Real diff = 0, norm = 0;
+  for (std::size_t i = 0; i < 120; ++i) {
+    diff += (y1[i] - y2[i]) * (y1[i] - y2[i]);
+    norm += y1[i] * y1[i];
+  }
+  EXPECT_LT(std::sqrt(diff / norm), 1e-4);
+}
+
+TEST(TransformedGramOperator, ExactWhenCoefficientsAreExact) {
+  // Build D, C by hand: D = A and C = I, so (DC)ᵀDC == AᵀA exactly.
+  const Matrix a = test_data();
+  la::CscMatrix::Builder builder(a.cols(), a.cols());
+  for (Index j = 0; j < a.cols(); ++j) {
+    builder.add(j, 1.0);
+    builder.commit_column();
+  }
+  la::CscMatrix identity = std::move(builder).build();
+  TransformedGramOperator transformed(a, identity);
+  DenseGramOperator dense(a);
+
+  la::Rng rng(4);
+  la::Vector x(120), y1(120), y2(120);
+  rng.fill_gaussian(x);
+  dense.apply(x, y1);
+  transformed.apply(x, y2);
+  for (std::size_t i = 0; i < 120; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-9);
+}
+
+TEST(TransformedGramOperator, ShapeMismatchThrows) {
+  Matrix d(10, 5);
+  la::CscMatrix c(6, 20);  // rows != d.cols()
+  EXPECT_THROW(TransformedGramOperator(d, c), std::invalid_argument);
+}
+
+TEST(GramOperators, FlopCountsReflectSparsity) {
+  const Matrix a = test_data();
+  ExdConfig config;
+  config.dictionary_size = 60;
+  config.tolerance = 0.1;
+  const ExdResult exd = exd_transform(a, config);
+  DenseGramOperator dense(a);
+  TransformedGramOperator transformed(exd.dictionary, exd.coefficients);
+  EXPECT_EQ(dense.flops_per_apply(), 2 * la::gemv_flops(30, 120));
+  EXPECT_EQ(transformed.flops_per_apply(),
+            2 * la::gemv_flops(30, 60) + 4 * exd.coefficients.nnz());
+}
+
+}  // namespace
+}  // namespace extdict::core

@@ -1,0 +1,188 @@
+// End-to-end integration tests: the full ExtDict pipeline (generate data ->
+// tune -> transform -> solve distributed) against serial ground truth, plus
+// the headline cross-method claims the paper's evaluation rests on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/rcss.hpp"
+#include "baselines/sgd.hpp"
+#include "core/dist_gram.hpp"
+#include "core/extdict.hpp"
+#include "data/datasets.hpp"
+#include "data/lightfield.hpp"
+#include "la/blas.hpp"
+#include "la/random.hpp"
+#include "solvers/lasso.hpp"
+#include "solvers/power_method.hpp"
+
+namespace extdict {
+namespace {
+
+using core::ExtDict;
+using la::Index;
+using la::Matrix;
+using la::Real;
+
+TEST(Integration, FullPipelineOnEachDataset) {
+  for (const auto id : {data::DatasetId::kSalina, data::DatasetId::kCancerCells,
+                        data::DatasetId::kLightField}) {
+    const Matrix a = data::make_dataset(id, data::Scale::kTest);
+    const auto platform = dist::PlatformSpec::idataplex({1, 4});
+    ExtDict::Options options;
+    options.tolerance = 0.1;
+    options.trials = 1;
+    const ExtDict engine = ExtDict::preprocess(a, platform, options);
+    EXPECT_LE(engine.transform().transformation_error, 0.1 * 1.05)
+        << data::dataset_spec(id).name;
+
+    // One distributed Gram pass agrees with the serial operator.
+    la::Rng rng(1);
+    la::Vector x0(static_cast<std::size_t>(a.cols()));
+    rng.fill_gaussian(x0);
+    const auto dist_result = engine.run_gram_iterations(x0, 1);
+    la::Vector serial(x0.size());
+    engine.gram_operator().apply(x0, serial);
+    const Real norm = la::nrm2(serial);
+    for (auto& v : serial) v /= norm;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_NEAR(dist_result.y[i], serial[i], 1e-8);
+    }
+  }
+}
+
+TEST(Integration, TransformedUpdateCheaperThanOriginalOnAllPlatforms) {
+  // The Fig. 7 claim, end to end with measured counters: per-iteration
+  // modelled time of the ExtDict update beats the AᵀA update on every
+  // paper platform. Uses the bench-scale dataset — on the toy test-scale
+  // data the 64-rank platforms degenerate to pure collective latency and
+  // there is nothing left to win.
+  const Matrix a = data::make_dataset(data::DatasetId::kSalina, data::Scale::kBench);
+  la::Vector x0(static_cast<std::size_t>(a.cols()), 1.0);
+  ExtDict::Options options;
+  options.tolerance = 0.1;
+  options.fixed_l = 25;  // a near-L_min dictionary, cheap on every platform
+  const ExtDict engine =
+      ExtDict::preprocess(a, dist::PlatformSpec::idataplex({1, 1}), options);
+  for (const auto& platform : dist::paper_platforms()) {
+    const dist::Cluster cluster(platform.topology);
+    const auto transformed =
+        core::dist_gram_apply(cluster, engine.transform().dictionary,
+                              engine.transform().coefficients, x0, 1);
+    const auto original = core::dist_gram_apply_original(cluster, a, x0, 1);
+    EXPECT_LT(platform.modeled_seconds(transformed.stats),
+              platform.modeled_seconds(original.stats))
+        << platform.name;
+  }
+}
+
+TEST(Integration, DenoisingPipelineImprovesPsnr) {
+  // Miniature §VIII-D denoising app: LASSO over the transformed light-field
+  // dataset must substantially denoise the observation.
+  data::LightFieldConfig lf_config;
+  lf_config.scene_size = 64;
+  lf_config.views = 3;
+  lf_config.patch = 6;
+  lf_config.num_patches = 220;
+  lf_config.seed = 17;
+  const auto lf = data::make_light_field(lf_config);
+
+  // Observation: a fresh clean signal from the same dataset + noise.
+  la::Rng rng(3);
+  la::Vector clean(lf.a.col(0).begin(), lf.a.col(0).end());
+  la::Vector noisy = clean;
+  for (auto& v : noisy) v += rng.gaussian(0, 0.02);
+
+  ExtDict::Options options;
+  options.tolerance = 0.1;
+  options.fixed_l = 120;
+  const ExtDict engine =
+      ExtDict::preprocess(lf.a, dist::PlatformSpec::idataplex({1, 2}), options);
+
+  solvers::LassoConfig lasso;
+  lasso.lambda = 1e-3;
+  lasso.max_iterations = 400;
+  const auto result = solvers::lasso_solve(engine.gram_operator(), noisy, lasso);
+
+  la::Vector reconstructed(clean.size());
+  engine.gram_operator().apply_forward(result.x, reconstructed);
+
+  const Real noisy_psnr = data::psnr_db(clean, noisy);
+  const Real denoised_psnr = data::psnr_db(clean, reconstructed);
+  EXPECT_GT(denoised_psnr, noisy_psnr + 3.0);
+}
+
+TEST(Integration, SgdNeedsMoreIterationsThanExtDictGradientDescent) {
+  // Fig. 9's mechanism: to reach the same objective, SGD runs (many) more
+  // iterations than the provably convergent full-gradient method on the
+  // transformed data.
+  la::Rng rng(7);
+  const Matrix a = data::make_dataset(data::DatasetId::kSalina, data::Scale::kTest);
+  la::Vector x_true(static_cast<std::size_t>(a.cols()), 0.0);
+  for (const Index j : rng.sample_without_replacement(a.cols(), 5)) {
+    x_true[static_cast<std::size_t>(j)] = 1.0;
+  }
+  la::Vector y(static_cast<std::size_t>(a.rows()), 0.0);
+  la::gemv(1, a, x_true, 0, y);
+
+  ExtDict::Options options;
+  options.tolerance = 0.05;
+  options.fixed_l = 150;
+  const ExtDict engine =
+      ExtDict::preprocess(a, dist::PlatformSpec::idataplex({1, 2}), options);
+
+  solvers::LassoConfig lasso;
+  lasso.lambda = 0.01;
+  lasso.max_iterations = 300;
+  lasso.tolerance = 1e-12;  // spend the full budget
+  lasso.use_adagrad = false;
+  const auto gd = solvers::lasso_solve(engine.gram_operator(), y, lasso);
+
+  baselines::SgdConfig sgd;
+  sgd.lambda = 0.01;
+  sgd.batch_rows = 16;
+  sgd.max_iterations = 20000;
+  sgd.target_objective = gd.final_objective;
+  sgd.check_every = 20;
+  const auto sgd_result =
+      baselines::sgd_lasso(dist::Cluster(dist::Topology{1, 2}), a, y, sgd);
+
+  // Either SGD never matches the full-gradient objective, or it needs more
+  // iterations to get there — both confirm Fig. 9's mechanism.
+  if (sgd_result.reached_target) {
+    EXPECT_GT(sgd_result.iterations, gd.iterations);
+  } else {
+    EXPECT_GT(sgd_result.final_objective, gd.final_objective);
+  }
+}
+
+TEST(Integration, PowerMethodThroughFrameworkMatchesBaselineSpectrum) {
+  const Matrix a = data::make_dataset(data::DatasetId::kSalina, data::Scale::kTest);
+  ExtDict::Options options;
+  options.tolerance = 0.05;
+  const ExtDict engine =
+      ExtDict::preprocess(a, dist::PlatformSpec::idataplex({1, 2}), options);
+
+  solvers::PowerConfig power;
+  power.num_eigenpairs = 5;
+  power.tolerance = 1e-8;
+  core::DenseGramOperator dense(a);
+  const auto ref = solvers::power_method(dense, power);
+  const auto got = solvers::power_method(engine.gram_operator(), power);
+  EXPECT_LT(solvers::eigenvalue_error(got.eigenvalues, ref.eigenvalues), 0.05);
+}
+
+TEST(Integration, MemoryFootprintBeatsDenseBaselineAtScale) {
+  const Matrix a = data::make_dataset(data::DatasetId::kCancerCells, data::Scale::kTest);
+  ExtDict::Options options;
+  options.tolerance = 0.1;
+  options.objective = core::Objective::kMemory;
+  const ExtDict engine =
+      ExtDict::preprocess(a, dist::PlatformSpec::idataplex({8, 8}), options);
+  const auto rcss = baselines::rcss_transform_for_error(a, 0.1, 3);
+  EXPECT_LT(engine.transform().memory_words(), rcss.memory_words());
+}
+
+}  // namespace
+}  // namespace extdict

@@ -1,0 +1,148 @@
+#include "la/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "la/random.hpp"
+
+namespace extdict::la {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, ConstructsZeroInitialized) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  for (Index j = 0; j < 4; ++j) {
+    for (Index i = 0; i < 3; ++i) EXPECT_EQ(m(i, j), 0.0);
+  }
+}
+
+TEST(Matrix, FromRowsLaysOutColumnMajor) {
+  Matrix m = Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m(0, 0), 1);
+  EXPECT_EQ(m(1, 2), 6);
+  // Column 1 is contiguous {2, 5}.
+  auto c1 = m.col(1);
+  EXPECT_EQ(c1[0], 2);
+  EXPECT_EQ(c1[1], 5);
+}
+
+TEST(Matrix, FromRowsRejectsRagged) {
+  EXPECT_THROW(Matrix::from_rows({{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(Matrix, ColSpanWritesThrough) {
+  Matrix m(2, 2);
+  auto c = m.col(1);
+  c[0] = 7;
+  c[1] = 8;
+  EXPECT_EQ(m(0, 1), 7);
+  EXPECT_EQ(m(1, 1), 8);
+}
+
+TEST(Matrix, SelectColumnsCopiesInOrder) {
+  Matrix m = Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  const std::array<Index, 2> idx = {2, 0};
+  Matrix s = m.select_columns(idx);
+  EXPECT_EQ(s.cols(), 2);
+  EXPECT_EQ(s(0, 0), 3);
+  EXPECT_EQ(s(1, 0), 6);
+  EXPECT_EQ(s(0, 1), 1);
+}
+
+TEST(Matrix, SelectColumnsRejectsOutOfRange) {
+  Matrix m(2, 2);
+  const std::array<Index, 1> idx = {5};
+  EXPECT_THROW(m.select_columns(idx), std::out_of_range);
+}
+
+TEST(Matrix, SelectRows) {
+  Matrix m = Matrix::from_rows({{1, 2}, {3, 4}, {5, 6}});
+  const std::array<Index, 2> idx = {2, 1};
+  Matrix s = m.select_rows(idx);
+  EXPECT_EQ(s.rows(), 2);
+  EXPECT_EQ(s(0, 0), 5);
+  EXPECT_EQ(s(1, 1), 4);
+}
+
+TEST(Matrix, TransposedRoundTrips) {
+  Rng rng(1);
+  Matrix m = rng.gaussian_matrix(5, 3);
+  Matrix tt = m.transposed().transposed();
+  EXPECT_EQ(max_abs_diff(m, tt), 0.0);
+}
+
+TEST(Matrix, AppendColumns) {
+  Matrix a = Matrix::from_rows({{1}, {2}});
+  Matrix b = Matrix::from_rows({{3, 4}, {5, 6}});
+  a.append_columns(b);
+  EXPECT_EQ(a.cols(), 3);
+  EXPECT_EQ(a(0, 1), 3);
+  EXPECT_EQ(a(1, 2), 6);
+}
+
+TEST(Matrix, AppendColumnsRowMismatchThrows) {
+  Matrix a(2, 1);
+  Matrix b(3, 1);
+  EXPECT_THROW(a.append_columns(b), std::invalid_argument);
+}
+
+TEST(Matrix, AppendColumnsToEmptyAdoptsShape) {
+  Matrix a;
+  Matrix b = Matrix::from_rows({{1, 2}});
+  a.append_columns(b);
+  EXPECT_EQ(a.rows(), 1);
+  EXPECT_EQ(a.cols(), 2);
+}
+
+TEST(Matrix, FrobeniusNormMatchesDefinition) {
+  Matrix m = Matrix::from_rows({{3, 0}, {0, 4}});
+  EXPECT_NEAR(m.frobenius_norm(), 5.0, 1e-12);
+}
+
+TEST(Matrix, FrobeniusNormOverflowSafe) {
+  Matrix m(1, 2);
+  m(0, 0) = 1e200;
+  m(0, 1) = 1e200;
+  EXPECT_NEAR(m.frobenius_norm(), std::sqrt(2.0) * 1e200, 1e188);
+}
+
+TEST(Matrix, NormalizeColumnsGivesUnitNorms) {
+  Rng rng(3);
+  Matrix m = rng.gaussian_matrix(10, 5);
+  m.normalize_columns();
+  for (Index j = 0; j < m.cols(); ++j) {
+    EXPECT_NEAR(nrm2(m.col(j)), 1.0, 1e-12);
+  }
+}
+
+TEST(Matrix, NormalizeColumnsLeavesZeroColumn) {
+  Matrix m(3, 1);
+  m.normalize_columns();
+  EXPECT_EQ(nrm2(m.col(0)), 0.0);
+}
+
+TEST(Matrix, MemoryWordsCountsEntries) {
+  Matrix m(7, 9);
+  EXPECT_EQ(m.memory_words(), 63u);
+}
+
+TEST(Matrix, MaxAbsDiffShapeMismatchThrows) {
+  Matrix a(2, 2), b(3, 2);
+  EXPECT_THROW(max_abs_diff(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace extdict::la

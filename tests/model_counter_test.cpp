@@ -1,0 +1,138 @@
+// Property tests tying the emulated cluster's *measured* counters to the
+// paper's closed-form quantities: per-iteration FLOPs of Algorithm 2 equal
+// 2(M·L) + 4·nnz(C) multiply-add pairs regardless of P, the collective
+// volume follows min(M, L), and the partitioned strategy balances the work
+// to (M·L + nnz)/P per rank — the premises behind Eqs. (2)-(4).
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/dist_gram.hpp"
+#include "core/exd.hpp"
+#include "data/subspace.hpp"
+
+namespace extdict::core {
+namespace {
+
+struct Problem {
+  Matrix a;
+  ExdResult exd;
+};
+
+Problem make_problem(Index l) {
+  data::SubspaceModelConfig config;
+  config.ambient_dim = 48;
+  config.num_columns = 256;
+  config.num_subspaces = 6;
+  config.subspace_dim = 4;
+  config.seed = 201;
+  Problem p;
+  p.a = data::make_union_of_subspaces(config).a;
+  ExdConfig exd;
+  exd.dictionary_size = l;
+  exd.tolerance = 0.05;
+  exd.seed = 9;
+  p.exd = exd_transform(p.a, exd);
+  return p;
+}
+
+using Case = std::tuple<Index /*L*/, dist::Topology>;
+
+class CounterModelTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(CounterModelTest, TotalFlopsMatchClosedForm) {
+  const auto [l, topo] = GetParam();
+  const Problem p = make_problem(l);
+  const dist::Cluster cluster(topo);
+  la::Vector x0(256, 1.0);
+  const int iters = 3;
+  const auto r = dist_gram_apply(cluster, p.exd.dictionary, p.exd.coefficients,
+                                 x0, iters, GramStrategy::kPartitionedDictionary);
+
+  const auto m = static_cast<std::uint64_t>(p.a.rows());
+  const auto nnz = p.exd.coefficients.nnz();
+  // Per iteration: 2·(M·L) mult-add pairs of dense work (lift + adjoint,
+  // 4·M·L FLOPs) + 4·nnz sparse FLOPs; plus normalisation (3 FLOPs per
+  // element) and the reduction adds inside collectives.
+  const std::uint64_t core_flops =
+      static_cast<std::uint64_t>(iters) *
+      (4 * m * static_cast<std::uint64_t>(l) + 4 * nnz);
+  EXPECT_GE(r.stats.total_flops(), core_flops);
+  // Slack: normalisation + collective adds, all O(iters * (N + L * P)).
+  const std::uint64_t slack =
+      static_cast<std::uint64_t>(iters) *
+      (4 * 256 + 4 * static_cast<std::uint64_t>(l) *
+                     static_cast<std::uint64_t>(topo.total()));
+  EXPECT_LE(r.stats.total_flops(), core_flops + slack);
+}
+
+TEST_P(CounterModelTest, PerRankWorkIsBalancedToEq2) {
+  const auto [l, topo] = GetParam();
+  const Index p_count = topo.total();
+  if (p_count == 1) GTEST_SKIP() << "balance is trivial at P = 1";
+  const Problem p = make_problem(l);
+  const dist::Cluster cluster(topo);
+  la::Vector x0(256, 1.0);
+  const auto r = dist_gram_apply(cluster, p.exd.dictionary, p.exd.coefficients,
+                                 x0, 1, GramStrategy::kPartitionedDictionary);
+
+  const double ideal =
+      (4.0 * static_cast<double>(p.a.rows()) * static_cast<double>(l) +
+       4.0 * static_cast<double>(p.exd.coefficients.nnz())) /
+      static_cast<double>(p_count);
+  for (const auto& c : r.stats.per_rank) {
+    // Within 2x of the ideal share (row/column remainders, nnz imbalance,
+    // collective adds).
+    EXPECT_GE(static_cast<double>(c.flops), 0.4 * ideal);
+    EXPECT_LE(static_cast<double>(c.flops), 2.5 * ideal + 2048);
+  }
+}
+
+TEST_P(CounterModelTest, CollectiveVolumeTracksMinML) {
+  const auto [l, topo] = GetParam();
+  const Index p_count = topo.total();
+  if (p_count == 1) GTEST_SKIP() << "no communication at P = 1";
+  const Problem p = make_problem(l);
+  const dist::Cluster cluster(topo);
+  la::Vector x0(256, 1.0);
+  const auto r = dist_gram_apply(cluster, p.exd.dictionary, p.exd.coefficients,
+                                 x0, 1);  // auto dispatch
+
+  // Auto dispatch: partitioned (two L-word allreduces) for L <= M,
+  // replicated (one M-word reduce + broadcast) for L > M. Tree collectives
+  // move (P-1) * words per phase.
+  const auto m = static_cast<std::uint64_t>(p.a.rows());
+  const auto phases_words =
+      static_cast<std::uint64_t>(l) <= m ? 4 * static_cast<std::uint64_t>(l)
+                                         : 2 * m;
+  const std::uint64_t collective =
+      phases_words * static_cast<std::uint64_t>(p_count - 1);
+  EXPECT_GE(r.stats.total_words(), collective);
+  // Slack: the scalar-normalisation allreduce and the final gather.
+  EXPECT_LE(r.stats.total_words(),
+            collective + 4 * 256 + 8 * static_cast<std::uint64_t>(p_count));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CounterModelTest,
+    ::testing::Combine(::testing::Values<Index>(16, 48, 96),
+                       ::testing::Values(dist::Topology{1, 1},
+                                         dist::Topology{1, 4},
+                                         dist::Topology{2, 3})));
+
+TEST(CounterModel, OriginalUpdateMatchesTwoMN) {
+  const Problem p = make_problem(32);
+  for (const Index ranks : {1l, 2l, 4l}) {
+    const dist::Cluster cluster(dist::Topology{1, ranks});
+    la::Vector x0(256, 1.0);
+    const auto r = dist_gram_apply_original(cluster, p.a, x0, 2);
+    const std::uint64_t core_flops = 2ull * (4ull * 48 * 256);
+    EXPECT_GE(r.stats.total_flops(), core_flops);
+    EXPECT_LE(r.stats.total_flops(),
+              core_flops + 2ull * (4 * 256 + 64 * static_cast<std::uint64_t>(ranks)));
+  }
+}
+
+}  // namespace
+}  // namespace extdict::core

@@ -1,0 +1,102 @@
+#include "sparsecoding/omp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "la/random.hpp"
+
+namespace extdict::sparsecoding {
+namespace {
+
+using la::Rng;
+using la::Vector;
+
+Vector reconstruct(const Matrix& dict, const SparseCode& code, Index m) {
+  Vector r(static_cast<std::size_t>(m), 0.0);
+  for (const auto& [atom, coeff] : code.entries) {
+    la::axpy(coeff, dict.col(atom), r);
+  }
+  return r;
+}
+
+Real residual_of(const Matrix& dict, const SparseCode& code,
+                 std::span<const Real> signal) {
+  Vector rec = reconstruct(dict, code, dict.rows());
+  for (std::size_t i = 0; i < rec.size(); ++i) rec[i] -= signal[i];
+  return la::nrm2(rec);
+}
+
+TEST(Omp, ExactlyRecoversSignalInDictionary) {
+  // The signal IS an atom: one iteration, one entry, zero residual.
+  Rng rng(1);
+  Matrix dict = rng.gaussian_matrix(20, 10, true);
+  SparseCode code = omp_sparse_code(dict, dict.col(3), {.tolerance = 1e-10});
+  ASSERT_EQ(code.entries.size(), 1u);
+  EXPECT_EQ(code.entries[0].first, 3);
+  EXPECT_NEAR(code.entries[0].second, 1.0, 1e-10);
+  EXPECT_LT(code.residual_norm, 1e-9);
+}
+
+TEST(Omp, RecoversSparseCombination) {
+  Rng rng(2);
+  Matrix dict = rng.gaussian_matrix(30, 15, true);
+  Vector signal(30, 0.0);
+  la::axpy(2.0, dict.col(1), signal);
+  la::axpy(-1.5, dict.col(7), signal);
+  la::axpy(0.75, dict.col(12), signal);
+  SparseCode code = omp_sparse_code(dict, signal, {.tolerance = 1e-9});
+  EXPECT_EQ(code.entries.size(), 3u);
+  EXPECT_LT(residual_of(dict, code, signal), 1e-8);
+}
+
+TEST(Omp, ResidualMeetsTolerance) {
+  Rng rng(3);
+  Matrix dict = rng.gaussian_matrix(25, 40, true);
+  Vector signal(25);
+  rng.fill_gaussian(signal);
+  const Real eps = 0.2;
+  SparseCode code = omp_sparse_code(dict, signal, {.tolerance = eps});
+  EXPECT_LE(code.residual_norm, eps * la::nrm2(signal) * (1 + 1e-10));
+  // Reported residual is consistent with the actual reconstruction.
+  EXPECT_NEAR(residual_of(dict, code, signal), code.residual_norm, 1e-8);
+}
+
+TEST(Omp, ZeroSignalGivesEmptyCode) {
+  Rng rng(4);
+  Matrix dict = rng.gaussian_matrix(10, 5, true);
+  Vector zero(10, 0.0);
+  SparseCode code = omp_sparse_code(dict, zero, {.tolerance = 0.1});
+  EXPECT_TRUE(code.entries.empty());
+  EXPECT_EQ(code.residual_norm, 0.0);
+}
+
+TEST(Omp, MaxAtomsCapRespected) {
+  Rng rng(5);
+  Matrix dict = rng.gaussian_matrix(30, 30, true);
+  Vector signal(30);
+  rng.fill_gaussian(signal);
+  SparseCode code =
+      omp_sparse_code(dict, signal, {.tolerance = 1e-12, .max_atoms = 4});
+  EXPECT_LE(code.entries.size(), 4u);
+}
+
+TEST(Omp, SignalSizeMismatchThrows) {
+  Matrix dict(8, 4);
+  Vector bad(5);
+  EXPECT_THROW(omp_sparse_code(dict, bad, {}), std::invalid_argument);
+}
+
+TEST(Omp, TighterToleranceNeverSparser) {
+  Rng rng(6);
+  Matrix dict = rng.gaussian_matrix(40, 60, true);
+  Vector signal(40);
+  rng.fill_gaussian(signal);
+  const SparseCode loose = omp_sparse_code(dict, signal, {.tolerance = 0.3});
+  const SparseCode tight = omp_sparse_code(dict, signal, {.tolerance = 0.05});
+  EXPECT_GE(tight.entries.size(), loose.entries.size());
+}
+
+}  // namespace
+}  // namespace extdict::sparsecoding

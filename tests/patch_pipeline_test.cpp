@@ -1,0 +1,132 @@
+#include "apps/patch_pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "la/blas.hpp"
+#include "la/random.hpp"
+
+namespace extdict::apps {
+namespace {
+
+TEST(PatchGrid, CoversWholeImageIncludingBorders) {
+  la::Rng rng(1);
+  const Image img = data::make_smooth_scene(37, 29, rng);  // awkward sizes
+  const Matrix patches = extract_patch_grid(img, 8, 5);
+  EXPECT_EQ(patches.rows(), 64);
+  // Positions: 0,5,10,...,25 then border 29 for x (7); 0,5,...,20 then 21
+  // for y (6).
+  EXPECT_EQ(patches.cols(), 7 * 6);
+  // The last patch is border aligned: bottom-right pixel present.
+  bool found = false;
+  for (la::Index j = 0; j < patches.cols(); ++j) {
+    if (patches(63, j) == img.at(36, 28)) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PatchGrid, Validation) {
+  Image img(10, 10);
+  EXPECT_THROW(extract_patch_grid(img, 0, 1), std::invalid_argument);
+  EXPECT_THROW(extract_patch_grid(img, 12, 4), std::invalid_argument);
+  EXPECT_THROW(extract_patch_grid(img, 4, 0), std::invalid_argument);
+}
+
+class DenoiserFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    la::Rng rng(7);
+    // Train on patches of one scene; test on a DIFFERENT scene with the
+    // same statistics.
+    const Image train_scene = data::make_smooth_scene(96, 96, rng);
+    const Matrix train = data::extract_patches(train_scene, 8, 500, rng);
+
+    PatchPipelineConfig config;
+    config.patch = 8;
+    config.stride = 4;
+    config.tolerance = 0.1;
+    config.lambda = 3e-4;
+    denoiser_ = std::make_unique<PatchDenoiser>(
+        train, dist::PlatformSpec::idataplex({1, 2}), config);
+
+    la::Rng rng2(8);
+    clean_ = data::make_smooth_scene(48, 40, rng2);
+    noisy_ = clean_;
+    data::add_gaussian_noise(noisy_, 0.05, rng2);
+  }
+
+  std::unique_ptr<PatchDenoiser> denoiser_;
+  Image clean_;
+  Image noisy_;
+};
+
+TEST_F(DenoiserFixture, TransformMeetsBudget) {
+  EXPECT_GT(denoiser_->dictionary_size(), 0);
+  EXPECT_LE(denoiser_->transform_error(), 0.1 * 1.05);
+}
+
+TEST_F(DenoiserFixture, ImprovesFullImagePsnr) {
+  const Image restored = denoiser_->denoise(noisy_);
+  ASSERT_EQ(restored.width, clean_.width);
+  ASSERT_EQ(restored.height, clean_.height);
+  const Real before = data::psnr_db(clean_.pixels, noisy_.pixels);
+  const Real after = data::psnr_db(clean_.pixels, restored.pixels);
+  EXPECT_GT(after, before + 4.0);
+}
+
+TEST_F(DenoiserFixture, FlatPatchPassesThroughItsMean) {
+  la::Vector flat(64, 0.37);
+  const la::Vector restored = denoiser_->denoise_patch(flat);
+  for (const Real v : restored) EXPECT_NEAR(v, 0.37, 1e-9);
+}
+
+TEST_F(DenoiserFixture, PatchLengthValidated) {
+  la::Vector wrong(63);
+  EXPECT_THROW((void)denoiser_->denoise_patch(wrong), std::invalid_argument);
+}
+
+TEST_F(DenoiserFixture, TinyImageRejected) {
+  Image tiny(4, 4);
+  EXPECT_THROW((void)denoiser_->denoise(tiny), std::invalid_argument);
+}
+
+TEST(PatchDenoiser, RejectsWrongTrainingShape) {
+  la::Rng rng(9);
+  const Matrix bad = rng.gaussian_matrix(60, 50);
+  PatchPipelineConfig config;
+  config.patch = 8;
+  EXPECT_THROW(
+      PatchDenoiser(bad, dist::PlatformSpec::idataplex({1, 1}), config),
+      std::invalid_argument);
+}
+
+TEST(PatchDenoiser, RejectsAllFlatTraining) {
+  Matrix flat(64, 100);  // all zeros -> every patch flat
+  PatchPipelineConfig config;
+  config.patch = 8;
+  EXPECT_THROW(
+      PatchDenoiser(flat, dist::PlatformSpec::idataplex({1, 1}), config),
+      std::invalid_argument);
+}
+
+TEST(PatchDenoiser, DeterministicAcrossRuns) {
+  la::Rng rng(10);
+  const Image scene = data::make_smooth_scene(64, 64, rng);
+  const Matrix train = data::extract_patches(scene, 8, 300, rng);
+  PatchPipelineConfig config;
+  config.patch = 8;
+  config.stride = 6;
+  const auto platform = dist::PlatformSpec::idataplex({1, 1});
+  const PatchDenoiser a(train, platform, config);
+  const PatchDenoiser b(train, platform, config);
+  la::Rng rng2(11);
+  Image noisy = data::make_smooth_scene(24, 24, rng2);
+  data::add_gaussian_noise(noisy, 0.05, rng2);
+  const Image ra = a.denoise(noisy);
+  const Image rb = b.denoise(noisy);
+  for (std::size_t i = 0; i < ra.pixels.size(); ++i) {
+    EXPECT_EQ(ra.pixels[i], rb.pixels[i]);
+  }
+}
+
+}  // namespace
+}  // namespace extdict::apps

@@ -1,0 +1,120 @@
+#include "la/qr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "la/blas.hpp"
+#include "la/random.hpp"
+
+namespace extdict::la {
+namespace {
+
+TEST(HouseholderQr, SolvesSquareSystemExactly) {
+  Rng rng(1);
+  Matrix a = rng.gaussian_matrix(5, 5);
+  Vector x_true(5);
+  rng.fill_gaussian(x_true);
+  Vector b(5);
+  gemv(1, a, x_true, 0, b);
+  Vector x = HouseholderQr(a).solve(b);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(HouseholderQr, LeastSquaresResidualIsOrthogonal) {
+  // For the LS minimiser, Aᵀ(Ax - b) = 0.
+  Rng rng(2);
+  Matrix a = rng.gaussian_matrix(12, 4);
+  Vector b(12);
+  rng.fill_gaussian(b);
+  Vector x = least_squares(a, b);
+  Vector r(12);
+  gemv(1, a, x, 0, r);
+  for (std::size_t i = 0; i < 12; ++i) r[i] -= b[i];
+  Vector atr(4);
+  gemv_t(1, a, r, 0, atr);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(atr[i], 0.0, 1e-9);
+}
+
+TEST(HouseholderQr, SolveManyMatchesColumnwise) {
+  Rng rng(3);
+  Matrix a = rng.gaussian_matrix(10, 4);
+  Matrix b = rng.gaussian_matrix(10, 6);
+  HouseholderQr qr(a);
+  Matrix x = qr.solve_many(b);
+  for (Index j = 0; j < 6; ++j) {
+    Vector xj = qr.solve(b.col(j));
+    for (Index i = 0; i < 4; ++i) {
+      EXPECT_NEAR(x(i, j), xj[static_cast<std::size_t>(i)], 1e-10);
+    }
+  }
+}
+
+TEST(HouseholderQr, RejectsWideMatrix) {
+  Matrix a(3, 5);
+  EXPECT_THROW(HouseholderQr{a}, std::invalid_argument);
+}
+
+TEST(HouseholderQr, SolveSizeMismatchThrows) {
+  Rng rng(4);
+  Matrix a = rng.gaussian_matrix(6, 3);
+  HouseholderQr qr(a);
+  Vector b(4);
+  EXPECT_THROW(qr.solve(b), std::invalid_argument);
+}
+
+TEST(HouseholderQr, RankOfFullRankMatrix) {
+  Rng rng(5);
+  Matrix a = rng.gaussian_matrix(8, 5);
+  EXPECT_EQ(HouseholderQr(a).rank(), 5);
+}
+
+TEST(HouseholderQr, RankDetectsDeficiency) {
+  // Third column = sum of the first two.
+  Rng rng(6);
+  Matrix a = rng.gaussian_matrix(8, 3);
+  for (Index i = 0; i < 8; ++i) a(i, 2) = a(i, 0) + a(i, 1);
+  EXPECT_EQ(HouseholderQr(a).rank(), 2);
+}
+
+TEST(HouseholderQr, PseudoInverseProjectionIdempotent) {
+  // P = D D⁺ is a projector: applying it twice equals applying once. This
+  // is the property RCSS's C = D⁺A build relies on.
+  Rng rng(7);
+  Matrix d = rng.gaussian_matrix(10, 4);
+  HouseholderQr qr(d);
+  Vector v(10);
+  rng.fill_gaussian(v);
+  Vector c1 = qr.solve(v);
+  Vector p1(10);
+  gemv(1, d, c1, 0, p1);
+  Vector c2 = qr.solve(p1);
+  Vector p2(10);
+  gemv(1, d, c2, 0, p2);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_NEAR(p1[i], p2[i], 1e-9);
+}
+
+class QrShapeTest : public ::testing::TestWithParam<std::pair<Index, Index>> {};
+
+TEST_P(QrShapeTest, NormalEquationsHold) {
+  const auto [m, n] = GetParam();
+  Rng rng(100 + m + n);
+  Matrix a = rng.gaussian_matrix(m, n);
+  Vector b(static_cast<std::size_t>(m));
+  rng.fill_gaussian(b);
+  Vector x = least_squares(a, b);
+  Vector r(static_cast<std::size_t>(m));
+  gemv(1, a, x, 0, r);
+  for (std::size_t i = 0; i < r.size(); ++i) r[i] -= b[i];
+  Vector atr(static_cast<std::size_t>(n));
+  gemv_t(1, a, r, 0, atr);
+  EXPECT_LT(nrm2(atr), 1e-8 * (1 + nrm2(b)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QrShapeTest,
+                         ::testing::Values(std::pair<Index, Index>{1, 1},
+                                           std::pair<Index, Index>{6, 6},
+                                           std::pair<Index, Index>{20, 3},
+                                           std::pair<Index, Index>{50, 30},
+                                           std::pair<Index, Index>{100, 1}));
+
+}  // namespace
+}  // namespace extdict::la

@@ -1,0 +1,111 @@
+#include "la/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "la/blas.hpp"
+
+namespace extdict::la {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 20; ++i) any_diff |= (a.uniform() != b.uniform());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformIndexStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const Index v = rng.uniform_index(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinct) {
+  Rng rng(5);
+  const auto sample = rng.sample_without_replacement(100, 40);
+  EXPECT_EQ(sample.size(), 40u);
+  std::set<Index> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 40u);
+  for (Index v : sample) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+}
+
+TEST(Rng, SampleWholeRangeIsPermutation) {
+  Rng rng(6);
+  auto sample = rng.sample_without_replacement(10, 10);
+  std::sort(sample.begin(), sample.end());
+  for (Index i = 0; i < 10; ++i) EXPECT_EQ(sample[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Rng, SampleRejectsCountAboveN) {
+  Rng rng(1);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), std::invalid_argument);
+}
+
+TEST(Rng, SampleIsApproximatelyUniform) {
+  // Each index of [0, 10) should be picked ~ count/n of the time.
+  Rng rng(8);
+  std::vector<int> hits(10, 0);
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    for (Index v : rng.sample_without_replacement(10, 3)) {
+      ++hits[static_cast<std::size_t>(v)];
+    }
+  }
+  for (int h : hits) {
+    EXPECT_NEAR(static_cast<double>(h) / trials, 0.3, 0.05);
+  }
+}
+
+TEST(Rng, PermutationContainsAll) {
+  Rng rng(9);
+  auto p = rng.permutation(50);
+  std::sort(p.begin(), p.end());
+  for (Index i = 0; i < 50; ++i) EXPECT_EQ(p[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Rng, GaussianMomentsRoughlyCorrect) {
+  Rng rng(10);
+  Vector x(20000);
+  rng.fill_gaussian(x, 2.0, 3.0);
+  Real mean = 0;
+  for (Real v : x) mean += v;
+  mean /= static_cast<Real>(x.size());
+  Real var = 0;
+  for (Real v : x) var += (v - mean) * (v - mean);
+  var /= static_cast<Real>(x.size());
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(Rng, GaussianMatrixNormalized) {
+  Rng rng(11);
+  Matrix m = rng.gaussian_matrix(20, 5, /*normalize_columns=*/true);
+  for (Index j = 0; j < 5; ++j) EXPECT_NEAR(nrm2(m.col(j)), 1.0, 1e-12);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(12);
+  Rng child = parent.fork();
+  // The fork must not replay the parent's stream.
+  bool any_diff = false;
+  Rng parent2(12);
+  for (int i = 0; i < 10; ++i) any_diff |= (child.uniform() != parent2.uniform());
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace extdict::la

@@ -1,0 +1,101 @@
+#include "core/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/exd.hpp"
+#include "core/gram_operator.hpp"
+#include "data/subspace.hpp"
+#include "la/blas.hpp"
+#include "la/io.hpp"
+
+namespace extdict::core {
+namespace {
+
+std::string base_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+void cleanup(const std::string& base) {
+  std::remove((base + ".dict.bin").c_str());
+  std::remove((base + ".coeffs.mtx").c_str());
+  std::remove((base + ".meta").c_str());
+}
+
+ExdResult make_transform(std::uint64_t seed = 501) {
+  data::SubspaceModelConfig config;
+  config.ambient_dim = 30;
+  config.num_columns = 120;
+  config.num_subspaces = 4;
+  config.subspace_dim = 3;
+  config.seed = seed;
+  const Matrix a = data::make_union_of_subspaces(config).a;
+  ExdConfig exd;
+  exd.dictionary_size = 40;
+  exd.tolerance = 0.05;
+  return exd_transform(a, exd);
+}
+
+TEST(Serialize, RoundTripPreservesEverything) {
+  const ExdResult original = make_transform();
+  const std::string base = base_path("extdict_transform");
+  save_transform(original, base);
+  const ExdResult loaded = load_transform(base);
+
+  EXPECT_EQ(la::max_abs_diff(original.dictionary, loaded.dictionary), 0.0);
+  EXPECT_EQ(original.coefficients.nnz(), loaded.coefficients.nnz());
+  EXPECT_LT(la::max_abs_diff(original.coefficients.to_dense(),
+                             loaded.coefficients.to_dense()),
+            1e-15);
+  EXPECT_EQ(original.atom_indices, loaded.atom_indices);
+  EXPECT_DOUBLE_EQ(original.transformation_error, loaded.transformation_error);
+  cleanup(base);
+}
+
+TEST(Serialize, LoadedTransformDrivesTheOperator) {
+  const ExdResult original = make_transform(502);
+  const std::string base = base_path("extdict_transform_op");
+  save_transform(original, base);
+  const ExdResult loaded = load_transform(base);
+
+  TransformedGramOperator op_a(original.dictionary, original.coefficients);
+  TransformedGramOperator op_b(loaded.dictionary, loaded.coefficients);
+  la::Vector x(static_cast<std::size_t>(original.coefficients.cols()), 1.0);
+  la::Vector ya(x.size()), yb(x.size());
+  op_a.apply(x, ya);
+  op_b.apply(x, yb);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(ya[i], yb[i], 1e-12);
+  cleanup(base);
+}
+
+TEST(Serialize, MissingFilesThrow) {
+  EXPECT_THROW(load_transform("/nonexistent/extdict"), std::runtime_error);
+}
+
+TEST(Serialize, CorruptMetadataThrows) {
+  const ExdResult original = make_transform(503);
+  const std::string base = base_path("extdict_transform_bad");
+  save_transform(original, base);
+  {
+    std::ofstream meta(base + ".meta");
+    meta << "not-a-transform v9\n";
+  }
+  EXPECT_THROW(load_transform(base), std::runtime_error);
+  cleanup(base);
+}
+
+TEST(Serialize, ShapeMismatchDetected) {
+  const ExdResult original = make_transform(504);
+  const std::string base = base_path("extdict_transform_shape");
+  save_transform(original, base);
+  // Overwrite the dictionary with a wrong-shaped one.
+  la::write_binary(Matrix(5, 7), base + ".dict.bin");
+  EXPECT_THROW(load_transform(base), std::runtime_error);
+  cleanup(base);
+}
+
+}  // namespace
+}  // namespace extdict::core

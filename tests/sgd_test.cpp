@@ -1,0 +1,123 @@
+#include "baselines/sgd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/gram_operator.hpp"
+#include "la/blas.hpp"
+#include "la/random.hpp"
+#include "solvers/lasso.hpp"
+
+namespace extdict::baselines {
+namespace {
+
+struct Problem {
+  Matrix a;
+  la::Vector y;
+  la::Vector x_true;
+};
+
+Problem make_problem(Index m = 60, Index n = 90, std::uint64_t seed = 141) {
+  la::Rng rng(seed);
+  Problem p;
+  p.a = rng.gaussian_matrix(m, n, true);
+  p.x_true.assign(static_cast<std::size_t>(n), 0.0);
+  for (const Index j : rng.sample_without_replacement(n, 4)) {
+    p.x_true[static_cast<std::size_t>(j)] = 1.5;
+  }
+  p.y.assign(static_cast<std::size_t>(m), 0.0);
+  la::gemv(1, p.a, p.x_true, 0, p.y);
+  return p;
+}
+
+TEST(Sgd, ReducesTheObjective) {
+  const Problem p = make_problem();
+  const dist::Cluster cluster(dist::Topology{1, 2});
+  SgdConfig config;
+  config.lambda = 1e-3;
+  config.batch_rows = 20;
+  config.max_iterations = 600;
+  config.target_objective = 1e-12;  // unreachable: run all iterations
+  config.check_every = 100;
+  const SgdResult r = sgd_lasso(cluster, p.a, p.y, config);
+
+  core::DenseGramOperator op(p.a);
+  const Real j0 = solvers::lasso_objective(op, p.y, la::Vector(90, 0.0), 1e-3);
+  const Real jr = solvers::lasso_objective(op, p.y, r.x, 1e-3);
+  EXPECT_LT(jr, 0.2 * j0);
+  ASSERT_FALSE(r.objective_trace.empty());
+  EXPECT_LE(r.objective_trace.back().second,
+            r.objective_trace.front().second);
+}
+
+TEST(Sgd, StopsAtTargetObjective) {
+  const Problem p = make_problem(60, 90, 142);
+  const dist::Cluster cluster(dist::Topology{1, 2});
+
+  core::DenseGramOperator op(p.a);
+  const Real j0 = solvers::lasso_objective(op, p.y, la::Vector(90, 0.0), 1e-3);
+
+  SgdConfig config;
+  config.lambda = 1e-3;
+  config.batch_rows = 20;
+  config.max_iterations = 5000;
+  config.target_objective = 0.5 * j0;  // easy target
+  config.check_every = 10;
+  const SgdResult r = sgd_lasso(cluster, p.a, p.y, config);
+  EXPECT_TRUE(r.reached_target);
+  EXPECT_LT(r.iterations, 5000);
+  EXPECT_LE(r.final_objective, 0.5 * j0);
+}
+
+TEST(Sgd, DeterministicAcrossRankCounts) {
+  // The shared-seed batch draw makes the algorithm equivalent on any rank
+  // count (up to reduction order).
+  const Problem p = make_problem(40, 60, 143);
+  SgdConfig config;
+  config.lambda = 1e-3;
+  config.batch_rows = 16;
+  config.max_iterations = 50;
+  const SgdResult r1 = sgd_lasso(dist::Cluster(dist::Topology{1, 1}), p.a, p.y, config);
+  const SgdResult r2 = sgd_lasso(dist::Cluster(dist::Topology{1, 3}), p.a, p.y, config);
+  for (std::size_t i = 0; i < r1.x.size(); ++i) {
+    EXPECT_NEAR(r1.x[i], r2.x[i], 1e-8);
+  }
+}
+
+TEST(Sgd, CommunicationPerIterationIsBatchSized) {
+  // The paper: "SGD's communication is limited to the batch-size". One
+  // iteration on P ranks allreduces a batch-length vector.
+  const Problem p = make_problem(50, 80, 144);
+  SgdConfig config;
+  config.batch_rows = 10;
+  config.max_iterations = 4;
+  config.target_objective = -1;  // no monitoring traffic
+  const SgdResult r = sgd_lasso(dist::Cluster(dist::Topology{1, 4}), p.a, p.y, config);
+  // allreduce = tree reduce + broadcast: 2*(P-1)*batch words per iteration,
+  // plus the final gather of x (~N words).
+  const std::uint64_t per_iter = 2u * 3 * 10;
+  EXPECT_GE(r.stats.total_words(), 4 * per_iter);
+  EXPECT_LE(r.stats.total_words(), 4 * per_iter + 2u * 80 + 64);
+}
+
+TEST(Sgd, KeepsOriginalDataResident) {
+  // SGD provides no memory reduction: each rank holds its full A block.
+  const Problem p = make_problem(50, 80, 145);
+  SgdConfig config;
+  config.max_iterations = 2;
+  const SgdResult r = sgd_lasso(dist::Cluster(dist::Topology{1, 2}), p.a, p.y, config);
+  for (const auto& c : r.stats.per_rank) {
+    EXPECT_GE(c.peak_memory_words, 50u * 40);
+  }
+}
+
+TEST(Sgd, SizeMismatchThrows) {
+  const Problem p = make_problem(30, 40, 146);
+  la::Vector bad(31);
+  EXPECT_THROW(sgd_lasso(dist::Cluster(dist::Topology{1, 1}), p.a, bad, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace extdict::baselines

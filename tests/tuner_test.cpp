@@ -1,0 +1,129 @@
+#include "core/tuner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/subspace.hpp"
+
+namespace extdict::core {
+namespace {
+
+Matrix test_data(Index n = 400, std::uint64_t seed = 61) {
+  data::SubspaceModelConfig config;
+  config.ambient_dim = 40;
+  config.num_columns = n;
+  config.num_subspaces = 6;
+  config.subspace_dim = 4;
+  config.seed = seed;
+  return data::make_union_of_subspaces(config).a;
+}
+
+TunerConfig base_config() {
+  TunerConfig config;
+  config.profile.l_grid = {60, 120, 200};
+  config.profile.tolerance = 0.1;
+  config.profile.seed = 3;
+  return config;
+}
+
+TEST(Tuner, PicksArgminOfReportedCosts) {
+  const Matrix a = test_data();
+  const auto platform = dist::PlatformSpec::idataplex({2, 8});
+  const TunerResult r = tune(a, platform, base_config());
+  ASSERT_FALSE(r.costs.empty());
+  double best = r.costs.front().second;
+  Index best_l = r.costs.front().first;
+  for (const auto& [l, cost] : r.costs) {
+    if (cost < best) {
+      best = cost;
+      best_l = l;
+    }
+  }
+  EXPECT_EQ(r.best_l, best_l);
+  EXPECT_DOUBLE_EQ(r.best_cost, best);
+}
+
+TEST(Tuner, CostsMatchTheModelFormula) {
+  const Matrix a = test_data();
+  const auto platform = dist::PlatformSpec::idataplex({1, 4});
+  TunerConfig config = base_config();
+  const TunerResult r = tune(a, platform, config);
+  for (const auto& [l, cost] : r.costs) {
+    const auto& point = r.profile.at(l);
+    EXPECT_DOUBLE_EQ(cost, objective_value(Objective::kTime, a.rows(), l,
+                                           point.alpha_mean, a.cols(), platform));
+  }
+}
+
+TEST(Tuner, InfeasibleGridThrows) {
+  const Matrix a = test_data();
+  TunerConfig config = base_config();
+  config.profile.l_grid = {4, 8};  // far below L_min for tolerance 0.05
+  config.profile.tolerance = 0.05;
+  EXPECT_THROW(tune(a, dist::PlatformSpec::idataplex({1, 1}), config),
+               std::runtime_error);
+}
+
+TEST(Tuner, MemoryObjectivePrefersSparserConfiguration) {
+  const Matrix a = test_data();
+  TunerConfig config = base_config();
+  config.objective = Objective::kMemory;
+  const TunerResult r = tune(a, dist::PlatformSpec::idataplex({8, 8}), config);
+  // Whatever it picked must be the argmin of the memory model.
+  for (const auto& [l, cost] : r.costs) {
+    EXPECT_LE(r.best_cost, cost) << "L=" << l;
+  }
+}
+
+TEST(Tuner, PlatformAwareness) {
+  // This is ExtDict's thesis: different platforms can tune to different L
+  // for the same data and error. We verify the *model* ranks L differently
+  // when the word cost changes drastically, using the measured profile.
+  const Matrix a = test_data();
+  TunerConfig config = base_config();
+  const TunerResult r = tune(a, dist::PlatformSpec::idataplex({1, 1}), config);
+
+  auto platform_cheap_comm = dist::PlatformSpec::idataplex({8, 8});
+  auto platform_dear_comm = platform_cheap_comm;
+  platform_dear_comm.inter_words_per_second /= 1e4;  // words nearly free vs ruinous
+
+  Index best_cheap = -1, best_dear = -1;
+  double cost_cheap = 0, cost_dear = 0;
+  for (const auto& point : r.profile.points) {
+    if (!point.feasible) continue;
+    const double c1 = objective_value(Objective::kTime, a.rows(), point.l,
+                                      point.alpha_mean, a.cols(), platform_cheap_comm);
+    const double c2 = objective_value(Objective::kTime, a.rows(), point.l,
+                                      point.alpha_mean, a.cols(), platform_dear_comm);
+    if (best_cheap < 0 || c1 < cost_cheap) {
+      cost_cheap = c1;
+      best_cheap = point.l;
+    }
+    if (best_dear < 0 || c2 < cost_dear) {
+      cost_dear = c2;
+      best_dear = point.l;
+    }
+  }
+  // With ruinous communication the tuner must not prefer a larger
+  // dictionary than with cheap communication (comm scales with min(M,L)).
+  EXPECT_LE(best_dear, best_cheap);
+}
+
+TEST(Tuner, SubsetTuningAgreesWithFullTuning) {
+  const Matrix a = test_data(600, 62);
+  const auto platform = dist::PlatformSpec::idataplex({2, 8});
+  TunerConfig full = base_config();
+  TunerConfig subset = base_config();
+  subset.subset_sizes = {200, 400, 600};
+  subset.convergence_threshold = 0.15;
+  const TunerResult rf = tune(a, platform, full);
+  const TunerResult rs = tune(a, platform, subset);
+  // The subset-based tuner may land on a neighbouring grid point, but its
+  // choice must be within 2x of the full-data optimum under the model.
+  const auto& point = rf.profile.at(rs.best_l);
+  const double cost_of_subset_choice = objective_value(
+      Objective::kTime, a.rows(), rs.best_l, point.alpha_mean, a.cols(), platform);
+  EXPECT_LE(cost_of_subset_choice, 2.0 * rf.best_cost);
+}
+
+}  // namespace
+}  // namespace extdict::core

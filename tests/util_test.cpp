@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace extdict::util {
+namespace {
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(t.elapsed_ms(), 15.0);
+  EXPECT_LT(t.elapsed_ms(), 5000.0);
+}
+
+TEST(Timer, RestartResetsOrigin) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  t.restart();
+  EXPECT_LT(t.elapsed_ms(), 10.0);
+}
+
+TEST(FormatDuration, PicksSensibleUnits) {
+  EXPECT_EQ(format_duration_ms(0.5), "0.500 ms");
+  EXPECT_EQ(format_duration_ms(12.34), "12.3 ms");
+  EXPECT_EQ(format_duration_ms(4560), "4.56 s");
+  EXPECT_EQ(format_duration_ms(123000), "2 m 03.0 s");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 22    |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsEmptyHeaderAndBadRows) {
+  EXPECT_THROW(Table{std::vector<std::string>{}}, std::invalid_argument);
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Fmt, SignificantDigits) {
+  EXPECT_EQ(fmt(3.14159, 3), "3.14");
+  EXPECT_EQ(fmt(1234567.0, 3), "1.23e+06");
+}
+
+TEST(FmtCount, ThousandsSeparators) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_count(1234567), "1,234,567");
+}
+
+}  // namespace
+}  // namespace extdict::util
