@@ -11,7 +11,9 @@
 // Cancer Cells costs MORE than the (larger) Light Field set because its
 // denser geometry needs more OMP iterations per column.
 
+#ifdef _OPENMP
 #include <omp.h>
+#endif
 
 #include "bench_common.hpp"
 #include "core/exd.hpp"
@@ -44,7 +46,11 @@ int main() {
     exd.seed = 2;
     const core::ExdResult result = core::exd_transform(entry.a, exd);
 
+#ifdef _OPENMP
     const double host_threads = omp_get_max_threads();
+#else
+    const double host_threads = 1.0;
+#endif
     const double modeled64 =
         (tuning_ms + result.transform_ms) * host_threads / 64.0;
 

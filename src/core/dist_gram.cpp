@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "la/blas.hpp"
+#include "util/contracts.hpp"
 
 namespace extdict::core {
 
@@ -39,6 +40,7 @@ DistGramResult dist_gram_apply(const dist::Cluster& cluster, const Matrix& d,
   if (static_cast<Index>(x0.size()) != c.cols()) {
     throw std::invalid_argument("dist_gram_apply: x size mismatch");
   }
+  EXTDICT_CHECK_FINITE(std::span<const Real>(x0), "dist_gram_apply: x0");
   const Index m = d.rows();
   const Index l = d.cols();
   const Index n = c.cols();
@@ -160,6 +162,10 @@ DistGramResult dist_gram_apply(const dist::Cluster& cluster, const Matrix& d,
       // Step 7: x_i = C_iᵀ v3.
       c.spmv_t_range(b, e, v3, x_local);
       comm.cost().add_flops(2 * range_nnz(c, b, e));
+      EXTDICT_CHECK_FINITE(std::span<const Real>(x_local),
+                           "dist_gram_apply: x after iteration " +
+                               std::to_string(it) + " on rank " +
+                               std::to_string(rank));
 
       normalize_distributed(comm, x_local);
     }

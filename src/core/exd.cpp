@@ -6,6 +6,7 @@
 #include "la/blas.hpp"
 #include "la/random.hpp"
 #include "sparsecoding/batch_omp.hpp"
+#include "util/contracts.hpp"
 #include "util/timer.hpp"
 
 namespace extdict::core {
@@ -29,6 +30,9 @@ ExdResult exd_transform_with_dictionary(const Matrix& a, Matrix dictionary,
   if (dictionary.rows() != a.rows()) {
     throw std::invalid_argument("exd_transform_with_dictionary: row mismatch");
   }
+  EXTDICT_CHECK_FINITE(
+      std::span<const Real>(a.data(), static_cast<std::size_t>(a.size())),
+      "exd_transform: data matrix");
   util::Timer timer;
 
   sparsecoding::OmpConfig omp;
@@ -62,6 +66,8 @@ Real transformation_error(const Matrix& a, const Matrix& d, const CscMatrix& c) 
     num += la::dot(r, r);
     den += la::dot(a.col(j), a.col(j));
   }
+  EXTDICT_ASSERT(std::isfinite(num) && std::isfinite(den),
+                 "transformation_error: non-finite residual energy");
   return den > 0 ? std::sqrt(num / den) : Real{0};
 }
 

@@ -32,7 +32,7 @@ ExtDict::ExtDict(ExdResult exd, dist::PlatformSpec platform, Options options,
 ExtDict ExtDict::preprocess(const Matrix& a, const dist::PlatformSpec& platform,
                             const Options& options) {
   std::optional<TunerResult> tuning;
-  Index l;
+  Index l = 0;
   if (options.fixed_l) {
     l = *options.fixed_l;
   } else {

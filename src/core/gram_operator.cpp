@@ -3,24 +3,43 @@
 #include <stdexcept>
 
 #include "la/blas.hpp"
+#include "util/contracts.hpp"
 
 namespace extdict::core {
+
+namespace {
+
+void require_sizes(std::span<const Real> x, Index nx, std::span<const Real> y,
+                   Index ny, [[maybe_unused]] const char* op) {
+  EXTDICT_REQUIRE_SHAPE(static_cast<Index>(x.size()) == nx &&
+                            static_cast<Index>(y.size()) == ny,
+                        std::string(op) + ": |in|=" +
+                            std::to_string(x.size()) + " (want " +
+                            std::to_string(nx) + "), |out|=" +
+                            std::to_string(y.size()) + " (want " +
+                            std::to_string(ny) + ")");
+}
+
+}  // namespace
 
 DenseGramOperator::DenseGramOperator(const Matrix& a)
     : a_(&a), scratch_(static_cast<std::size_t>(a.rows())) {}
 
 void DenseGramOperator::apply(std::span<const Real> x, std::span<Real> y) const {
+  require_sizes(x, dim(), y, dim(), "DenseGramOperator::apply");
   la::gemv(1, *a_, x, 0, scratch_);
   la::gemv_t(1, *a_, scratch_, 0, y);
 }
 
 void DenseGramOperator::apply_adjoint(std::span<const Real> v,
                                       std::span<Real> y) const {
+  require_sizes(v, data_dim(), y, dim(), "DenseGramOperator::apply_adjoint");
   la::gemv_t(1, *a_, v, 0, y);
 }
 
 void DenseGramOperator::apply_forward(std::span<const Real> x,
                                       std::span<Real> v) const {
+  require_sizes(x, dim(), v, data_dim(), "DenseGramOperator::apply_forward");
   la::gemv(1, *a_, x, 0, v);
 }
 
@@ -42,6 +61,7 @@ TransformedGramOperator::TransformedGramOperator(const Matrix& d,
 
 void TransformedGramOperator::apply(std::span<const Real> x,
                                     std::span<Real> y) const {
+  require_sizes(x, dim(), y, dim(), "TransformedGramOperator::apply");
   c_->spmv(x, v1_);                // v1 = C x
   la::gemv(1, *d_, v1_, 0, v2_);   // v2 = D v1
   la::gemv_t(1, *d_, v2_, 0, v3_); // v3 = Dᵀ v2
@@ -50,12 +70,16 @@ void TransformedGramOperator::apply(std::span<const Real> x,
 
 void TransformedGramOperator::apply_adjoint(std::span<const Real> v,
                                             std::span<Real> y) const {
+  require_sizes(v, data_dim(), y, dim(),
+                "TransformedGramOperator::apply_adjoint");
   la::gemv_t(1, *d_, v, 0, v3_);
   c_->spmv_t(v3_, y);
 }
 
 void TransformedGramOperator::apply_forward(std::span<const Real> x,
                                             std::span<Real> v) const {
+  require_sizes(x, dim(), v, data_dim(),
+                "TransformedGramOperator::apply_forward");
   c_->spmv(x, v1_);
   la::gemv(1, *d_, v1_, 0, v);
 }

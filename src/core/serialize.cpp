@@ -56,8 +56,22 @@ ExdResult load_transform(const std::string& basename) {
       meta >> exd.transform_ms;
     } else if (key == "atoms") {
       meta >> atom_count;
+      // The atom list can never be larger than the dictionary it indexes;
+      // reject a corrupt count before resizing (no multi-GB allocation from
+      // a one-line header edit).
+      if (meta &&
+          atom_count > static_cast<std::size_t>(exd.dictionary.cols())) {
+        throw std::runtime_error("load_transform: implausible atom count in " +
+                                 basename);
+      }
       exd.atom_indices.resize(atom_count);
-      for (std::size_t i = 0; i < atom_count; ++i) meta >> exd.atom_indices[i];
+      for (std::size_t i = 0; i < atom_count; ++i) {
+        meta >> exd.atom_indices[i];
+        if (meta && exd.atom_indices[i] < 0) {
+          throw std::runtime_error("load_transform: negative atom index in " +
+                                   basename);
+        }
+      }
     } else {
       throw std::runtime_error("load_transform: unknown metadata key '" + key + "'");
     }

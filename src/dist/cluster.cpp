@@ -1,6 +1,8 @@
 #include "dist/cluster.hpp"
 
+#ifdef _OPENMP
 #include <omp.h>
+#endif
 
 #include <thread>
 #include <vector>
@@ -24,7 +26,9 @@ RunStats Cluster::run(const Body& body) const {
       // Each emulated rank is a single processor; suppress nested OpenMP so
       // kernel-side work maps 1:1 onto the rank. (num_threads is a
       // thread-local ICV, so this does not affect other ranks or the host.)
+#ifdef _OPENMP
       omp_set_num_threads(1);
+#endif
       Communicator comm(shared, r);
       try {
         body(comm);

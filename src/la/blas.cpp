@@ -1,14 +1,17 @@
 #include "la/blas.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <stdexcept>
+
+#include "util/contracts.hpp"
 
 namespace extdict::la {
 
 void axpy(Real alpha, std::span<const Real> x, std::span<Real> y) noexcept {
-  assert(x.size() == y.size());
+  EXTDICT_ASSERT(x.size() == y.size(),
+                 "axpy: |x|=" + std::to_string(x.size()) +
+                     " |y|=" + std::to_string(y.size()));
   const std::size_t n = x.size();
   for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
 }
@@ -18,7 +21,9 @@ void scal(Real alpha, std::span<Real> x) noexcept {
 }
 
 Real dot(std::span<const Real> x, std::span<const Real> y) noexcept {
-  assert(x.size() == y.size());
+  EXTDICT_ASSERT(x.size() == y.size(),
+                 "dot: |x|=" + std::to_string(x.size()) +
+                     " |y|=" + std::to_string(y.size()));
   Real s = 0;
   const std::size_t n = x.size();
   for (std::size_t i = 0; i < n; ++i) s += x[i] * y[i];
@@ -56,10 +61,12 @@ Index iamax(std::span<const Real> x) noexcept {
 
 void gemv(Real alpha, const Matrix& a, std::span<const Real> x, Real beta,
           std::span<Real> y) {
-  if (static_cast<Index>(x.size()) != a.cols() ||
-      static_cast<Index>(y.size()) != a.rows()) {
-    throw std::invalid_argument("gemv: dimension mismatch");
-  }
+  EXTDICT_REQUIRE_SHAPE(
+      static_cast<Index>(x.size()) == a.cols() &&
+          static_cast<Index>(y.size()) == a.rows(),
+      "gemv: A is " + util::shape_string(a.rows(), a.cols()) + ", |x|=" +
+          std::to_string(x.size()) + ", |y|=" + std::to_string(y.size()));
+  EXTDICT_CHECK_FINITE(x, "gemv: x");
   if (beta == Real{0}) {
     std::fill(y.begin(), y.end(), Real{0});
   } else if (beta != Real{1}) {
@@ -76,10 +83,12 @@ void gemv(Real alpha, const Matrix& a, std::span<const Real> x, Real beta,
 
 void gemv_t(Real alpha, const Matrix& a, std::span<const Real> x, Real beta,
             std::span<Real> y) {
-  if (static_cast<Index>(x.size()) != a.rows() ||
-      static_cast<Index>(y.size()) != a.cols()) {
-    throw std::invalid_argument("gemv_t: dimension mismatch");
-  }
+  EXTDICT_REQUIRE_SHAPE(
+      static_cast<Index>(x.size()) == a.rows() &&
+          static_cast<Index>(y.size()) == a.cols(),
+      "gemv_t: A is " + util::shape_string(a.rows(), a.cols()) + ", |x|=" +
+          std::to_string(x.size()) + ", |y|=" + std::to_string(y.size()));
+  EXTDICT_CHECK_FINITE(x, "gemv_t: x");
   const Index cols = a.cols();
 #pragma omp parallel for schedule(static) if (cols > 256)
   for (Index j = 0; j < cols; ++j) {
@@ -105,9 +114,11 @@ void gemm(Real alpha, const Matrix& a, Trans ta, const Matrix& b, Trans tb,
   const Index m = op_rows(a, ta);
   const Index k = op_cols(a, ta);
   const Index n = op_cols(b, tb);
-  if (op_rows(b, tb) != k || c.rows() != m || c.cols() != n) {
-    throw std::invalid_argument("gemm: dimension mismatch");
-  }
+  EXTDICT_REQUIRE_SHAPE(
+      op_rows(b, tb) == k && c.rows() == m && c.cols() == n,
+      "gemm: op(A) is " + util::shape_string(m, k) + ", op(B) is " +
+          util::shape_string(op_rows(b, tb), op_cols(b, tb)) + ", C is " +
+          util::shape_string(c.rows(), c.cols()));
 
   // Fast path: no transposes. Accumulate rank-1 style per column of C, which
   // streams contiguous columns of A — this is the shape ExtDict hits in the

@@ -3,12 +3,17 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/contracts.hpp"
+
 namespace extdict::la {
 
 Cholesky::Cholesky(const Matrix& a) : l_(a.rows(), a.cols()) {
   if (a.rows() != a.cols()) {
     throw std::invalid_argument("Cholesky: matrix must be square");
   }
+  EXTDICT_CHECK_FINITE(std::span<const Real>(a.data(),
+                                             static_cast<std::size_t>(a.size())),
+                       "Cholesky: input matrix");
   const Index n = a.rows();
   for (Index j = 0; j < n; ++j) {
     Real d = a(j, j);
@@ -62,6 +67,9 @@ bool ProgressiveCholesky::append(std::span<const Real> g_new, Real g_diag) {
   if (static_cast<Index>(g_new.size()) != n_) {
     throw std::invalid_argument("ProgressiveCholesky::append: size mismatch");
   }
+  EXTDICT_CHECK_FINITE(g_new, "ProgressiveCholesky::append: Gram column");
+  EXTDICT_ASSERT(std::isfinite(g_diag),
+                 "ProgressiveCholesky::append: non-finite diagonal entry");
   if (n_ >= capacity_) {
     throw std::logic_error("ProgressiveCholesky::append: capacity exceeded");
   }

@@ -1,24 +1,33 @@
 #include "la/csc_matrix.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
+
+#include "util/contracts.hpp"
 
 namespace extdict::la {
 
 void CscMatrix::spmv_range(Index j0, Index j1, std::span<const Real> x,
                            std::span<Real> v) const {
-  assert(j0 >= 0 && j1 <= cols_ && j0 <= j1);
-  if (static_cast<Index>(x.size()) != j1 - j0 ||
-      static_cast<Index>(v.size()) != rows_) {
-    throw std::invalid_argument("CscMatrix::spmv_range: dimension mismatch");
-  }
+  EXTDICT_REQUIRE_SHAPE(j0 >= 0 && j1 <= cols_ && j0 <= j1,
+                        "spmv_range: column range [" + std::to_string(j0) +
+                            ", " + std::to_string(j1) + ") of " +
+                            std::to_string(cols_) + " columns");
+  EXTDICT_REQUIRE_SHAPE(
+      static_cast<Index>(x.size()) == j1 - j0 &&
+          static_cast<Index>(v.size()) == rows_,
+      "spmv_range: C is " + util::shape_string(rows_, cols_) + ", |x|=" +
+          std::to_string(x.size()) + ", |v|=" + std::to_string(v.size()));
   for (Index j = j0; j < j1; ++j) {
     const Real xj = x[static_cast<std::size_t>(j - j0)];
     if (xj == Real{0}) continue;
     const auto rows = col_rows(j);
     const auto vals = col_values(j);
     for (std::size_t k = 0; k < rows.size(); ++k) {
+      EXTDICT_HOT_ASSERT(rows[k] >= 0 && rows[k] < rows_,
+                         "spmv_range: row index " + std::to_string(rows[k]) +
+                             " out of range in column " + std::to_string(j) +
+                             " (rows=" + std::to_string(rows_) + ")");
       v[static_cast<std::size_t>(rows[k])] += xj * vals[k];
     }
   }
@@ -35,11 +44,15 @@ void CscMatrix::spmv_t(std::span<const Real> w, std::span<Real> y) const {
 
 void CscMatrix::spmv_t_range(Index j0, Index j1, std::span<const Real> w,
                              std::span<Real> y) const {
-  assert(j0 >= 0 && j1 <= cols_ && j0 <= j1);
-  if (static_cast<Index>(w.size()) != rows_ ||
-      static_cast<Index>(y.size()) != j1 - j0) {
-    throw std::invalid_argument("CscMatrix::spmv_t_range: dimension mismatch");
-  }
+  EXTDICT_REQUIRE_SHAPE(j0 >= 0 && j1 <= cols_ && j0 <= j1,
+                        "spmv_t_range: column range [" + std::to_string(j0) +
+                            ", " + std::to_string(j1) + ") of " +
+                            std::to_string(cols_) + " columns");
+  EXTDICT_REQUIRE_SHAPE(
+      static_cast<Index>(w.size()) == rows_ &&
+          static_cast<Index>(y.size()) == j1 - j0,
+      "spmv_t_range: C is " + util::shape_string(rows_, cols_) + ", |w|=" +
+          std::to_string(w.size()) + ", |y|=" + std::to_string(y.size()));
   const Index span = j1 - j0;
 #pragma omp parallel for schedule(static) if (span > 1024)
   for (Index j = j0; j < j1; ++j) {
@@ -47,6 +60,10 @@ void CscMatrix::spmv_t_range(Index j0, Index j1, std::span<const Real> w,
     const auto vals = col_values(j);
     Real s = 0;
     for (std::size_t k = 0; k < rows.size(); ++k) {
+      EXTDICT_HOT_ASSERT(rows[k] >= 0 && rows[k] < rows_,
+                         "spmv_t_range: row index " + std::to_string(rows[k]) +
+                             " out of range in column " + std::to_string(j) +
+                             " (rows=" + std::to_string(rows_) + ")");
       s += vals[k] * w[static_cast<std::size_t>(rows[k])];
     }
     y[static_cast<std::size_t>(j - j0)] = s;
@@ -136,6 +153,58 @@ CscMatrix CscMatrix::Builder::build() && {
   m.row_idx_ = std::move(row_idx_);
   m.values_ = std::move(values_);
   return m;
+}
+
+CscMatrix CscMatrix::from_raw(Index rows, Index cols,
+                              std::vector<Index> col_ptr,
+                              std::vector<Index> row_idx,
+                              std::vector<Real> values) {
+  if (rows < 0 || cols < 0) {
+    throw std::invalid_argument("CscMatrix::from_raw: negative dimensions");
+  }
+  if (col_ptr.size() != static_cast<std::size_t>(cols) + 1 ||
+      row_idx.size() != values.size()) {
+    throw std::invalid_argument("CscMatrix::from_raw: array sizes inconsistent");
+  }
+  CscMatrix m(rows, cols);
+  m.col_ptr_ = std::move(col_ptr);
+  m.row_idx_ = std::move(row_idx);
+  m.values_ = std::move(values);
+  if (util::checks_enabled()) m.validate();
+  return m;
+}
+
+void CscMatrix::validate() const {
+  if (col_ptr_.size() != static_cast<std::size_t>(cols_) + 1) {
+    throw util::ContractViolation(
+        "CscMatrix::validate: col_ptr has " + std::to_string(col_ptr_.size()) +
+        " entries for " + std::to_string(cols_) + " columns");
+  }
+  if (col_ptr_.front() != 0) {
+    throw util::ContractViolation("CscMatrix::validate: col_ptr[0] != 0");
+  }
+  for (std::size_t j = 1; j < col_ptr_.size(); ++j) {
+    if (col_ptr_[j] < col_ptr_[j - 1]) {
+      throw util::ContractViolation(
+          "CscMatrix::validate: col_ptr decreases at column " +
+          std::to_string(j - 1));
+    }
+  }
+  if (static_cast<std::size_t>(col_ptr_.back()) != values_.size() ||
+      row_idx_.size() != values_.size()) {
+    throw util::ContractViolation(
+        "CscMatrix::validate: col_ptr.back()=" +
+        std::to_string(col_ptr_.back()) + " but nnz=" +
+        std::to_string(values_.size()));
+  }
+  for (std::size_t k = 0; k < row_idx_.size(); ++k) {
+    if (row_idx_[k] < 0 || row_idx_[k] >= rows_) {
+      throw util::ContractViolation(
+          "CscMatrix::validate: row index " + std::to_string(row_idx_[k]) +
+          " at nnz slot " + std::to_string(k) + " outside [0, " +
+          std::to_string(rows_) + ")");
+    }
+  }
 }
 
 CscMatrix CscMatrix::from_columns(

@@ -118,6 +118,20 @@ class CscMatrix {
   static CscMatrix from_columns(Index rows,
                                 const std::vector<std::vector<std::pair<Index, Real>>>& cols);
 
+  /// Adopts pre-built CSC arrays (fast deserialisation / sharding path).
+  /// Array-length consistency is always enforced; the full structural
+  /// invariants (monotone column pointers, in-range row indices) are checked
+  /// via `validate()` when the library is built with EXTDICT_CHECKS=ON, so a
+  /// corrupt input fails here instead of scribbling out of bounds in `spmv`.
+  static CscMatrix from_raw(Index rows, Index cols, std::vector<Index> col_ptr,
+                            std::vector<Index> row_idx, std::vector<Real> values);
+
+  /// Verifies the structural invariants: `col_ptr` has cols()+1 entries,
+  /// starts at 0, is non-decreasing, ends at nnz(), and every row index is
+  /// within [0, rows()). Throws util::ContractViolation on the first
+  /// violation. O(nnz); intended for deserialisation boundaries and tests.
+  void validate() const;
+
  private:
   Index rows_ = 0;
   Index cols_ = 0;

@@ -1,7 +1,9 @@
 #include "la/io.hpp"
 
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <stdexcept>
@@ -64,6 +66,27 @@ void write_matrix_market(const CscMatrix& a, const std::string& path) {
   if (!out) throw std::runtime_error("matrix market: write failed " + path);
 }
 
+namespace {
+
+// A header whose claimed payload could not possibly fit in the file is
+// corrupt; reject it before allocating. Each dense entry / coordinate line
+// needs at least two bytes of text ("0\n"), so file size bounds the entry
+// count. Keeps a malformed header from triggering a multi-gigabyte
+// allocation (or Index overflow) on a kilobyte file.
+void check_claimed_entries(const std::string& path, std::uint64_t entries,
+                           const char* what) {
+  std::error_code ec;
+  const std::uint64_t bytes = std::filesystem::file_size(path, ec);
+  if (!ec && entries > bytes) {
+    throw std::runtime_error(std::string("matrix market: ") + what +
+                             " count exceeds file size in " + path);
+  }
+}
+
+constexpr Index kMaxDim = Index{1} << 31;  // sanity cap on a single dimension
+
+}  // namespace
+
 Matrix read_matrix_market_dense(const std::string& path) {
   std::ifstream in = open_input(path);
   const std::string banner = read_banner(in, path);
@@ -74,6 +97,13 @@ Matrix read_matrix_market_dense(const std::string& path) {
   if (!(in >> rows >> cols) || rows < 0 || cols < 0) {
     throw std::runtime_error("matrix market: bad dimensions in " + path);
   }
+  if (rows > kMaxDim || cols > kMaxDim) {
+    throw std::runtime_error("matrix market: implausible dimensions in " + path);
+  }
+  check_claimed_entries(path,
+                        static_cast<std::uint64_t>(rows) *
+                            static_cast<std::uint64_t>(cols),
+                        "entry");
   Matrix a(rows, cols);
   for (Index j = 0; j < cols; ++j) {
     for (Index i = 0; i < rows; ++i) {
@@ -93,9 +123,13 @@ CscMatrix read_matrix_market_sparse(const std::string& path) {
   }
   Index rows = 0, cols = 0;
   std::uint64_t nnz = 0;
-  if (!(in >> rows >> cols >> nnz)) {
+  if (!(in >> rows >> cols >> nnz) || rows < 0 || cols < 0) {
     throw std::runtime_error("matrix market: bad header in " + path);
   }
+  if (rows > kMaxDim || cols > kMaxDim) {
+    throw std::runtime_error("matrix market: implausible dimensions in " + path);
+  }
+  check_claimed_entries(path, nnz, "nonzero");
   // Collect per column; duplicates summed.
   std::vector<std::map<Index, Real>> columns(static_cast<std::size_t>(cols));
   for (std::uint64_t k = 0; k < nnz; ++k) {
@@ -143,10 +177,29 @@ Matrix read_binary(const std::string& path) {
   if (!in || header[0] != kBinaryMagic) {
     throw std::runtime_error("read_binary: bad magic in " + path);
   }
-  Matrix a(static_cast<Index>(header[1]), static_cast<Index>(header[2]));
+  // Validate the claimed shape against the actual payload size BEFORE
+  // allocating: a corrupt header must produce a clean error, not an Index
+  // overflow or a wild allocation.
+  const std::uint64_t rows = header[1];
+  const std::uint64_t cols = header[2];
+  if (rows > static_cast<std::uint64_t>(kMaxDim) ||
+      cols > static_cast<std::uint64_t>(kMaxDim) ||
+      (cols != 0 &&
+       rows > std::numeric_limits<std::uint64_t>::max() / sizeof(Real) / cols)) {
+    throw std::runtime_error("read_binary: implausible dimensions in " + path);
+  }
+  const std::uint64_t payload_bytes = rows * cols * sizeof(Real);
+  std::error_code ec;
+  const std::uint64_t file_bytes = std::filesystem::file_size(path, ec);
+  if (ec || file_bytes != sizeof(header) + payload_bytes) {
+    throw std::runtime_error("read_binary: payload size mismatch in " + path);
+  }
+  Matrix a(static_cast<Index>(rows), static_cast<Index>(cols));
   in.read(reinterpret_cast<char*>(a.data()),
-          static_cast<std::streamsize>(a.size() * static_cast<Index>(sizeof(Real))));
-  if (!in) throw std::runtime_error("read_binary: truncated payload " + path);
+          static_cast<std::streamsize>(payload_bytes));
+  if (!in && payload_bytes > 0) {
+    throw std::runtime_error("read_binary: truncated payload " + path);
+  }
   return a;
 }
 

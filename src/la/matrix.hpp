@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "la/types.hpp"
+#include "util/contracts.hpp"
 
 namespace extdict::la {
 
@@ -35,21 +36,31 @@ class Matrix {
   [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
 
   Real& operator()(Index i, Index j) noexcept {
-    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    EXTDICT_HOT_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_,
+                       "Matrix(i, j): (" + std::to_string(i) + ", " +
+                           std::to_string(j) + ") outside " +
+                           util::shape_string(rows_, cols_));
     return data_[static_cast<std::size_t>(j * rows_ + i)];
   }
   Real operator()(Index i, Index j) const noexcept {
-    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    EXTDICT_HOT_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_,
+                       "Matrix(i, j): (" + std::to_string(i) + ", " +
+                           std::to_string(j) + ") outside " +
+                           util::shape_string(rows_, cols_));
     return data_[static_cast<std::size_t>(j * rows_ + i)];
   }
 
   /// Contiguous view of column `j`.
   [[nodiscard]] std::span<Real> col(Index j) noexcept {
-    assert(j >= 0 && j < cols_);
+    EXTDICT_HOT_ASSERT(j >= 0 && j < cols_,
+                       "Matrix::col: column " + std::to_string(j) + " of " +
+                           std::to_string(cols_));
     return {data_.data() + j * rows_, static_cast<std::size_t>(rows_)};
   }
   [[nodiscard]] std::span<const Real> col(Index j) const noexcept {
-    assert(j >= 0 && j < cols_);
+    EXTDICT_HOT_ASSERT(j >= 0 && j < cols_,
+                       "Matrix::col: column " + std::to_string(j) + " of " +
+                           std::to_string(cols_));
     return {data_.data() + j * rows_, static_cast<std::size_t>(rows_)};
   }
 

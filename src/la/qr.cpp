@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "la/blas.hpp"
+#include "util/contracts.hpp"
 
 namespace extdict::la {
 
@@ -14,6 +15,9 @@ HouseholderQr::HouseholderQr(Matrix a) : qr_(std::move(a)) {
   if (m < n) {
     throw std::invalid_argument("HouseholderQr: requires rows >= cols");
   }
+  EXTDICT_CHECK_FINITE(
+      std::span<const Real>(qr_.data(), static_cast<std::size_t>(qr_.size())),
+      "HouseholderQr: input matrix");
   beta_.assign(static_cast<std::size_t>(n), Real{0});
 
   for (Index k = 0; k < n; ++k) {
@@ -71,9 +75,10 @@ void HouseholderQr::back_substitute(std::span<Real> v) const {
 }
 
 Vector HouseholderQr::solve(std::span<const Real> b) const {
-  if (static_cast<Index>(b.size()) != qr_.rows()) {
-    throw std::invalid_argument("HouseholderQr::solve: size mismatch");
-  }
+  EXTDICT_REQUIRE_SHAPE(static_cast<Index>(b.size()) == qr_.rows(),
+                        "HouseholderQr::solve: |b|=" +
+                            std::to_string(b.size()) + " but A has " +
+                            std::to_string(qr_.rows()) + " rows");
   Vector v(b.begin(), b.end());
   apply_qt(v);
   back_substitute(v);

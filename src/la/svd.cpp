@@ -7,12 +7,16 @@
 
 #include "la/blas.hpp"
 #include "la/qr.hpp"
+#include "util/contracts.hpp"
 
 namespace extdict::la {
 
 SvdResult jacobi_svd(const Matrix& a, Real tol, int max_sweeps) {
   // One-sided Jacobi: orthogonalise the columns of W = A * V by plane
   // rotations; singular values are the final column norms.
+  EXTDICT_CHECK_FINITE(
+      std::span<const Real>(a.data(), static_cast<std::size_t>(a.size())),
+      "jacobi_svd: input matrix");
   const Index m = a.rows();
   const Index n = a.cols();
   Matrix w = a;

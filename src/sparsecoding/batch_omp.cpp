@@ -6,6 +6,7 @@
 
 #include "la/blas.hpp"
 #include "la/cholesky.hpp"
+#include "util/contracts.hpp"
 
 namespace extdict::sparsecoding {
 
@@ -22,6 +23,8 @@ SparseCode BatchOmp::encode(std::span<const Real> signal) const {
   if (static_cast<Index>(signal.size()) != m) {
     throw std::invalid_argument("BatchOmp::encode: signal size mismatch");
   }
+
+  EXTDICT_CHECK_FINITE(signal, "BatchOmp::encode: signal");
 
   SparseCode code;
   const Real eps0 = la::dot(signal, signal);
@@ -80,6 +83,9 @@ SparseCode BatchOmp::encode(std::span<const Real> signal) const {
           alpha0[static_cast<std::size_t>(selected[static_cast<std::size_t>(a)])];
     }
     chol.solve_in_place(gamma);
+    EXTDICT_ASSERT(util::first_non_finite(gamma) < 0,
+                   "BatchOmp::encode: non-finite coefficient after atom " +
+                       std::to_string(best));
 
     // alpha = alpha0 - G(:,S) gamma; residual energy via the normal
     // equations: ||r||² = ||x||² - alpha0(S)ᵀ gamma.

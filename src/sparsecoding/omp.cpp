@@ -6,6 +6,7 @@
 
 #include "la/blas.hpp"
 #include "la/cholesky.hpp"
+#include "util/contracts.hpp"
 
 namespace extdict::sparsecoding {
 
@@ -13,9 +14,12 @@ SparseCode omp_sparse_code(const Matrix& dict, std::span<const Real> signal,
                            const OmpConfig& config) {
   const Index m = dict.rows();
   const Index l = dict.cols();
-  if (static_cast<Index>(signal.size()) != m) {
-    throw std::invalid_argument("omp_sparse_code: signal size mismatch");
-  }
+  EXTDICT_REQUIRE_SHAPE(static_cast<Index>(signal.size()) == m,
+                        "omp_sparse_code: |signal|=" +
+                            std::to_string(signal.size()) +
+                            " but dictionary has " + std::to_string(m) +
+                            " rows");
+  EXTDICT_CHECK_FINITE(signal, "omp_sparse_code: signal");
   const Index max_atoms =
       config.max_atoms > 0 ? std::min(config.max_atoms, std::min(m, l))
                            : std::min(m, l);
@@ -79,6 +83,10 @@ SparseCode omp_sparse_code(const Matrix& dict, std::span<const Real> signal,
                dict.col(selected[static_cast<std::size_t>(a)]), residual);
     }
     residual_norm = la::nrm2(residual);
+    EXTDICT_ASSERT(std::isfinite(residual_norm),
+                   "omp_sparse_code: residual norm went non-finite after "
+                   "selecting atom " +
+                       std::to_string(best));
 
     code.entries.clear();
     code.entries.reserve(static_cast<std::size_t>(k));

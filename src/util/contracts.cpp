@@ -1,0 +1,32 @@
+#include "util/contracts.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace extdict::util {
+
+void contract_failure(const char* kind, const char* file, int line,
+                      const char* expr, const std::string& detail) {
+  std::ostringstream msg;
+  msg << "contract " << kind << " failed at " << file << ':' << line << ": `"
+      << expr << '`';
+  if (!detail.empty()) msg << " — " << detail;
+  throw ContractViolation(msg.str());
+}
+
+void shape_failure(const char* func) {
+  throw ContractViolation(std::string(func) + ": dimension mismatch");
+}
+
+la::Index first_non_finite(std::span<const la::Real> x) noexcept {
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (!std::isfinite(x[i])) return static_cast<la::Index>(i);
+  }
+  return -1;
+}
+
+std::string shape_string(la::Index rows, la::Index cols) {
+  return std::to_string(rows) + "x" + std::to_string(cols);
+}
+
+}  // namespace extdict::util

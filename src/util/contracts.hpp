@@ -1,0 +1,131 @@
+#pragma once
+
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "la/types.hpp"
+
+/// Runtime shape/invariant contracts for the linear-algebra and learning
+/// kernels.
+///
+/// Three macros with two cost classes:
+///
+///   * `EXTDICT_REQUIRE_SHAPE(cond, detail)` — O(1) dimension checks at
+///     kernel entry. Always compiled in (existing callers rely on kernels
+///     throwing on shape mismatch); with `EXTDICT_CHECKS=ON` the exception
+///     carries file:line, the failed expression, and the `detail` string,
+///     without checks it throws the historical terse message. Failures throw
+///     `ContractViolation`, which derives from `std::invalid_argument` so
+///     pre-contract call sites keep working.
+///
+///   * `EXTDICT_ASSERT(cond, detail)` and `EXTDICT_CHECK_FINITE(span, what)`
+///     — per-call / O(n)-scan checks off the innermost loops. Compiled to
+///     no-ops unless `EXTDICT_CHECKS=ON` (the `EXTDICT_ENABLE_CHECKS`
+///     definition), so Release throughput is unaffected.
+///
+///   * `EXTDICT_HOT_ASSERT(cond, detail)` — checks *inside* innermost loops
+///     (per element access, per nonzero). Active only when contracts are on
+///     AND the build is unoptimised (`!NDEBUG`, i.e. the `debug-checks`
+///     preset); a Release+`EXTDICT_CHECKS` build keeps its kernel throughput
+///     (see BENCH_sanitizer_overhead.json) while retaining the entry
+///     contracts and finiteness scans.
+///
+/// `detail` is only evaluated on failure (and never in disabled builds), so
+/// call sites can build rich `std::string` diagnostics without hot-path cost.
+namespace extdict::util {
+
+/// Thrown on any contract failure. Derives from std::invalid_argument so
+/// legacy `EXPECT_THROW(..., std::invalid_argument)` tests and callers that
+/// catch the pre-contract exceptions continue to work.
+class ContractViolation : public std::invalid_argument {
+ public:
+  explicit ContractViolation(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+/// True when the library was built with EXTDICT_CHECKS=ON.
+constexpr bool checks_enabled() noexcept {
+#ifdef EXTDICT_ENABLE_CHECKS
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Throws ContractViolation with full location info (checked builds).
+[[noreturn]] void contract_failure(const char* kind, const char* file, int line,
+                                   const char* expr, const std::string& detail);
+
+/// Throws ContractViolation with the terse legacy message (unchecked builds).
+[[noreturn]] void shape_failure(const char* func);
+
+/// Index of the first non-finite entry of `x`, or -1 if all entries are
+/// finite (NaN and +/-inf both count as non-finite).
+[[nodiscard]] la::Index first_non_finite(std::span<const la::Real> x) noexcept;
+
+/// "RxC" shape string for contract diagnostics.
+[[nodiscard]] std::string shape_string(la::Index rows, la::Index cols);
+
+}  // namespace extdict::util
+
+#ifdef EXTDICT_ENABLE_CHECKS
+
+#ifndef NDEBUG
+#define EXTDICT_HOT_ASSERT(cond, detail)                                  \
+  do {                                                                    \
+    if (!(cond)) [[unlikely]] {                                           \
+      ::extdict::util::contract_failure("assertion", __FILE__, __LINE__,  \
+                                        #cond, (detail));                 \
+    }                                                                     \
+  } while (0)
+#else
+#define EXTDICT_HOT_ASSERT(cond, detail) ((void)sizeof(!(cond)))
+#endif
+
+#define EXTDICT_ASSERT(cond, detail)                                      \
+  do {                                                                    \
+    if (!(cond)) [[unlikely]] {                                           \
+      ::extdict::util::contract_failure("assertion", __FILE__, __LINE__,  \
+                                        #cond, (detail));                 \
+    }                                                                     \
+  } while (0)
+
+#define EXTDICT_REQUIRE_SHAPE(cond, detail)                               \
+  do {                                                                    \
+    if (!(cond)) [[unlikely]] {                                           \
+      ::extdict::util::contract_failure("shape requirement", __FILE__,    \
+                                        __LINE__, #cond, (detail));       \
+    }                                                                     \
+  } while (0)
+
+#define EXTDICT_CHECK_FINITE(span_expr, what)                             \
+  do {                                                                    \
+    const ::extdict::la::Index extdict_nf_ =                              \
+        ::extdict::util::first_non_finite(span_expr);                     \
+    if (extdict_nf_ >= 0) [[unlikely]] {                                  \
+      ::extdict::util::contract_failure(                                  \
+          "finiteness", __FILE__, __LINE__, #span_expr,                   \
+          std::string(what) + ": non-finite value at index " +            \
+              std::to_string(extdict_nf_));                               \
+    }                                                                     \
+  } while (0)
+
+#else  // !EXTDICT_ENABLE_CHECKS
+
+// Disabled contracts must not evaluate their operands; sizeof keeps the
+// expressions type-checked (and their variables "used") at zero cost.
+#define EXTDICT_ASSERT(cond, detail) ((void)sizeof(!(cond)))
+
+#define EXTDICT_HOT_ASSERT(cond, detail) ((void)sizeof(!(cond)))
+
+#define EXTDICT_REQUIRE_SHAPE(cond, detail)              \
+  do {                                                   \
+    if (!(cond)) [[unlikely]] {                          \
+      ::extdict::util::shape_failure(__func__);          \
+    }                                                    \
+  } while (0)
+
+#define EXTDICT_CHECK_FINITE(span_expr, what) ((void)sizeof(span_expr))
+
+#endif  // EXTDICT_ENABLE_CHECKS

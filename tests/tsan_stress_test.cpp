@@ -1,0 +1,329 @@
+// ThreadSanitizer stress tests for the thread-simulated cluster: randomized
+// interleavings hammering the Mailbox, the central barrier, and the
+// reduce/broadcast/gather/scatter collectives. These tests also run (and
+// must pass) in every other configuration; their real job is to give TSan
+// (`cmake --preset tsan`) enough chaotic schedules to surface any data race
+// or lock-order inversion in src/dist/.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "dist/cluster.hpp"
+#include "dist/mailbox.hpp"
+#include "la/random.hpp"
+
+namespace extdict::dist {
+namespace {
+
+using la::Real;
+
+void random_jitter(la::Rng& rng) {
+  // A mix of yields and sub-millisecond sleeps produces more varied
+  // interleavings than either alone.
+  const auto r = rng.uniform_index(0, 3);
+  if (r == 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(rng.uniform_index(1, 200)));
+  } else if (r == 1) {
+    std::this_thread::yield();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mailbox primitive.
+// ---------------------------------------------------------------------------
+
+TEST(TsanStress, MailboxManyProducersSingleConsumer) {
+  constexpr Index kProducers = 4;
+  constexpr int kMessages = 64;
+  Mailbox box;
+
+  std::vector<std::thread> producers;
+  for (Index p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&box, p] {
+      la::Rng rng(static_cast<std::uint64_t>(p) + 77);
+      for (int k = 0; k < kMessages; ++k) {
+        random_jitter(rng);
+        const Real payload = static_cast<Real>(p) * 1000 + k;
+        Mailbox::Envelope env{p, 5, std::vector<std::byte>(sizeof(Real))};
+        std::memcpy(env.payload.data(), &payload, sizeof(Real));
+        box.push(std::move(env));
+      }
+    });
+  }
+
+  // Consumer interleaves sources; per-source FIFO must hold.
+  la::Rng rng(123);
+  std::vector<int> next(kProducers, 0);
+  for (int total = 0; total < kProducers * kMessages; ++total) {
+    Index src = rng.uniform_index(0, kProducers - 1);
+    while (next[static_cast<std::size_t>(src)] >= kMessages) {
+      src = (src + 1) % kProducers;
+    }
+    const std::vector<std::byte> payload = box.pop(src, 5);
+    ASSERT_EQ(payload.size(), sizeof(Real));
+    Real value = 0;
+    std::memcpy(&value, payload.data(), sizeof(Real));
+    const int k = next[static_cast<std::size_t>(src)]++;
+    EXPECT_EQ(value, static_cast<Real>(src) * 1000 + k);
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_TRUE(box.empty());
+}
+
+TEST(TsanStress, MailboxPoisonUnblocksBlockedPopper) {
+  Mailbox box;
+  std::atomic<bool> aborted{false};
+  std::thread popper([&] {
+    try {
+      (void)box.pop(0, 1);  // nothing will ever arrive
+    } catch (const ClusterAborted&) {
+      aborted.store(true);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  box.poison();
+  popper.join();
+  EXPECT_TRUE(aborted.load());
+}
+
+// ---------------------------------------------------------------------------
+// Barrier.
+// ---------------------------------------------------------------------------
+
+TEST(TsanStress, BarrierStormWithJitter) {
+  const Cluster cluster(Topology{2, 3});
+  constexpr int kRounds = 200;
+  std::atomic<long> checksum{0};
+  cluster.run([&](Communicator& comm) {
+    la::Rng rng(static_cast<std::uint64_t>(comm.rank()) + 31);
+    for (int round = 0; round < kRounds; ++round) {
+      random_jitter(rng);
+      checksum.fetch_add(round, std::memory_order_relaxed);
+      comm.barrier();
+    }
+  });
+  EXPECT_EQ(checksum.load(),
+            6L * kRounds * (kRounds - 1) / 2);
+}
+
+// ---------------------------------------------------------------------------
+// Collectives under randomized scheduling.
+// ---------------------------------------------------------------------------
+
+TEST(TsanStress, ReduceBroadcastStorm) {
+  const Cluster cluster(Topology{1, 5});
+  constexpr int kRounds = 40;
+  cluster.run([&](Communicator& comm) {
+    la::Rng rng(static_cast<std::uint64_t>(comm.rank()) * 13 + 5);
+    for (int round = 0; round < kRounds; ++round) {
+      random_jitter(rng);
+      const std::size_t n = 1 + static_cast<std::size_t>(round % 97);
+      std::vector<Real> buf(n, static_cast<Real>(comm.rank() + 1));
+      comm.allreduce_sum(std::span<Real>(buf));
+      // 1+2+...+p
+      const Real want = static_cast<Real>(comm.size()) *
+                        static_cast<Real>(comm.size() + 1) / 2;
+      for (const Real v : buf) ASSERT_EQ(v, want);
+    }
+  });
+}
+
+TEST(TsanStress, RandomizedCollectiveMix) {
+  for (const Index p : {2, 4, 7}) {
+    const Cluster cluster(Topology{1, p});
+    constexpr int kRounds = 30;
+    cluster.run([&](Communicator& comm) {
+      // Same seed on every rank: all ranks draw the same op sequence, as an
+      // SPMD program must.
+      la::Rng script(4242);
+      la::Rng local(static_cast<std::uint64_t>(comm.rank()) + 999);
+      for (int round = 0; round < kRounds; ++round) {
+        random_jitter(local);
+        const Index op = script.uniform_index(0, 4);
+        const Index root = script.uniform_index(0, comm.size() - 1);
+        switch (op) {
+          case 0:
+            comm.barrier();
+            break;
+          case 1: {
+            std::vector<Real> buf(17, static_cast<Real>(comm.rank()));
+            comm.reduce_sum(root, std::span<Real>(buf));
+            if (comm.rank() == root) {
+              const Real want = static_cast<Real>(comm.size()) *
+                                static_cast<Real>(comm.size() - 1) / 2;
+              for (const Real v : buf) ASSERT_EQ(v, want);
+            }
+            break;
+          }
+          case 2: {
+            std::vector<Real> buf(9, static_cast<Real>(comm.rank()));
+            comm.broadcast(root, std::span<Real>(buf));
+            for (const Real v : buf) ASSERT_EQ(v, static_cast<Real>(root));
+            break;
+          }
+          case 3: {
+            const Real mine = static_cast<Real>(comm.rank()) + 0.5;
+            std::vector<Index> counts;
+            const std::vector<Real> all =
+                comm.gather(root, std::span<const Real>(&mine, 1), &counts);
+            if (comm.rank() == root) {
+              ASSERT_EQ(static_cast<Index>(all.size()), comm.size());
+              for (Index r = 0; r < comm.size(); ++r) {
+                ASSERT_EQ(all[static_cast<std::size_t>(r)],
+                          static_cast<Real>(r) + 0.5);
+              }
+            }
+            break;
+          }
+          case 4: {
+            const Real got = comm.allreduce_max_scalar(
+                static_cast<Real>((comm.rank() * 7 + round) % 11));
+            Real want = 0;
+            for (Index r = 0; r < comm.size(); ++r) {
+              want = std::max(want, static_cast<Real>((r * 7 + round) % 11));
+            }
+            ASSERT_EQ(got, want);
+            break;
+          }
+          default:
+            break;
+        }
+      }
+      comm.barrier();
+    });
+  }
+}
+
+TEST(TsanStress, ScatterGatherRoundTrip) {
+  const Cluster cluster(Topology{1, 4});
+  cluster.run([&](Communicator& comm) {
+    for (int round = 0; round < 20; ++round) {
+      std::vector<std::vector<Real>> chunks;
+      if (comm.is_root()) {
+        for (Index r = 0; r < comm.size(); ++r) {
+          chunks.emplace_back(static_cast<std::size_t>(r + 1),
+                              static_cast<Real>(r * 10 + round));
+        }
+      }
+      const std::vector<Real> mine = comm.scatter(Index{0}, chunks);
+      ASSERT_EQ(static_cast<Index>(mine.size()), comm.rank() + 1);
+      for (const Real v : mine) {
+        ASSERT_EQ(v, static_cast<Real>(comm.rank() * 10 + round));
+      }
+      const std::vector<Real> back =
+          comm.gather(Index{0}, std::span<const Real>(mine));
+      if (comm.is_root()) {
+        ASSERT_EQ(back.size(), 4u + 3u + 2u + 1u);
+      }
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Abort paths: peers blocked in recv/barrier must unwind, not deadlock.
+// ---------------------------------------------------------------------------
+
+TEST(TsanStress, AbortFromRandomRankUnblocksPeers) {
+  for (int trial = 0; trial < 8; ++trial) {
+    const Index p = 3 + trial % 3;
+    const Cluster cluster(Topology{1, p});
+    const Index bad_rank = trial % p;
+    EXPECT_THROW(
+        cluster.run([&](Communicator& comm) {
+          la::Rng rng(static_cast<std::uint64_t>(trial) * 31 +
+                      static_cast<std::uint64_t>(comm.rank()));
+          random_jitter(rng);
+          if (comm.rank() == bad_rank) {
+            throw std::runtime_error("deliberate failure");
+          }
+          // Peers block on traffic that never arrives; the poison must
+          // propagate instead of deadlocking.
+          (void)comm.recv_value<Real>(bad_rank, 3);
+        }),
+        std::runtime_error)
+        << "trial " << trial;
+  }
+}
+
+TEST(TsanStress, AbortWhileBlockedInBarrier) {
+  const Cluster cluster(Topology{1, 4});
+  EXPECT_THROW(cluster.run([&](Communicator& comm) {
+                 if (comm.rank() == 2) {
+                   std::this_thread::sleep_for(std::chrono::milliseconds(5));
+                   throw std::runtime_error("boom");
+                 }
+                 comm.barrier();  // never completed: rank 2 defects
+               }),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Independent clusters running concurrently must not share hidden state.
+// ---------------------------------------------------------------------------
+
+TEST(TsanStress, ConcurrentIndependentClusters) {
+  auto run_one = [](std::uint64_t seed) {
+    const Cluster cluster(Topology{1, 3});
+    cluster.run([&](Communicator& comm) {
+      la::Rng rng(seed + static_cast<std::uint64_t>(comm.rank()));
+      for (int round = 0; round < 25; ++round) {
+        random_jitter(rng);
+        std::vector<Real> buf(5, static_cast<Real>(comm.rank()));
+        comm.allreduce_sum(std::span<Real>(buf));
+        for (const Real v : buf) ASSERT_EQ(v, Real{3});
+      }
+    });
+  };
+  std::thread a(run_one, 1);
+  std::thread b(run_one, 2);
+  a.join();
+  b.join();
+}
+
+// ---------------------------------------------------------------------------
+// Point-to-point hammering with mixed tags and payload sizes.
+// ---------------------------------------------------------------------------
+
+TEST(TsanStress, MixedTagTrafficHammer) {
+  const Cluster cluster(Topology{2, 2});
+  constexpr int kMessages = 30;
+  cluster.run([&](Communicator& comm) {
+    la::Rng rng(static_cast<std::uint64_t>(comm.rank()) * 91 + 17);
+    // Everyone sends kMessages to every peer on two tags with size encoded
+    // in the payload.
+    for (Index dst = 0; dst < comm.size(); ++dst) {
+      if (dst == comm.rank()) continue;
+      for (int k = 0; k < kMessages; ++k) {
+        random_jitter(rng);
+        const int tag = k % 2;
+        const std::size_t n = 1 + static_cast<std::size_t>(k);
+        std::vector<Real> payload(n, static_cast<Real>(k));
+        comm.send(dst, tag, std::span<const Real>(payload));
+      }
+    }
+    for (Index src = 0; src < comm.size(); ++src) {
+      if (src == comm.rank()) continue;
+      // Drain odd tag first to force cross-tag queue scans.
+      for (int k = 1; k < kMessages; k += 2) {
+        const std::vector<Real> got = comm.recv_vector<Real>(src, 1);
+        ASSERT_EQ(got.size(), 1 + static_cast<std::size_t>(k));
+        ASSERT_EQ(got.front(), static_cast<Real>(k));
+      }
+      for (int k = 0; k < kMessages; k += 2) {
+        const std::vector<Real> got = comm.recv_vector<Real>(src, 0);
+        ASSERT_EQ(got.size(), 1 + static_cast<std::size_t>(k));
+        ASSERT_EQ(got.front(), static_cast<Real>(k));
+      }
+    }
+    comm.barrier();
+  });
+}
+
+}  // namespace
+}  // namespace extdict::dist

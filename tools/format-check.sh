@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Verify formatting (config: .clang-format) without rewriting anything.
+#
+# Usage: tools/format-check.sh          # check, non-zero exit on violations
+#        tools/format-check.sh --fix    # reformat in place instead
+#
+# Exits 0 with a notice when clang-format is not installed, so the script is
+# safe to call from environments without LLVM (CI enforces; see
+# .github/workflows/ci.yml).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+format_bin="${CLANG_FORMAT:-clang-format}"
+if ! command -v "${format_bin}" >/dev/null 2>&1; then
+  echo "format-check.sh: ${format_bin} not found; skipping (install clang-format to run locally)"
+  exit 0
+fi
+
+mapfile -t sources < <(git ls-files '*.cpp' '*.hpp')
+
+if [[ "${1:-}" == "--fix" ]]; then
+  "${format_bin}" -i "${sources[@]}"
+  echo "format-check.sh: reformatted ${#sources[@]} files"
+  exit 0
+fi
+
+if "${format_bin}" --dry-run -Werror "${sources[@]}"; then
+  echo "format-check.sh: ${#sources[@]} files clean"
+else
+  echo "format-check.sh: violations found; run tools/format-check.sh --fix" >&2
+  exit 1
+fi

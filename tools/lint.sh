@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Run clang-tidy (config: .clang-tidy) over the library sources.
+#
+# Usage: tools/lint.sh [build-dir]
+#
+# Needs a compile_commands.json; any CMake preset produces one
+# (CMAKE_EXPORT_COMPILE_COMMANDS is ON in the preset base). Defaults to
+# build-release-portable, falling back to the first build dir that has one.
+# Exits 0 with a notice when clang-tidy is not installed, so the script is
+# safe to call from environments without LLVM (CI enforces; see
+# .github/workflows/ci.yml).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+tidy_bin="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "${tidy_bin}" >/dev/null 2>&1; then
+  echo "lint.sh: ${tidy_bin} not found; skipping (install clang-tidy to run locally)"
+  exit 0
+fi
+
+build_dir="${1:-}"
+if [[ -z "${build_dir}" ]]; then
+  for candidate in build-release-portable build-release build-debug-checks build; do
+    if [[ -f "${candidate}/compile_commands.json" ]]; then
+      build_dir="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${build_dir}" || ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "lint.sh: no compile_commands.json found; configure a preset first," >&2
+  echo "         e.g.: cmake --preset release-portable" >&2
+  exit 2
+fi
+
+echo "lint.sh: using ${build_dir}/compile_commands.json"
+
+# Library + tool sources only; tests and benches are linted transitively via
+# the headers they include (HeaderFilterRegex in .clang-tidy).
+mapfile -t sources < <(git ls-files 'src/**/*.cpp')
+
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -clang-tidy-binary "${tidy_bin}" -p "${build_dir}" \
+    -quiet "${sources[@]}"
+else
+  "${tidy_bin}" -p "${build_dir}" --quiet "${sources[@]}"
+fi
+echo "lint.sh: clean"
