@@ -76,8 +76,9 @@ struct PatchDenoiser::Impl {
     }
     la::scal(1 / norm, work);
 
-    // Per-call operator: the shared transform is read-only; the operator's
-    // scratch is what must stay thread-private.
+    // Per-call operator: the shared transform is read-only. The operator is
+    // thread-safe (its scratch is mutex-guarded, see gram_operator.hpp), but
+    // a thread-private instance keeps the OpenMP patch loop lock-free.
     const core::TransformedGramOperator op(exd.dictionary, exd.coefficients);
     solvers::LassoConfig lasso;
     lasso.lambda = config.lambda;

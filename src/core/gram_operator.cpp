@@ -27,6 +27,7 @@ DenseGramOperator::DenseGramOperator(const Matrix& a)
 
 void DenseGramOperator::apply(std::span<const Real> x, std::span<Real> y) const {
   require_sizes(x, dim(), y, dim(), "DenseGramOperator::apply");
+  const util::MutexLock lock(scratch_mu_);
   la::gemv(1, *a_, x, 0, scratch_);
   la::gemv_t(1, *a_, scratch_, 0, y);
 }
@@ -62,6 +63,7 @@ TransformedGramOperator::TransformedGramOperator(const Matrix& d,
 void TransformedGramOperator::apply(std::span<const Real> x,
                                     std::span<Real> y) const {
   require_sizes(x, dim(), y, dim(), "TransformedGramOperator::apply");
+  const util::MutexLock lock(scratch_mu_);
   c_->spmv(x, v1_);                // v1 = C x
   la::gemv(1, *d_, v1_, 0, v2_);   // v2 = D v1
   la::gemv_t(1, *d_, v2_, 0, v3_); // v3 = Dᵀ v2
@@ -72,6 +74,7 @@ void TransformedGramOperator::apply_adjoint(std::span<const Real> v,
                                             std::span<Real> y) const {
   require_sizes(v, data_dim(), y, dim(),
                 "TransformedGramOperator::apply_adjoint");
+  const util::MutexLock lock(scratch_mu_);
   la::gemv_t(1, *d_, v, 0, v3_);
   c_->spmv_t(v3_, y);
 }
@@ -80,6 +83,7 @@ void TransformedGramOperator::apply_forward(std::span<const Real> x,
                                             std::span<Real> v) const {
   require_sizes(x, dim(), v, data_dim(),
                 "TransformedGramOperator::apply_forward");
+  const util::MutexLock lock(scratch_mu_);
   c_->spmv(x, v1_);
   la::gemv(1, *d_, v1_, 0, v);
 }

@@ -7,6 +7,7 @@
 #include "la/csc_matrix.hpp"
 #include "la/matrix.hpp"
 #include "la/types.hpp"
+#include "util/sync.hpp"
 
 namespace extdict::core {
 
@@ -43,6 +44,11 @@ class GramOperator {
 };
 
 /// Baseline: the dense Gram product via two GEMVs against A itself.
+///
+/// Thread-safe: the per-operator scratch buffer (the one mutable state an
+/// OpenMP caller could race on through a shared const operator) is guarded
+/// by a leaf `util::Mutex` — one uncontended lock per apply, noise next to
+/// the GEMVs it brackets, and the guarantee is compile-checked.
 class DenseGramOperator final : public GramOperator {
  public:
   explicit DenseGramOperator(const Matrix& a);
@@ -56,11 +62,15 @@ class DenseGramOperator final : public GramOperator {
 
  private:
   const Matrix* a_;
-  mutable la::Vector scratch_;  // A x
+  mutable util::Mutex scratch_mu_;  // leaf lock (policy: util/sync.hpp)
+  mutable la::Vector scratch_ EXTDICT_GUARDED_BY(scratch_mu_);  // A x
 };
 
 /// ExtDict: the Gram product through the projection, (DC)ᵀDC·x, exploiting
 /// C's sparsity exactly as Algorithm 2 does in its serial form.
+///
+/// Thread-safe on the same terms as DenseGramOperator: the chain scratch
+/// vectors are guarded by one leaf mutex per operator instance.
 class TransformedGramOperator final : public GramOperator {
  public:
   TransformedGramOperator(const Matrix& d, const CscMatrix& c);
@@ -75,9 +85,10 @@ class TransformedGramOperator final : public GramOperator {
  private:
   const Matrix* d_;
   const CscMatrix* c_;
-  mutable la::Vector v1_;  // C x       (L)
-  mutable la::Vector v2_;  // D C x     (M)
-  mutable la::Vector v3_;  // Dᵀ D C x  (L)
+  mutable util::Mutex scratch_mu_;  // leaf lock (policy: util/sync.hpp)
+  mutable la::Vector v1_ EXTDICT_GUARDED_BY(scratch_mu_);  // C x       (L)
+  mutable la::Vector v2_ EXTDICT_GUARDED_BY(scratch_mu_);  // D C x     (M)
+  mutable la::Vector v3_ EXTDICT_GUARDED_BY(scratch_mu_);  // Dᵀ D C x  (L)
 };
 
 }  // namespace extdict::core

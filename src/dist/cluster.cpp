@@ -41,9 +41,12 @@ RunStats Cluster::run(const Body& body) const {
   for (auto& t : threads) t.join();
   stats.wall_seconds = timer.elapsed_seconds();
 
-  if (shared.first_error) {
+  // Read through the locked accessor: the joins above already order the
+  // write, but the annotation layer (rightly) has no way to know that, and
+  // the guarded read keeps -Wthread-safety exhaustive on this path too.
+  if (const std::exception_ptr first = shared.first_error()) {
     try {
-      std::rethrow_exception(shared.first_error);
+      std::rethrow_exception(first);
     } catch (const ClusterAborted&) {
       // A rank can observe the poison before the original error is recorded;
       // if the *first* recorded error is the abort echo itself, surface a

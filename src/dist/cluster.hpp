@@ -1,6 +1,7 @@
 #pragma once
 
 #include <functional>
+#include <utility>
 
 #include "dist/communicator.hpp"
 #include "dist/cost.hpp"
@@ -22,7 +23,7 @@ namespace extdict::dist {
 /// regions (preprocessing, serial baselines).
 class Cluster {
  public:
-  explicit Cluster(Topology topology) : topology_(topology) {}
+  explicit Cluster(Topology topology) : topology_(std::move(topology)) {}
 
   [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
 

@@ -5,7 +5,7 @@
 namespace extdict::dist {
 
 void CentralBarrier::arrive_and_wait() {
-  std::unique_lock lock(mu_);
+  const util::MutexLock lock(mu_);
   if (poisoned_) throw ClusterAborted{};
   const std::uint64_t my_generation = generation_;
   if (++count_ == total_) {
@@ -14,34 +14,43 @@ void CentralBarrier::arrive_and_wait() {
     cv_.notify_all();
     return;
   }
-  cv_.wait(lock, [&] { return generation_ != my_generation || poisoned_; });
+  // Explicit predicate loop (not the lambda-predicate overload): the
+  // analysis then sees every guarded read with mu_ held.
+  while (generation_ == my_generation && !poisoned_) cv_.wait(mu_);
   if (poisoned_ && generation_ == my_generation) throw ClusterAborted{};
 }
 
 void CentralBarrier::poison() noexcept {
   {
-    const std::scoped_lock lock(mu_);
+    const util::MutexLock lock(mu_);
     poisoned_ = true;
   }
   cv_.notify_all();
 }
 
 SharedState::SharedState(Topology topo)
-    : topology(topo), barrier(topo.total()) {
-  boxes.reserve(static_cast<std::size_t>(topo.total()));
-  for (Index r = 0; r < topo.total(); ++r) {
+    : topology(std::move(topo)), barrier(topology.total()) {
+  boxes.reserve(static_cast<std::size_t>(topology.total()));
+  for (Index r = 0; r < topology.total(); ++r) {
     boxes.push_back(std::make_unique<Mailbox>());
   }
 }
 
 void SharedState::abort(std::exception_ptr err) noexcept {
   {
-    const std::scoped_lock lock(error_mu);
-    if (!first_error) first_error = err;
+    const util::MutexLock lock(error_mu_);
+    if (!first_error_) first_error_ = err;
   }
+  // error_mu_ is released before the fan-out: poisoning takes each leaf lock
+  // one at a time, so abort() never holds two locks (lock order, see header).
   aborted.store(true, std::memory_order_release);
   for (auto& box : boxes) box->poison();
   barrier.poison();
+}
+
+std::exception_ptr SharedState::first_error() const {
+  const util::MutexLock lock(error_mu_);
+  return first_error_;
 }
 
 void Communicator::reduce_sum(Index root, std::span<la::Real> buf) {

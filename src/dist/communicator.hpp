@@ -1,11 +1,9 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstring>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <stdexcept>
 #include <type_traits>
@@ -15,26 +13,31 @@
 #include "dist/mailbox.hpp"
 #include "dist/topology.hpp"
 #include "la/types.hpp"
+#include "util/sync.hpp"
 
 namespace extdict::dist {
 
 /// Sense-free central barrier with generation counting.
+///
+/// Thread-safe; both methods self-lock (annotations in util/sync.hpp).
 class CentralBarrier {
  public:
   explicit CentralBarrier(Index total) : total_(total) {}
 
-  void arrive_and_wait();
+  void arrive_and_wait() EXTDICT_EXCLUDES(mu_);
 
   /// Releases all waiters with ClusterAborted.
-  void poison() noexcept;
+  void poison() noexcept EXTDICT_EXCLUDES(mu_);
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
+  // Leaf lock: never held while acquiring any other Mutex (see the
+  // lock-ordering policy in util/sync.hpp).
+  util::Mutex mu_;
+  util::CondVar cv_;
   Index total_;
-  Index count_ = 0;
-  std::uint64_t generation_ = 0;
-  bool poisoned_ = false;
+  Index count_ EXTDICT_GUARDED_BY(mu_) = 0;
+  std::uint64_t generation_ EXTDICT_GUARDED_BY(mu_) = 0;
+  bool poisoned_ EXTDICT_GUARDED_BY(mu_) = false;
 };
 
 /// State shared by all ranks of one SPMD run.
@@ -45,12 +48,28 @@ struct SharedState {
   std::vector<std::unique_ptr<Mailbox>> boxes;
   CentralBarrier barrier;
 
-  std::mutex error_mu;
-  std::exception_ptr first_error;
   std::atomic<bool> aborted{false};
 
   /// Records the first error and poisons every blocking primitive.
-  void abort(std::exception_ptr err) noexcept;
+  ///
+  /// Lock order on the abort path: `error_mu_` is released *before* the
+  /// poison fan-out, so no code path ever holds it together with a
+  /// Mailbox/CentralBarrier leaf lock. Annotations keep it that way:
+  /// abort() EXCLUDES(error_mu_) and the poison functions each EXCLUDE
+  /// their own leaf lock.
+  void abort(std::exception_ptr err) noexcept EXTDICT_EXCLUDES(error_mu_);
+
+  /// The first recorded error (null if the run succeeded). Reading through
+  /// the lock keeps the annotation layer honest even on the post-join path,
+  /// where thread joins already order the write.
+  [[nodiscard]] std::exception_ptr first_error() const
+      EXTDICT_EXCLUDES(error_mu_);
+
+ private:
+  // Held only for the record-first-error critical section; never while
+  // poisoning (see abort()). Leaf by the util/sync.hpp policy.
+  mutable util::Mutex error_mu_;
+  std::exception_ptr first_error_ EXTDICT_GUARDED_BY(error_mu_);
 };
 
 /// Rank-local handle for message passing, collectives, and cost accounting.

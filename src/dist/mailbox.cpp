@@ -6,14 +6,14 @@ namespace extdict::dist {
 
 void Mailbox::push(Envelope env) {
   {
-    const std::scoped_lock lock(mu_);
+    const util::MutexLock lock(mu_);
     queue_.push_back(std::move(env));
   }
   cv_.notify_all();
 }
 
 std::vector<std::byte> Mailbox::pop(Index source, int tag) {
-  std::unique_lock lock(mu_);
+  const util::MutexLock lock(mu_);
   for (;;) {
     const auto it = std::find_if(queue_.begin(), queue_.end(), [&](const Envelope& e) {
       return e.source == source && e.tag == tag;
@@ -24,20 +24,20 @@ std::vector<std::byte> Mailbox::pop(Index source, int tag) {
       return payload;
     }
     if (poisoned_) throw ClusterAborted{};
-    cv_.wait(lock);
+    cv_.wait(mu_);
   }
 }
 
 void Mailbox::poison() noexcept {
   {
-    const std::scoped_lock lock(mu_);
+    const util::MutexLock lock(mu_);
     poisoned_ = true;
   }
   cv_.notify_all();
 }
 
 bool Mailbox::empty() const {
-  const std::scoped_lock lock(mu_);
+  const util::MutexLock lock(mu_);
   return queue_.empty();
 }
 

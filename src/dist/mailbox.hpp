@@ -1,14 +1,12 @@
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
-#include <mutex>
 #include <vector>
 
 #include "la/types.hpp"
+#include "util/sync.hpp"
 
 namespace extdict::dist {
 
@@ -26,6 +24,10 @@ class ClusterAborted : public std::exception {
 /// One rank's inbox. Senders push byte payloads tagged with (source, tag);
 /// the owning rank pops the earliest message matching a (source, tag) pair.
 /// Per-sender FIFO order is preserved, mirroring MPI's non-overtaking rule.
+///
+/// Thread-safe; all methods self-lock. The locking protocol is carried by
+/// Clang thread-safety annotations (see util/sync.hpp) and enforced by the
+/// `thread-safety` preset.
 class Mailbox {
  public:
   struct Envelope {
@@ -34,23 +36,27 @@ class Mailbox {
     std::vector<std::byte> payload;
   };
 
-  void push(Envelope env);
+  void push(Envelope env) EXTDICT_EXCLUDES(mu_);
 
   /// Blocks until a message from `source` with `tag` is available (or the
   /// run is aborted, in which case ClusterAborted is thrown).
-  [[nodiscard]] std::vector<std::byte> pop(Index source, int tag);
+  [[nodiscard]] std::vector<std::byte> pop(Index source, int tag)
+      EXTDICT_EXCLUDES(mu_);
 
   /// Wakes all blocked poppers with ClusterAborted.
-  void poison() noexcept;
+  void poison() noexcept EXTDICT_EXCLUDES(mu_);
 
   /// True if any message is queued (used by tests).
-  [[nodiscard]] bool empty() const;
+  [[nodiscard]] bool empty() const EXTDICT_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Envelope> queue_;
-  bool poisoned_ = false;
+  // Leaf lock (library-wide policy, util/sync.hpp): never held while
+  // acquiring any other Mutex. SharedState::abort poisons mailboxes one at a
+  // time with no lock of its own held.
+  mutable util::Mutex mu_;
+  util::CondVar cv_;
+  std::deque<Envelope> queue_ EXTDICT_GUARDED_BY(mu_);
+  bool poisoned_ EXTDICT_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace extdict::dist

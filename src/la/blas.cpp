@@ -8,6 +8,7 @@
 
 namespace extdict::la {
 
+// extdict-lint: allow(missing-shape-contract) BLAS-1, noexcept: EXTDICT_ASSERT terminates instead of throwing (docs/CORRECTNESS.md)
 void axpy(Real alpha, std::span<const Real> x, std::span<Real> y) noexcept {
   EXTDICT_ASSERT(x.size() == y.size(),
                  "axpy: |x|=" + std::to_string(x.size()) +
@@ -16,10 +17,12 @@ void axpy(Real alpha, std::span<const Real> x, std::span<Real> y) noexcept {
   for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
 }
 
+// extdict-lint: allow(missing-shape-contract) any length is valid
 void scal(Real alpha, std::span<Real> x) noexcept {
   for (Real& v : x) v *= alpha;
 }
 
+// extdict-lint: allow(missing-shape-contract) BLAS-1, noexcept: EXTDICT_ASSERT terminates instead of throwing (docs/CORRECTNESS.md)
 Real dot(std::span<const Real> x, std::span<const Real> y) noexcept {
   EXTDICT_ASSERT(x.size() == y.size(),
                  "dot: |x|=" + std::to_string(x.size()) +
@@ -30,6 +33,7 @@ Real dot(std::span<const Real> x, std::span<const Real> y) noexcept {
   return s;
 }
 
+// extdict-lint: allow(missing-shape-contract) any length is valid
 Real nrm2(std::span<const Real> x) noexcept {
   Real scale = 0, ssq = 1;
   for (Real v : x) {
@@ -45,6 +49,7 @@ Real nrm2(std::span<const Real> x) noexcept {
   return scale * std::sqrt(ssq);
 }
 
+// extdict-lint: allow(missing-shape-contract) any length is valid (empty -> -1)
 Index iamax(std::span<const Real> x) noexcept {
   if (x.empty()) return -1;
   Index best = 0;
@@ -166,12 +171,14 @@ void gemm(Real alpha, const Matrix& a, Trans ta, const Matrix& b, Trans tb,
   }
 }
 
+// extdict-lint: allow(missing-shape-contract) shape-checked by gemm
 Matrix matmul(const Matrix& a, const Matrix& b, Trans ta, Trans tb) {
   Matrix c(op_rows(a, ta), op_cols(b, tb));
   gemm(Real{1}, a, ta, b, tb, Real{0}, c);
   return c;
 }
 
+// extdict-lint: allow(missing-shape-contract) any matrix has a Gram matrix
 Matrix gram(const Matrix& a) {
   const Index n = a.cols();
   Matrix g(n, n);

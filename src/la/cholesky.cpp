@@ -2,15 +2,17 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "util/contracts.hpp"
 
 namespace extdict::la {
 
 Cholesky::Cholesky(const Matrix& a) : l_(a.rows(), a.cols()) {
-  if (a.rows() != a.cols()) {
-    throw std::invalid_argument("Cholesky: matrix must be square");
-  }
+  EXTDICT_REQUIRE_SHAPE(a.rows() == a.cols(),
+                        "Cholesky: matrix must be square, got " +
+                            std::to_string(a.rows()) + "x" +
+                            std::to_string(a.cols()));
   EXTDICT_CHECK_FINITE(std::span<const Real>(a.data(),
                                              static_cast<std::size_t>(a.size())),
                        "Cholesky: input matrix");
@@ -32,9 +34,10 @@ Cholesky::Cholesky(const Matrix& a) : l_(a.rows(), a.cols()) {
 
 void Cholesky::solve_in_place(std::span<Real> b) const {
   const Index n = l_.rows();
-  if (static_cast<Index>(b.size()) != n) {
-    throw std::invalid_argument("Cholesky::solve: size mismatch");
-  }
+  EXTDICT_REQUIRE_SHAPE(static_cast<Index>(b.size()) == n,
+                        "Cholesky::solve: |b|=" + std::to_string(b.size()) +
+                            " but L is " + std::to_string(n) + "x" +
+                            std::to_string(n));
   // L w = b
   for (Index i = 0; i < n; ++i) {
     Real s = b[static_cast<std::size_t>(i)];
@@ -49,6 +52,7 @@ void Cholesky::solve_in_place(std::span<Real> b) const {
   }
 }
 
+// extdict-lint: allow(missing-shape-contract) shape-checked by solve_in_place
 Vector Cholesky::solve(std::span<const Real> b) const {
   Vector x(b.begin(), b.end());
   solve_in_place(x);
@@ -58,15 +62,16 @@ Vector Cholesky::solve(std::span<const Real> b) const {
 ProgressiveCholesky::ProgressiveCholesky(Index capacity)
     : capacity_(capacity),
       l_(static_cast<std::size_t>(capacity * (capacity + 1) / 2), Real{0}) {
-  if (capacity <= 0) {
-    throw std::invalid_argument("ProgressiveCholesky: capacity must be > 0");
-  }
+  EXTDICT_REQUIRE_SHAPE(capacity > 0,
+                        "ProgressiveCholesky: capacity must be > 0, got " +
+                            std::to_string(capacity));
 }
 
 bool ProgressiveCholesky::append(std::span<const Real> g_new, Real g_diag) {
-  if (static_cast<Index>(g_new.size()) != n_) {
-    throw std::invalid_argument("ProgressiveCholesky::append: size mismatch");
-  }
+  EXTDICT_REQUIRE_SHAPE(static_cast<Index>(g_new.size()) == n_,
+                        "ProgressiveCholesky::append: |g_new|=" +
+                            std::to_string(g_new.size()) + " but factor has " +
+                            std::to_string(n_) + " columns");
   EXTDICT_CHECK_FINITE(g_new, "ProgressiveCholesky::append: Gram column");
   EXTDICT_ASSERT(std::isfinite(g_diag),
                  "ProgressiveCholesky::append: non-finite diagonal entry");
@@ -91,6 +96,7 @@ bool ProgressiveCholesky::append(std::span<const Real> g_new, Real g_diag) {
   return true;
 }
 
+// extdict-lint: allow(missing-shape-contract) internal helper, caller-validated
 void ProgressiveCholesky::solve_lower(std::span<Real> b) const {
   for (Index i = 0; i < n_; ++i) {
     Real s = b[static_cast<std::size_t>(i)];
@@ -99,6 +105,7 @@ void ProgressiveCholesky::solve_lower(std::span<Real> b) const {
   }
 }
 
+// extdict-lint: allow(missing-shape-contract) internal helper, caller-validated
 void ProgressiveCholesky::solve_lower_t(std::span<Real> b) const {
   for (Index i = n_ - 1; i >= 0; --i) {
     Real s = b[static_cast<std::size_t>(i)];
@@ -108,9 +115,10 @@ void ProgressiveCholesky::solve_lower_t(std::span<Real> b) const {
 }
 
 void ProgressiveCholesky::solve_in_place(std::span<Real> b) const {
-  if (static_cast<Index>(b.size()) != n_) {
-    throw std::invalid_argument("ProgressiveCholesky::solve: size mismatch");
-  }
+  EXTDICT_REQUIRE_SHAPE(static_cast<Index>(b.size()) == n_,
+                        "ProgressiveCholesky::solve: |b|=" +
+                            std::to_string(b.size()) + " but factor is " +
+                            std::to_string(n_) + "x" + std::to_string(n_));
   solve_lower(b);
   solve_lower_t(b);
 }

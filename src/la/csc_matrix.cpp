@@ -33,11 +33,13 @@ void CscMatrix::spmv_range(Index j0, Index j1, std::span<const Real> x,
   }
 }
 
+// extdict-lint: allow(missing-shape-contract) shape-checked by spmv_range
 void CscMatrix::spmv(std::span<const Real> x, std::span<Real> v) const {
   std::fill(v.begin(), v.end(), Real{0});
   spmv_range(0, cols_, x, v);
 }
 
+// extdict-lint: allow(missing-shape-contract) shape-checked by spmv_t_range
 void CscMatrix::spmv_t(std::span<const Real> w, std::span<Real> y) const {
   spmv_t_range(0, cols_, w, y);
 }
@@ -98,9 +100,10 @@ Matrix CscMatrix::to_dense() const {
 }
 
 void CscMatrix::append_columns(const CscMatrix& right) {
-  if (right.rows_ != rows_) {
-    throw std::invalid_argument("CscMatrix::append_columns: row mismatch");
-  }
+  EXTDICT_REQUIRE_SHAPE(right.rows_ == rows_,
+                        "CscMatrix::append_columns: left has " +
+                            std::to_string(rows_) + " rows, right has " +
+                            std::to_string(right.rows_));
   const Index base = static_cast<Index>(values_.size());
   row_idx_.insert(row_idx_.end(), right.row_idx_.begin(), right.row_idx_.end());
   values_.insert(values_.end(), right.values_.begin(), right.values_.end());

@@ -5,7 +5,6 @@
 #include <fstream>
 #include <limits>
 #include <map>
-#include <sstream>
 #include <stdexcept>
 
 namespace extdict::la {
@@ -40,6 +39,7 @@ std::string read_banner(std::ifstream& in, const std::string& path) {
 
 }  // namespace
 
+// extdict-lint: allow(missing-shape-contract) any matrix is serialisable; I/O errors are std::runtime_error
 void write_matrix_market(const Matrix& a, const std::string& path) {
   std::ofstream out = open_output(path);
   out << kArrayHeader << '\n';
@@ -51,6 +51,7 @@ void write_matrix_market(const Matrix& a, const std::string& path) {
   if (!out) throw std::runtime_error("matrix market: write failed " + path);
 }
 
+// extdict-lint: allow(missing-shape-contract) any matrix is serialisable; I/O errors are std::runtime_error
 void write_matrix_market(const CscMatrix& a, const std::string& path) {
   std::ofstream out = open_output(path);
   out << kCoordHeader << '\n';
@@ -157,6 +158,7 @@ namespace {
 constexpr std::uint64_t kBinaryMagic = 0x4558544449435401ULL;  // "EXTDICT\x01"
 }
 
+// extdict-lint: allow(missing-shape-contract) any matrix is serialisable; I/O errors are std::runtime_error
 void write_binary(const Matrix& a, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("write_binary: cannot create " + path);
@@ -164,8 +166,10 @@ void write_binary(const Matrix& a, const std::string& path) {
                                    static_cast<std::uint64_t>(a.rows()),
                                    static_cast<std::uint64_t>(a.cols())};
   out.write(reinterpret_cast<const char*>(header), sizeof(header));
-  out.write(reinterpret_cast<const char*>(a.data()),
-            static_cast<std::streamsize>(a.size() * static_cast<Index>(sizeof(Real))));
+  if (a.size() > 0) {  // empty matrix: data() may be null, skip the write
+    out.write(reinterpret_cast<const char*>(a.data()),
+              static_cast<std::streamsize>(a.size() * static_cast<Index>(sizeof(Real))));
+  }
   if (!out) throw std::runtime_error("write_binary: write failed " + path);
 }
 
@@ -195,10 +199,12 @@ Matrix read_binary(const std::string& path) {
     throw std::runtime_error("read_binary: payload size mismatch in " + path);
   }
   Matrix a(static_cast<Index>(rows), static_cast<Index>(cols));
-  in.read(reinterpret_cast<char*>(a.data()),
-          static_cast<std::streamsize>(payload_bytes));
-  if (!in && payload_bytes > 0) {
-    throw std::runtime_error("read_binary: truncated payload " + path);
+  if (payload_bytes > 0) {  // empty matrix: data() may be null, skip the read
+    in.read(reinterpret_cast<char*>(a.data()),
+            static_cast<std::streamsize>(payload_bytes));
+    if (!in) {
+      throw std::runtime_error("read_binary: truncated payload " + path);
+    }
   }
   return a;
 }

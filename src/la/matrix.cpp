@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
+
+#include "util/contracts.hpp"
 
 namespace extdict::la {
 
@@ -22,6 +25,7 @@ Matrix Matrix::from_rows(std::initializer_list<std::initializer_list<Real>> rows
   return m;
 }
 
+// extdict-lint: allow(missing-shape-contract) any index count valid; per-index bounds throw std::out_of_range (tested API contract)
 Matrix Matrix::select_columns(std::span<const Index> idx) const {
   Matrix out(rows_, static_cast<Index>(idx.size()));
   for (Index j = 0; j < out.cols(); ++j) {
@@ -35,6 +39,7 @@ Matrix Matrix::select_columns(std::span<const Index> idx) const {
   return out;
 }
 
+// extdict-lint: allow(missing-shape-contract) any index count valid; per-index bounds throw std::out_of_range (tested API contract)
 Matrix Matrix::select_rows(std::span<const Index> idx) const {
   Matrix out(static_cast<Index>(idx.size()), cols_);
   for (Index i = 0; i < out.rows(); ++i) {
@@ -57,9 +62,10 @@ Matrix Matrix::transposed() const {
 
 void Matrix::append_columns(const Matrix& other) {
   if (other.empty()) return;
-  if (rows_ != 0 && other.rows() != rows_) {
-    throw std::invalid_argument("Matrix::append_columns: row mismatch");
-  }
+  EXTDICT_REQUIRE_SHAPE(rows_ == 0 || other.rows() == rows_,
+                        "Matrix::append_columns: left has " +
+                            std::to_string(rows_) + " rows, right has " +
+                            std::to_string(other.rows()));
   if (rows_ == 0) rows_ = other.rows();
   data_.insert(data_.end(), other.data_.begin(), other.data_.end());
   cols_ += other.cols();
@@ -94,9 +100,10 @@ void Matrix::normalize_columns() {
 }
 
 Real max_abs_diff(const Matrix& a, const Matrix& b) {
-  if (a.rows() != b.rows() || a.cols() != b.cols()) {
-    throw std::invalid_argument("max_abs_diff: shape mismatch");
-  }
+  EXTDICT_REQUIRE_SHAPE(a.rows() == b.rows() && a.cols() == b.cols(),
+                        "max_abs_diff: a is " +
+                            util::shape_string(a.rows(), a.cols()) +
+                            ", b is " + util::shape_string(b.rows(), b.cols()));
   Real m = 0;
   for (Index j = 0; j < a.cols(); ++j) {
     for (Index i = 0; i < a.rows(); ++i) {

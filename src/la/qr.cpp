@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "la/blas.hpp"
 #include "util/contracts.hpp"
@@ -12,9 +13,9 @@ namespace extdict::la {
 HouseholderQr::HouseholderQr(Matrix a) : qr_(std::move(a)) {
   const Index m = qr_.rows();
   const Index n = qr_.cols();
-  if (m < n) {
-    throw std::invalid_argument("HouseholderQr: requires rows >= cols");
-  }
+  EXTDICT_REQUIRE_SHAPE(m >= n,
+                        "HouseholderQr: requires rows >= cols, got " +
+                            std::to_string(m) + "x" + std::to_string(n));
   EXTDICT_CHECK_FINITE(
       std::span<const Real>(qr_.data(), static_cast<std::size_t>(qr_.size())),
       "HouseholderQr: input matrix");
@@ -45,6 +46,7 @@ HouseholderQr::HouseholderQr(Matrix a) : qr_(std::move(a)) {
   }
 }
 
+// extdict-lint: allow(missing-shape-contract) internal helper, caller-validated
 void HouseholderQr::apply_qt(std::span<Real> v) const {
   const Index m = qr_.rows();
   const Index n = qr_.cols();
@@ -59,6 +61,7 @@ void HouseholderQr::apply_qt(std::span<Real> v) const {
   }
 }
 
+// extdict-lint: allow(missing-shape-contract) internal helper, caller-validated
 void HouseholderQr::back_substitute(std::span<Real> v) const {
   const Index n = qr_.cols();
   for (Index i = n - 1; i >= 0; --i) {
@@ -87,9 +90,10 @@ Vector HouseholderQr::solve(std::span<const Real> b) const {
 }
 
 Matrix HouseholderQr::solve_many(const Matrix& b) const {
-  if (b.rows() != qr_.rows()) {
-    throw std::invalid_argument("HouseholderQr::solve_many: size mismatch");
-  }
+  EXTDICT_REQUIRE_SHAPE(b.rows() == qr_.rows(),
+                        "HouseholderQr::solve_many: B has " +
+                            std::to_string(b.rows()) + " rows but A has " +
+                            std::to_string(qr_.rows()));
   Matrix x(qr_.cols(), b.cols());
   const Index cols = b.cols();
 #pragma omp parallel for schedule(static) if (cols > 8)
@@ -113,6 +117,7 @@ Index HouseholderQr::rank(Real rel_tol) const {
   return r;
 }
 
+// extdict-lint: allow(missing-shape-contract) shape-checked by HouseholderQr
 Vector least_squares(const Matrix& a, std::span<const Real> b) {
   return HouseholderQr(a).solve(b);
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 
 #include "la/blas.hpp"
 #include "la/qr.hpp"
@@ -11,6 +12,7 @@
 
 namespace extdict::la {
 
+// extdict-lint: allow(missing-shape-contract) any matrix shape is valid input
 SvdResult jacobi_svd(const Matrix& a, Real tol, int max_sweeps) {
   // One-sided Jacobi: orthogonalise the columns of W = A * V by plane
   // rotations; singular values are the final column norms.
@@ -112,9 +114,10 @@ SvdResult randomized_svd(const Matrix& a, Index k, Rng& rng, int power_iters,
   const Index m = a.rows();
   const Index n = a.cols();
   const Index p = std::min(n, k + oversample);
-  if (k <= 0 || k > std::min(m, n)) {
-    throw std::invalid_argument("randomized_svd: bad rank");
-  }
+  EXTDICT_REQUIRE_SHAPE(k > 0 && k <= std::min(m, n),
+                        "randomized_svd: rank k=" + std::to_string(k) +
+                            " outside [1, min(" + std::to_string(m) + ", " +
+                            std::to_string(n) + ")]");
 
   // Sketch Y = A * Omega, then subspace iterations Y <- A (A^T Y).
   Matrix omega = rng.gaussian_matrix(n, p);
@@ -146,6 +149,7 @@ SvdResult randomized_svd(const Matrix& a, Index k, Rng& rng, int power_iters,
   return out;
 }
 
+// extdict-lint: allow(missing-shape-contract) any matrix shape is valid input
 Real spectral_norm(const Matrix& a, Rng& rng, int iters) {
   Vector x(static_cast<std::size_t>(a.cols()));
   rng.fill_gaussian(x);
@@ -161,6 +165,7 @@ Real spectral_norm(const Matrix& a, Rng& rng, int iters) {
   return std::sqrt(lambda);
 }
 
+// extdict-lint: allow(missing-shape-contract) k is clamped by the tail sum; any matrix shape is valid
 Real rank_k_error(const Matrix& a, Index k) {
   SvdResult svd = jacobi_svd(a);
   Real ssq = 0;

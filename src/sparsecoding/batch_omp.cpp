@@ -10,6 +10,7 @@
 
 namespace extdict::sparsecoding {
 
+// extdict-lint: allow(missing-shape-contract) any dictionary shape is valid; gram() validates
 BatchOmp::BatchOmp(const Matrix& dict, OmpConfig config)
     : dict_(&dict), gram_(la::gram(dict)), config_(config) {
   max_atoms_ = config_.max_atoms > 0
@@ -20,9 +21,11 @@ BatchOmp::BatchOmp(const Matrix& dict, OmpConfig config)
 SparseCode BatchOmp::encode(std::span<const Real> signal) const {
   const Index m = dict_->rows();
   const Index l = dict_->cols();
-  if (static_cast<Index>(signal.size()) != m) {
-    throw std::invalid_argument("BatchOmp::encode: signal size mismatch");
-  }
+  EXTDICT_REQUIRE_SHAPE(static_cast<Index>(signal.size()) == m,
+                        "BatchOmp::encode: |signal|=" +
+                            std::to_string(signal.size()) +
+                            " but dictionary has " + std::to_string(m) +
+                            " rows");
 
   EXTDICT_CHECK_FINITE(signal, "BatchOmp::encode: signal");
 
@@ -116,9 +119,11 @@ SparseCode BatchOmp::encode(std::span<const Real> signal) const {
 }
 
 la::CscMatrix BatchOmp::encode_all(const Matrix& signals) const {
-  if (signals.rows() != dict_->rows()) {
-    throw std::invalid_argument("BatchOmp::encode_all: row mismatch");
-  }
+  EXTDICT_REQUIRE_SHAPE(signals.rows() == dict_->rows(),
+                        "BatchOmp::encode_all: signals have " +
+                            std::to_string(signals.rows()) +
+                            " rows but dictionary has " +
+                            std::to_string(dict_->rows()));
   const Index n = signals.cols();
   std::vector<std::vector<std::pair<Index, Real>>> columns(
       static_cast<std::size_t>(n));

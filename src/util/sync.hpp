@@ -1,0 +1,158 @@
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+/// Compile-time-checked synchronisation layer.
+///
+/// ExtDict's locking discipline is a machine-checked artifact: every mutex in
+/// the library is a `util::Mutex`, every guarded field carries
+/// `EXTDICT_GUARDED_BY`, and every function that touches guarded state
+/// declares its lock requirements (`EXTDICT_REQUIRES` / `EXTDICT_EXCLUDES` /
+/// `EXTDICT_ACQUIRE` / `EXTDICT_RELEASE`). Under Clang the `thread-safety`
+/// preset promotes the annotations to errors (`-Werror=thread-safety`), so an
+/// unguarded access or a missing lock is a build break, not a TSan roll of
+/// the dice. Under other compilers the annotations expand to nothing and the
+/// wrappers cost exactly one forwarded call into `std::mutex` /
+/// `std::condition_variable`.
+///
+/// House rules enforced by `tools/extdict-lint.py`:
+///   * no naked `std::mutex` / `std::condition_variable` outside this header
+///     — all locking goes through the annotated wrappers;
+///   * the TSan preset stays the runtime complement (`docs/CORRECTNESS.md`):
+///     annotations prove the *protocol*, TSan still hunts what annotations
+///     cannot express (ordering through atomics, thread lifetime).
+///
+/// Lock-ordering policy (library-wide):
+///   * Every `util::Mutex` in `src/` is a LEAF lock unless its declaration
+///     says otherwise: no code path may acquire another `Mutex` while holding
+///     it. Cross-object protocols (e.g. `SharedState::abort` poisoning every
+///     mailbox) must acquire the locks strictly one at a time.
+///   * `CondVar::wait` may only be called with the associated `Mutex` held
+///     (`EXTDICT_REQUIRES` makes this a compile error otherwise).
+
+// -- Clang capability-analysis attribute macros -------------------------------
+//
+// No-ops on non-Clang compilers (GCC has no thread-safety analysis); the
+// `__has_attribute` probe keeps old Clangs without the capability spelling
+// working too.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define EXTDICT_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef EXTDICT_THREAD_ANNOTATION
+#define EXTDICT_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a class as a capability ("mutex") the analysis can track.
+#define EXTDICT_CAPABILITY(x) EXTDICT_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose lifetime acquires/releases a capability.
+#define EXTDICT_SCOPED_CAPABILITY EXTDICT_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be read/written while holding `x`.
+#define EXTDICT_GUARDED_BY(x) EXTDICT_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field: the *pointee* may only be touched while holding `x`.
+#define EXTDICT_PT_GUARDED_BY(x) EXTDICT_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Documents (and checks, under Clang) lock-ordering edges.
+#define EXTDICT_ACQUIRED_BEFORE(...) \
+  EXTDICT_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define EXTDICT_ACQUIRED_AFTER(...) \
+  EXTDICT_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Caller must hold the listed capabilities on entry (and keeps them).
+#define EXTDICT_REQUIRES(...) \
+  EXTDICT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability (held on return).
+#define EXTDICT_ACQUIRE(...) \
+  EXTDICT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (must be held on entry).
+#define EXTDICT_RELEASE(...) \
+  EXTDICT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `b`.
+#define EXTDICT_TRY_ACQUIRE(b, ...) \
+  EXTDICT_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (self-locking functions).
+#define EXTDICT_EXCLUDES(...) \
+  EXTDICT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (analysis trusts it).
+#define EXTDICT_ASSERT_CAPABILITY(x) \
+  EXTDICT_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the mutex guarding its result.
+#define EXTDICT_RETURN_CAPABILITY(x) EXTDICT_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch; every use must carry a comment justifying it.
+#define EXTDICT_NO_THREAD_SAFETY_ANALYSIS \
+  EXTDICT_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace extdict::util {
+
+class CondVar;
+
+/// Annotated exclusive mutex. Prefer `MutexLock` over manual lock()/unlock();
+/// the scoped form is what the analysis reasons about most precisely.
+class EXTDICT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() EXTDICT_ACQUIRE() { raw_.lock(); }
+  void unlock() EXTDICT_RELEASE() { raw_.unlock(); }
+  [[nodiscard]] bool try_lock() EXTDICT_TRY_ACQUIRE(true) {
+    return raw_.try_lock();
+  }
+
+ private:
+  friend class CondVar;
+  std::mutex raw_;
+};
+
+/// RAII lock, the annotated counterpart of std::scoped_lock.
+class EXTDICT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) EXTDICT_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() EXTDICT_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to `Mutex`. `wait` demands the mutex at compile
+/// time — the "forgot to hold the lock around wait" bug cannot build.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and re-acquires `mu` before
+  /// returning. Spurious wakeups happen; callers loop on their predicate.
+  void wait(Mutex& mu) EXTDICT_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the wait, then hand ownership
+    // back so the caller's MutexLock remains the sole releaser.
+    std::unique_lock<std::mutex> native(mu.raw_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace extdict::util

@@ -1,0 +1,7 @@
+// Lint fixture: includes a translation unit instead of a header. Never
+// compiled — scanned by extdict-lint's self-test.
+// extdict-lint-expect: cpp-include
+
+#include "la/matrix.cpp"
+
+int fixture_entry() { return 0; }

@@ -1,0 +1,12 @@
+// Lint fixture: allocates inside a loop marked hot by EXTDICT_HOT_ASSERT.
+// Never compiled — scanned by extdict-lint's self-test.
+// extdict-lint-expect: hot-loop-allocation
+
+#include <vector>
+
+void fixture_kernel(std::vector<int>& out, int n) {
+  for (int i = 0; i < n; ++i) {
+    EXTDICT_HOT_ASSERT(i >= 0, "index went negative");
+    out.push_back(i);  // heap growth inside the hot loop
+  }
+}

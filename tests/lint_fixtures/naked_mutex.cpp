@@ -1,0 +1,15 @@
+// Lint fixture: declares raw standard-library sync primitives outside
+// util/sync.hpp. Never compiled — scanned by extdict-lint's self-test.
+// extdict-lint-expect: naked-sync-primitive
+
+#include <condition_variable>
+#include <mutex>
+
+namespace fixture {
+
+struct Queue {
+  std::mutex mu;                // naked primitive: invisible to -Wthread-safety
+  std::condition_variable cv;   // ditto
+};
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// Lint fixture: a well-behaved kernel — validates shapes up front, keeps the
+// hot loop allocation-free, uses only annotated sync, includes only headers.
+// Also exercises the waiver syntax on a helper. Never compiled — scanned by
+// extdict-lint's self-test.
+// extdict-lint-expect: none
+
+#include "la/matrix.hpp"
+#include "util/sync.hpp"
+
+namespace extdict::la {
+
+void fixture_scale(const Matrix& a, std::span<Real> y) {
+  EXTDICT_REQUIRE_SHAPE(static_cast<Index>(y.size()) == a.rows(),
+                        "fixture_scale: output size mismatch");
+  for (Index i = 0; i < a.rows(); ++i) {
+    EXTDICT_HOT_ASSERT(i < a.rows(), "bounds");
+    y[static_cast<std::size_t>(i)] *= a(i, 0);
+  }
+}
+
+// extdict-lint: allow(missing-shape-contract) delegates to fixture_scale
+void fixture_scale_twice(const Matrix& a, std::span<Real> y) {
+  fixture_scale(a, y);
+  fixture_scale(a, y);
+}
+
+}  // namespace extdict::la

@@ -1,0 +1,20 @@
+// Lint fixture: the shape contract exists but only fires AFTER the kernel
+// has already walked the data — too late to protect the first pass. Never
+// compiled — scanned by extdict-lint's self-test.
+// extdict-lint-expect: missing-shape-contract
+
+#include "la/matrix.hpp"
+
+namespace extdict::la {
+
+Real fixture_sum(const Matrix& a, std::span<const Real> w) {
+  Real s = 0;
+  for (Index j = 0; j < a.cols(); ++j) {
+    s += a(0, j) * w[static_cast<std::size_t>(j)];
+  }
+  EXTDICT_REQUIRE_SHAPE(static_cast<Index>(w.size()) == a.cols(),
+                        "fixture_sum: weight size mismatch");
+  return s;
+}
+
+}  // namespace extdict::la

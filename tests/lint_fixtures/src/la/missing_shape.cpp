@@ -1,0 +1,18 @@
+// Lint fixture: a public kernel entry under src/la/ that takes dimensioned
+// arguments but never validates shapes. Never compiled — scanned by
+// extdict-lint's self-test.
+// extdict-lint-expect: missing-shape-contract
+
+#include "la/matrix.hpp"
+
+namespace extdict::la {
+
+void fixture_gemv(const Matrix& a, std::span<const Real> x, std::span<Real> y) {
+  for (Index j = 0; j < a.cols(); ++j) {
+    for (Index i = 0; i < a.rows(); ++i) {
+      y[static_cast<std::size_t>(i)] += a(i, j) * x[static_cast<std::size_t>(j)];
+    }
+  }
+}
+
+}  // namespace extdict::la

@@ -1,0 +1,42 @@
+// Annotation-clean use of the sync layer: guarded field only touched under
+// its mutex, CondVar::wait with the lock held, manual lock()/unlock()
+// balanced. Must COMPILE under -Werror=thread-safety; if it does not, the
+// negative cases below prove nothing.
+#include "util/sync.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void add(int d) EXTDICT_EXCLUDES(mu_) {
+    const extdict::util::MutexLock lock(mu_);
+    value_ += d;
+    cv_.notify_all();
+  }
+
+  int wait_nonzero() EXTDICT_EXCLUDES(mu_) {
+    const extdict::util::MutexLock lock(mu_);
+    while (value_ == 0) cv_.wait(mu_);
+    return value_;
+  }
+
+  int read_manual() EXTDICT_EXCLUDES(mu_) {
+    mu_.lock();
+    const int v = value_;
+    mu_.unlock();
+    return v;
+  }
+
+ private:
+  extdict::util::Mutex mu_;
+  extdict::util::CondVar cv_;
+  int value_ EXTDICT_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.add(1);
+  return c.wait_nonzero() - c.read_manual();
+}

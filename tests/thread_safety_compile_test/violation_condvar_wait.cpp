@@ -1,0 +1,12 @@
+// VIOLATION: CondVar::wait is annotated EXTDICT_REQUIRES(mu) — calling it
+// without holding the mutex is the classic lost-wakeup/UB bug. Valid C++;
+// must be REJECTED by -Werror=thread-safety
+// ("calling function 'wait' requires holding mutex 'mu'").
+#include "util/sync.hpp"
+
+int main() {
+  extdict::util::Mutex mu;
+  extdict::util::CondVar cv;
+  cv.wait(mu);  // mutex not held
+  return 0;
+}

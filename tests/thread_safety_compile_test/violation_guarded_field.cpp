@@ -1,0 +1,24 @@
+// VIOLATION: reads a field annotated EXTDICT_GUARDED_BY(mu_) without holding
+// mu_. Valid C++; must be REJECTED by -Werror=thread-safety
+// ("reading variable 'value_' requires holding mutex 'mu_'").
+#include "util/sync.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  int read_unlocked() EXTDICT_EXCLUDES(mu_) {
+    return value_;  // guarded field, no lock held
+  }
+
+ private:
+  extdict::util::Mutex mu_;
+  int value_ EXTDICT_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  return c.read_unlocked();
+}

@@ -1,0 +1,10 @@
+// VIOLATION: acquires a Mutex and returns without releasing it. Valid C++;
+// must be REJECTED by -Werror=thread-safety
+// ("mutex 'mu' is still held at the end of function").
+#include "util/sync.hpp"
+
+int main() {
+  extdict::util::Mutex mu;
+  mu.lock();
+  return 0;  // mu never unlocked
+}

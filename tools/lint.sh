@@ -14,6 +14,13 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "${repo_root}"
 
+# House-invariant checks first: pure python, no build dir needed.
+if command -v python3 >/dev/null 2>&1; then
+  python3 tools/extdict-lint.py
+else
+  echo "lint.sh: python3 not found; skipping extdict-lint"
+fi
+
 tidy_bin="${CLANG_TIDY:-clang-tidy}"
 if ! command -v "${tidy_bin}" >/dev/null 2>&1; then
   echo "lint.sh: ${tidy_bin} not found; skipping (install clang-tidy to run locally)"
