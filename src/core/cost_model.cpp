@@ -24,8 +24,12 @@ UpdateCost build(double work, double comm, std::uint64_t memory, Index p,
 UpdateCost transformed_update_cost(Index m, Index l, std::uint64_t nnz_c,
                                    Index n, Index p,
                                    const dist::PlatformSpec& platform) {
+  // Cᵀ(Dᵀ(D(Cx))) touches every D entry twice (lift + adjoint) and every C
+  // entry twice, so one update is 2·(M·L + nnz(C)) multiply–add pairs — the
+  // same unit original_update_cost charges (2·M·N for the two A GEMVs).
   const double work =
-      static_cast<double>(m) * static_cast<double>(l) + static_cast<double>(nnz_c);
+      2.0 * (static_cast<double>(m) * static_cast<double>(l) +
+             static_cast<double>(nnz_c));
   const double comm = static_cast<double>(std::min(m, l));
   const std::uint64_t memory =
       static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(l) +

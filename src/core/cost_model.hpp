@@ -14,17 +14,25 @@ using la::Real;
 /// iterative Gram update on the transformed data, (DC)ᵀDC·x, on P
 /// processors:
 ///
-///   FLOPs  (Eq. before (2)): (M·L + nnz(C)) multiplications, parallelised
-///                            over P (plus negligible additions),
+///   Work   (Eq. before (2)): 2·(M·L + nnz(C)) multiply–add pairs — the
+///                            chain Cᵀ(Dᵀ(D(Cx))) touches every D entry and
+///                            every C entry twice — parallelised over P,
 ///   Comm.  : min(M, L) words per reduce/broadcast phase — the
 ///            communication-optimal bound of Demmel et al.,
-///   Time   (Eq. 2): (M·L + nnz(C))/P + min(M,L)·R_bf^time,
-///   Energy (Eq. 3): (M·L + nnz(C))/P + min(M,L)·R_bf^energy,
+///   Time   (Eq. 2): 2·(M·L + nnz(C))/P + min(M,L)·R_bf^time,
+///   Energy (Eq. 3): 2·(M·L + nnz(C))/P + min(M,L)·R_bf^energy,
 ///   Memory (Eq. 4): M·L + (nnz(C) + N)/P words per node.
 ///
 /// The same quantities for the untransformed update AᵀA·x (used as the
 /// baseline everywhere) follow by substituting D -> A, C -> I:
-/// FLOPs 2·M·N/P, comm M words, memory M·N/P + N/P.
+/// work 2·M·N/P, comm M words, memory M·N/P + N/P.
+///
+/// Unit convention: the work terms count multiply–add *pairs*; the emulated
+/// cluster's counters (dist::CostCounters, fed by la::gemv_flops and the
+/// spmv charges) count a pair as 2 FLOPs. So for every strategy Eq. (2)
+/// models, measured FLOPs == 2 × the work term here, exactly —
+/// `bench/run_benchmarks` and tests/gram_model_regression_test.cpp pin that
+/// identity per iteration.
 struct UpdateCost {
   double flops_per_proc = 0;
   double comm_words = 0;

@@ -5,6 +5,7 @@
 #include "core/dist_gram.hpp"
 #include "la/random.hpp"
 #include "sparsecoding/batch_omp.hpp"
+#include "util/metrics.hpp"
 #include "util/timer.hpp"
 
 namespace extdict::core {
@@ -21,6 +22,7 @@ DistExdResult exd_transform_distributed(const dist::Cluster& cluster,
   const ColumnPartition part{n, cluster.topology().total()};
 
   DistExdResult result;
+  const util::SpanTimer span("exd.transform_distributed");
   util::Timer timer;
 
   // Per-rank outputs stitched together after the run. Each rank writes only
@@ -114,6 +116,8 @@ DistExdResult exd_transform_distributed(const dist::Cluster& cluster,
   result.exd.transform_ms = timer.elapsed_ms();
   result.exd.transformation_error = transformation_error(
       a, result.exd.dictionary, result.exd.coefficients);
+  util::MetricsRegistry::global().add("exd.transform_nnz",
+                                      result.exd.coefficients.nnz());
   return result;
 }
 

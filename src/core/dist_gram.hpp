@@ -18,6 +18,22 @@ struct DistGramResult {
   la::Vector y;
   dist::RunStats stats;
   int iterations = 0;
+
+  /// FLOPs of the Gram updates alone, summed over ranks and iterations —
+  /// excludes the normalisation and collective-reduction arithmetic that
+  /// `stats` also meters. This is the quantity the cost model's work term
+  /// predicts: with 2 FLOPs per multiply–add pair, every Eq. (2)-covered
+  /// strategy satisfies
+  ///   update_flops == iterations * 2 * (work multiply–add pairs)
+  /// exactly (see core/cost_model.hpp and tests/gram_model_regression_test).
+  std::uint64_t update_flops = 0;
+
+  /// update_flops / iterations (0 when no iterations ran).
+  [[nodiscard]] std::uint64_t update_flops_per_iteration() const noexcept {
+    return iterations > 0
+               ? update_flops / static_cast<std::uint64_t>(iterations)
+               : 0;
+  }
 };
 
 /// Column partition: rank i owns columns [offset(i), offset(i+1)) — the

@@ -7,6 +7,7 @@
 #include "la/random.hpp"
 #include "sparsecoding/batch_omp.hpp"
 #include "util/contracts.hpp"
+#include "util/metrics.hpp"
 #include "util/timer.hpp"
 
 namespace extdict::core {
@@ -33,6 +34,7 @@ ExdResult exd_transform_with_dictionary(const Matrix& a, Matrix dictionary,
   EXTDICT_CHECK_FINITE(
       std::span<const Real>(a.data(), static_cast<std::size_t>(a.size())),
       "exd_transform: data matrix");
+  const util::SpanTimer span("exd.transform");
   util::Timer timer;
 
   sparsecoding::OmpConfig omp;
@@ -46,6 +48,8 @@ ExdResult exd_transform_with_dictionary(const Matrix& a, Matrix dictionary,
   result.transform_ms = timer.elapsed_ms();
   result.transformation_error =
       transformation_error(a, result.dictionary, result.coefficients);
+  util::MetricsRegistry::global().add("exd.transform_nnz",
+                                      result.coefficients.nnz());
   return result;
 }
 

@@ -4,6 +4,7 @@
 
 #include "la/blas.hpp"
 #include "util/contracts.hpp"
+#include "util/metrics.hpp"
 
 namespace extdict::core {
 
@@ -27,9 +28,14 @@ DenseGramOperator::DenseGramOperator(const Matrix& a)
 
 void DenseGramOperator::apply(std::span<const Real> x, std::span<Real> y) const {
   require_sizes(x, dim(), y, dim(), "DenseGramOperator::apply");
-  const util::MutexLock lock(scratch_mu_);
-  la::gemv(1, *a_, x, 0, scratch_);
-  la::gemv_t(1, *a_, scratch_, 0, y);
+  {
+    const util::MutexLock lock(scratch_mu_);
+    la::gemv(1, *a_, x, 0, scratch_);
+    la::gemv_t(1, *a_, scratch_, 0, y);
+  }
+  // One registry touch per apply — noise next to the two GEMVs it brackets.
+  util::MetricsRegistry::global().add("gram_operator.dense.flops",
+                                      flops_per_apply());
 }
 
 void DenseGramOperator::apply_adjoint(std::span<const Real> v,
@@ -63,11 +69,15 @@ TransformedGramOperator::TransformedGramOperator(const Matrix& d,
 void TransformedGramOperator::apply(std::span<const Real> x,
                                     std::span<Real> y) const {
   require_sizes(x, dim(), y, dim(), "TransformedGramOperator::apply");
-  const util::MutexLock lock(scratch_mu_);
-  c_->spmv(x, v1_);                // v1 = C x
-  la::gemv(1, *d_, v1_, 0, v2_);   // v2 = D v1
-  la::gemv_t(1, *d_, v2_, 0, v3_); // v3 = Dᵀ v2
-  c_->spmv_t(v3_, y);              // y  = Cᵀ v3
+  {
+    const util::MutexLock lock(scratch_mu_);
+    c_->spmv(x, v1_);                // v1 = C x
+    la::gemv(1, *d_, v1_, 0, v2_);   // v2 = D v1
+    la::gemv_t(1, *d_, v2_, 0, v3_); // v3 = Dᵀ v2
+    c_->spmv_t(v3_, y);              // y  = Cᵀ v3
+  }
+  util::MetricsRegistry::global().add("gram_operator.transformed.flops",
+                                      flops_per_apply());
 }
 
 void TransformedGramOperator::apply_adjoint(std::span<const Real> v,

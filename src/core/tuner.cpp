@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "util/metrics.hpp"
 #include "util/timer.hpp"
 
 namespace extdict::core {
@@ -23,6 +24,7 @@ double objective_value(Objective objective, Index m, Index l, Real alpha,
 
 TunerResult tune(const Matrix& a, const dist::PlatformSpec& platform,
                  const TunerConfig& config) {
+  const util::SpanTimer span("tuner.tune");
   util::Timer timer;
   TunerResult result;
   if (config.subset_sizes.empty()) {
@@ -49,6 +51,8 @@ TunerResult tune(const Matrix& a, const dist::PlatformSpec& platform,
   }
   result.best_cost = best;
   result.tuning_ms = timer.elapsed_ms();
+  util::MetricsRegistry::global().add(
+      "tuner.grid_points_evaluated", result.costs.size());
   return result;
 }
 

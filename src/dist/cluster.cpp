@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/metrics.hpp"
 #include "util/timer.hpp"
 
 namespace extdict::dist {
@@ -54,6 +55,19 @@ RunStats Cluster::run(const Body& body) const {
       throw std::runtime_error("Cluster::run: SPMD region failed");
     }
   }
+
+  // Roll the run's exact counters up into the observability registry
+  // (successful runs only — aborted regions have partial, misleading
+  // counters). `critical_path_words` is the slowest rank's send+recv
+  // volume, the quantity the Eq. (2) communication term bounds.
+  util::MetricsRegistry& metrics = util::MetricsRegistry::global();
+  metrics.record_span("cluster.run", stats.wall_seconds);
+  metrics.add("cluster.ranks_run", static_cast<std::uint64_t>(p));
+  metrics.add("cluster.flops", stats.total_flops());
+  metrics.add("cluster.words_sent", stats.total_words());
+  metrics.add("cluster.critical_path_words", stats.max_rank_words());
+  metrics.update_max("cluster.peak_memory_words",
+                     stats.max_peak_memory_words());
   return stats;
 }
 

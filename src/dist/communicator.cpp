@@ -59,11 +59,13 @@ void Communicator::reduce_sum(Index root, std::span<la::Real> buf) {
   std::vector<la::Real> incoming(buf.size());
   for (Index mask = 1; mask < p; mask <<= 1) {
     if (vr & mask) {
-      send(real_rank(vr - mask, root), kTagReduce, std::span<const la::Real>(buf));
+      send_impl(real_rank(vr - mask, root), kTagReduce,
+                std::span<const la::Real>(buf));
       return;  // this rank's contribution is absorbed upstream
     }
     if (vr + mask < p) {
-      recv(real_rank(vr + mask, root), kTagReduce, std::span<la::Real>(incoming));
+      recv_impl(real_rank(vr + mask, root), kTagReduce,
+                std::span<la::Real>(incoming));
       for (std::size_t i = 0; i < buf.size(); ++i) buf[i] += incoming[i];
       cost_.add_flops(buf.size());
     }
@@ -75,10 +77,12 @@ la::Real Communicator::allreduce_max_scalar(la::Real v) {
   // model but still metered.
   if (rank_ == 0) {
     for (Index r = 1; r < size(); ++r) {
-      v = std::max(v, recv_value<la::Real>(r, kTagScalar));
+      la::Real incoming{};
+      recv_impl(r, kTagScalar, std::span<la::Real>(&incoming, 1));
+      v = std::max(v, incoming);
     }
   } else {
-    send_value(Index{0}, kTagScalar, v);
+    send_impl(Index{0}, kTagScalar, std::span<const la::Real>(&v, 1));
   }
   broadcast(0, std::span<la::Real>(&v, 1));
   return v;

@@ -94,16 +94,20 @@ class Communicator {
   CostCounters& cost() noexcept { return cost_; }
   [[nodiscard]] const CostCounters& cost() const noexcept { return cost_; }
 
+  /// User tags live in [0, kUserTagLimit); everything at or above the limit
+  /// is reserved for the internal collective protocol (broadcast/reduce/
+  /// gather/scatter trees). A user message carrying an internal tag would be
+  /// indistinguishable from collective traffic and silently corrupt any
+  /// concurrent collective, so send/recv reject the whole reserved range.
+  static constexpr int kUserTagLimit = 1 << 20;
+
   // -- point to point --------------------------------------------------------
 
   template <typename T>
     requires std::is_trivially_copyable_v<T>
   void send(Index dest, int tag, std::span<const T> data) {
-    check_peer(dest);
     check_tag(tag);
-    Mailbox::Envelope env{rank_, tag, to_bytes(data)};
-    account_send(dest, env.payload.size());
-    shared_->boxes[static_cast<std::size_t>(dest)]->push(std::move(env));
+    send_impl(dest, tag, data);
   }
 
   template <typename T>
@@ -116,30 +120,16 @@ class Communicator {
   template <typename T>
     requires std::is_trivially_copyable_v<T>
   void recv(Index source, int tag, std::span<T> out) {
-    check_peer(source);
     check_tag(tag);
-    const std::vector<std::byte> payload = pop(source, tag);
-    if (payload.size() != out.size() * sizeof(T)) {
-      throw std::runtime_error("Communicator::recv: size mismatch");
-    }
-    std::memcpy(out.data(), payload.data(), payload.size());
-    account_recv(source, payload.size());
+    recv_impl(source, tag, out);
   }
 
   /// Receives a message of a-priori-unknown length.
   template <typename T>
     requires std::is_trivially_copyable_v<T>
   [[nodiscard]] std::vector<T> recv_vector(Index source, int tag) {
-    check_peer(source);
     check_tag(tag);
-    const std::vector<std::byte> payload = pop(source, tag);
-    if (payload.size() % sizeof(T) != 0) {
-      throw std::runtime_error("Communicator::recv_vector: torn payload");
-    }
-    std::vector<T> out(payload.size() / sizeof(T));
-    std::memcpy(out.data(), payload.data(), payload.size());
-    account_recv(source, payload.size());
-    return out;
+    return recv_vector_impl<T>(source, tag);
   }
 
   template <typename T>
@@ -164,10 +154,11 @@ class Communicator {
       if (vr < mask) {
         const Index dest_v = vr + mask;
         if (dest_v < p) {
-          send(real_rank(dest_v, root), kTagBroadcast, std::span<const T>(buf));
+          send_impl(real_rank(dest_v, root), kTagBroadcast,
+                    std::span<const T>(buf));
         }
       } else if (vr < 2 * mask) {
-        recv(real_rank(vr - mask, root), kTagBroadcast, buf);
+        recv_impl(real_rank(vr - mask, root), kTagBroadcast, buf);
       }
     }
   }
@@ -200,7 +191,7 @@ class Communicator {
   [[nodiscard]] std::vector<T> gather(Index root, std::span<const T> local,
                                       std::vector<Index>* counts = nullptr) {
     if (rank_ != root) {
-      send(root, kTagGather, local);
+      send_impl(root, kTagGather, local);
       return {};
     }
     std::vector<T> all;
@@ -210,7 +201,7 @@ class Communicator {
       if (r == root) {
         chunk.assign(local.begin(), local.end());
       } else {
-        chunk = recv_vector<T>(r, kTagGather);
+        chunk = recv_vector_impl<T>(r, kTagGather);
       }
       if (counts) (*counts)[static_cast<std::size_t>(r)] = static_cast<Index>(chunk.size());
       all.insert(all.end(), chunk.begin(), chunk.end());
@@ -230,12 +221,12 @@ class Communicator {
       }
       for (Index r = 0; r < size(); ++r) {
         if (r == root) continue;
-        send(r, kTagScatter,
-             std::span<const T>(chunks[static_cast<std::size_t>(r)]));
+        send_impl(r, kTagScatter,
+                  std::span<const T>(chunks[static_cast<std::size_t>(r)]));
       }
       return chunks[static_cast<std::size_t>(root)];
     }
-    return recv_vector<T>(root, kTagScatter);
+    return recv_vector_impl<T>(root, kTagScatter);
   }
 
   template <typename T>
@@ -270,7 +261,49 @@ class Communicator {
     }
   }
   static void check_tag(int tag) {
-    if (tag < 0) throw std::invalid_argument("Communicator: user tags must be >= 0 ");
+    if (tag < 0 || tag >= kUserTagLimit) {
+      throw std::invalid_argument(
+          "Communicator: user tags must lie in [0, 1<<20); tags >= 1<<20 are "
+          "reserved for the internal collective protocol");
+    }
+  }
+
+  // Tag-unchecked transport used by the collectives, which deliberately
+  // carry tags in the reserved range. User-facing send/recv validate first,
+  // then delegate here.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void send_impl(Index dest, int tag, std::span<const T> data) {
+    check_peer(dest);
+    Mailbox::Envelope env{rank_, tag, to_bytes(data)};
+    account_send(dest, env.payload.size());
+    shared_->boxes[static_cast<std::size_t>(dest)]->push(std::move(env));
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void recv_impl(Index source, int tag, std::span<T> out) {
+    check_peer(source);
+    const std::vector<std::byte> payload = pop(source, tag);
+    if (payload.size() != out.size() * sizeof(T)) {
+      throw std::runtime_error("Communicator::recv: size mismatch");
+    }
+    std::memcpy(out.data(), payload.data(), payload.size());
+    account_recv(source, payload.size());
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  [[nodiscard]] std::vector<T> recv_vector_impl(Index source, int tag) {
+    check_peer(source);
+    const std::vector<std::byte> payload = pop(source, tag);
+    if (payload.size() % sizeof(T) != 0) {
+      throw std::runtime_error("Communicator::recv_vector: torn payload");
+    }
+    std::vector<T> out(payload.size() / sizeof(T));
+    std::memcpy(out.data(), payload.data(), payload.size());
+    account_recv(source, payload.size());
+    return out;
   }
 
   template <typename T>

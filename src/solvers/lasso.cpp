@@ -7,6 +7,7 @@
 #include "la/blas.hpp"
 #include "la/random.hpp"
 #include "solvers/adagrad.hpp"
+#include "util/metrics.hpp"
 
 namespace extdict::solvers {
 
@@ -55,6 +56,7 @@ Real lasso_objective(const GramOperator& op, const la::Vector& y,
 
 LassoResult lasso_solve(const GramOperator& op, const la::Vector& y,
                         const LassoConfig& config) {
+  const util::SpanTimer span("lasso.solve");
   const Index n = op.dim();
   if (static_cast<Index>(y.size()) != op.data_dim()) {
     throw std::invalid_argument("lasso_solve: y size mismatch");
@@ -116,6 +118,8 @@ LassoResult lasso_solve(const GramOperator& op, const la::Vector& y,
   }
   result.final_objective =
       elastic_net_objective(op, y, result.x, config.lambda, config.lambda2);
+  util::MetricsRegistry::global().add(
+      "lasso.iterations", static_cast<std::uint64_t>(result.iterations));
   return result;
 }
 
@@ -134,6 +138,7 @@ DistLassoResult lasso_solve_distributed(const dist::Cluster& cluster,
                                         const Matrix& d, const CscMatrix& c,
                                         const la::Vector& y,
                                         const LassoConfig& config) {
+  const util::SpanTimer span("lasso.solve_distributed");
   const Index m = d.rows();
   const Index l = d.cols();
   const Index n = c.cols();
@@ -260,6 +265,8 @@ DistLassoResult lasso_solve_distributed(const dist::Cluster& cluster,
   result.stats = std::move(stats);
   result.iterations = iterations_shared;
   result.converged = converged_shared;
+  util::MetricsRegistry::global().add(
+      "lasso.iterations", static_cast<std::uint64_t>(result.iterations));
   result.final_objective =
       elastic_net_objective(op, y, result.x, config.lambda, config.lambda2);
   return result;

@@ -6,10 +6,12 @@
 #include "core/dist_gram.hpp"
 #include "la/blas.hpp"
 #include "la/random.hpp"
+#include "util/metrics.hpp"
 
 namespace extdict::solvers {
 
 PowerResult power_method(const GramOperator& op, const PowerConfig& config) {
+  const util::SpanTimer span("power_method.solve");
   const Index n = op.dim();
   const Index k = std::min<Index>(config.num_eigenpairs, n);
   la::Rng rng(config.seed);
@@ -59,6 +61,8 @@ PowerResult power_method(const GramOperator& op, const PowerConfig& config) {
     result.eigenvalues.push_back(lambda);
     std::copy(x.begin(), x.end(), result.eigenvectors.col(e).begin());
     result.iterations.push_back(it);
+    util::MetricsRegistry::global().add("power_method.iterations",
+                                        static_cast<std::uint64_t>(it));
   }
   return result;
 }
@@ -66,6 +70,7 @@ PowerResult power_method(const GramOperator& op, const PowerConfig& config) {
 DistPowerResult power_method_distributed(const dist::Cluster& cluster,
                                          const Matrix& d, const la::CscMatrix& c,
                                          const PowerConfig& config) {
+  const util::SpanTimer span("power_method.solve_distributed");
   if (c.rows() != d.cols()) {
     throw std::invalid_argument("power_method_distributed: D/C shape mismatch");
   }

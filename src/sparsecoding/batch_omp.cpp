@@ -7,6 +7,7 @@
 #include "la/blas.hpp"
 #include "la/cholesky.hpp"
 #include "util/contracts.hpp"
+#include "util/metrics.hpp"
 
 namespace extdict::sparsecoding {
 
@@ -125,12 +126,15 @@ la::CscMatrix BatchOmp::encode_all(const Matrix& signals) const {
                             " rows but dictionary has " +
                             std::to_string(dict_->rows()));
   const Index n = signals.cols();
+  const util::SpanTimer span("batch_omp.encode_all");
   std::vector<std::vector<std::pair<Index, Real>>> columns(
       static_cast<std::size_t>(n));
 #pragma omp parallel for schedule(dynamic, 16) if (n > 1)
   for (Index j = 0; j < n; ++j) {
     columns[static_cast<std::size_t>(j)] = encode(signals.col(j)).entries;
   }
+  util::MetricsRegistry::global().add("batch_omp.signals_encoded",
+                                      static_cast<std::uint64_t>(n));
   return la::CscMatrix::from_columns(dict_->cols(), columns);
 }
 

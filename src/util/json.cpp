@@ -1,0 +1,373 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace extdict::util {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t offset, const char* what) {
+  throw std::runtime_error("Json::parse: " + std::string(what) +
+                           " at byte " + std::to_string(offset));
+}
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;  // UTF-8 passes through untouched
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    // JSON has no Inf/NaN; emit null like every tolerant serialiser does.
+    out += "null";
+    return;
+  }
+  if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    out += buf;
+    return;
+  }
+  // Shortest representation that parses back to the same double.
+  char buf[40];
+  for (const int precision : {15, 16, 17}) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  out += buf;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json run() {
+    Json value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail(pos_, "trailing garbage");
+    return value;
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail(pos_, "unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(pos_, "unexpected character");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail(pos_, "bad literal");
+        return Json(true);
+      case 'f':
+        if (!consume_literal("false")) fail(pos_, "bad literal");
+        return Json(false);
+      case 'n':
+        if (!consume_literal("null")) fail(pos_, "bad literal");
+        return Json(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj[key] = parse_value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return obj;
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return arr;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = peek();
+      ++pos_;
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': append_codepoint(out, parse_hex4()); break;
+        default: fail(pos_ - 1, "bad escape");
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = peek();
+      ++pos_;
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<unsigned>(c - 'A' + 10);
+      else fail(pos_ - 1, "bad \\u escape");
+    }
+    return value;
+  }
+
+  void append_codepoint(std::string& out, unsigned cp) {
+    // Surrogate pair: \uD800-\uDBFF must be followed by \uDC00-\uDFFF.
+    if (cp >= 0xD800 && cp <= 0xDBFF) {
+      if (!consume_literal("\\u")) fail(pos_, "lone high surrogate");
+      const unsigned low = parse_hex4();
+      if (low < 0xDC00 || low > 0xDFFF) fail(pos_, "bad low surrogate");
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+    }
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail(start, "expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail(start, "bad number");
+    return Json(v);
+  }
+};
+
+}  // namespace
+
+Json& Json::operator[](std::string_view key) {
+  if (is_null()) value_ = Object{};
+  if (!is_object()) throw std::runtime_error("Json::operator[]: not an object");
+  auto& object = std::get<Object>(value_);
+  for (auto& [k, v] : object) {
+    if (k == key) return v;
+  }
+  object.emplace_back(std::string(key), Json());
+  return object.back().second;
+}
+
+void Json::push_back(Json v) {
+  if (is_null()) value_ = Array{};
+  if (!is_array()) throw std::runtime_error("Json::push_back: not an array");
+  std::get<Array>(value_).push_back(std::move(v));
+}
+
+const Json* Json::find(std::string_view key) const noexcept {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : std::get<Object>(value_)) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Json& Json::at(std::string_view key) const {
+  if (const Json* v = find(key)) return *v;
+  throw std::out_of_range("Json::at: no member '" + std::string(key) + "'");
+}
+
+bool Json::as_bool() const {
+  if (!is_bool()) throw std::runtime_error("Json: not a bool");
+  return std::get<bool>(value_);
+}
+
+double Json::as_double() const {
+  if (!is_number()) throw std::runtime_error("Json: not a number");
+  return std::get<double>(value_);
+}
+
+std::uint64_t Json::as_u64() const {
+  const double v = as_double();
+  if (v < 0 || v != std::floor(v)) {
+    throw std::runtime_error("Json: not an unsigned integer");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+const std::string& Json::as_string() const {
+  if (!is_string()) throw std::runtime_error("Json: not a string");
+  return std::get<std::string>(value_);
+}
+
+const Json::Array& Json::as_array() const {
+  if (!is_array()) throw std::runtime_error("Json: not an array");
+  return std::get<Array>(value_);
+}
+
+const Json::Object& Json::as_object() const {
+  if (!is_object()) throw std::runtime_error("Json: not an object");
+  return std::get<Object>(value_);
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const auto newline = [&](int level) {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * level), ' ');
+  };
+  switch (type()) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += std::get<bool>(value_) ? "true" : "false"; break;
+    case Type::kNumber: append_number(out, std::get<double>(value_)); break;
+    case Type::kString: append_escaped(out, std::get<std::string>(value_)); break;
+    case Type::kArray: {
+      const auto& arr = std::get<Array>(value_);
+      if (arr.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < arr.size(); ++i) {
+        if (i > 0) out += ',';
+        newline(depth + 1);
+        arr[i].dump_to(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      const auto& obj = std::get<Object>(value_);
+      if (obj.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < obj.size(); ++i) {
+        if (i > 0) out += ',';
+        newline(depth + 1);
+        append_escaped(out, obj[i].first);
+        out += indent > 0 ? ": " : ":";
+        obj[i].second.dump_to(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+Json Json::parse(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace extdict::util

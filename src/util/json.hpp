@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace extdict::util {
+
+/// Minimal JSON document model used by the observability layer (metrics
+/// emission, the `bench/run_benchmarks` BENCH_*.json files) and their tests.
+///
+/// Design constraints, in order:
+///   * deterministic emission — object keys keep insertion order, numbers
+///     print with the shortest representation that round-trips, so emitted
+///     files are schema- and diff-stable;
+///   * lossless round trip — `parse(dump(j))` reconstructs every value
+///     exactly (the metrics JSON tests rely on this);
+///   * no dependencies — the container bakes no JSON library, so this stays
+///     a few hundred lines of the obvious recursive descent.
+///
+/// Numbers are stored as `double`; all counters emitted by the library fit
+/// a double's 53-bit integer range (2^53 ≈ 9·10^15 FLOPs — thousands of
+/// cluster-years of the emulated platforms).
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  /// Insertion-ordered key/value pairs (no hashing, no reordering).
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double v) : value_(v) {}
+  Json(int v) : value_(static_cast<double>(v)) {}
+  Json(std::int64_t v) : value_(static_cast<double>(v)) {}
+  Json(std::uint64_t v) : value_(static_cast<double>(v)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(std::string_view s) : value_(std::string(s)) {}
+  Json(Array a) : value_(std::move(a)) {}
+  Json(Object o) : value_(std::move(o)) {}
+
+  [[nodiscard]] static Json array() { return Json(Array{}); }
+  [[nodiscard]] static Json object() { return Json(Object{}); }
+
+  [[nodiscard]] Type type() const noexcept {
+    return static_cast<Type>(value_.index());
+  }
+  [[nodiscard]] bool is_null() const noexcept { return type() == Type::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return type() == Type::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type() == Type::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type() == Type::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type() == Type::kArray; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type() == Type::kObject;
+  }
+
+  /// Object access: inserts a null member on first use (insertion order is
+  /// emission order). Converts a null value into an empty object.
+  Json& operator[](std::string_view key);
+
+  /// Array append. Converts a null value into an empty array.
+  void push_back(Json v);
+
+  /// Pointer to the member, or nullptr if absent / not an object.
+  [[nodiscard]] const Json* find(std::string_view key) const noexcept;
+
+  /// Member access that throws std::out_of_range when absent.
+  [[nodiscard]] const Json& at(std::string_view key) const;
+
+  // Typed accessors; throw std::runtime_error on a type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] std::uint64_t as_u64() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Serialises the document. `indent` == 0 emits compact one-line JSON;
+  /// > 0 pretty-prints with that many spaces per level (trailing newline
+  /// not included).
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  /// Parses a complete JSON document (trailing whitespace allowed, trailing
+  /// garbage is an error). Throws std::runtime_error with a byte offset on
+  /// malformed input.
+  [[nodiscard]] static Json parse(std::string_view text);
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> value_;
+
+  void dump_to(std::string& out, int indent, int depth) const;
+};
+
+}  // namespace extdict::util

@@ -1,0 +1,116 @@
+#include "util/metrics.hpp"
+
+#include <cmath>
+
+namespace extdict::util {
+
+namespace {
+
+constexpr double kNanosPerSecond = 1e9;
+
+}  // namespace
+
+MetricsRegistry::Counter& MetricsRegistry::counter(std::string_view name) {
+  const MutexLock lock(mu_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
+  if (!enabled()) return;
+  counter(name).add(delta);
+}
+
+void MetricsRegistry::update_max(std::string_view name, std::uint64_t v) {
+  if (!enabled()) return;
+  auto& cell = counter(name).value;
+  std::uint64_t seen = cell.load(std::memory_order_relaxed);
+  while (seen < v &&
+         !cell.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t MetricsRegistry::value(std::string_view name) const {
+  const MutexLock lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end()
+             ? 0
+             : it->second->value.load(std::memory_order_relaxed);
+}
+
+MetricsRegistry::Span& MetricsRegistry::span(std::string_view name) {
+  const MutexLock lock(mu_);
+  const auto it = spans_.find(name);
+  if (it != spans_.end()) return *it->second;
+  return *spans_.emplace(std::string(name), std::make_unique<Span>())
+              .first->second;
+}
+
+void MetricsRegistry::record_span(std::string_view name, double seconds) {
+  if (!enabled()) return;
+  Span& cell = span(name);
+  cell.count.fetch_add(1, std::memory_order_relaxed);
+  const double clamped = seconds > 0 ? seconds : 0;
+  cell.nanos.fetch_add(
+      static_cast<std::uint64_t>(std::llround(clamped * kNanosPerSecond)),
+      std::memory_order_relaxed);
+}
+
+double MetricsRegistry::span_seconds(std::string_view name) const {
+  const MutexLock lock(mu_);
+  const auto it = spans_.find(name);
+  return it == spans_.end()
+             ? 0.0
+             : static_cast<double>(
+                   it->second->nanos.load(std::memory_order_relaxed)) /
+                   kNanosPerSecond;
+}
+
+std::uint64_t MetricsRegistry::span_count(std::string_view name) const {
+  const MutexLock lock(mu_);
+  const auto it = spans_.find(name);
+  return it == spans_.end()
+             ? 0
+             : it->second->count.load(std::memory_order_relaxed);
+}
+
+void MetricsRegistry::reset() {
+  const MutexLock lock(mu_);
+  for (auto& [name, cell] : counters_) {
+    cell->value.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, cell] : spans_) {
+    cell->count.store(0, std::memory_order_relaxed);
+    cell->nanos.store(0, std::memory_order_relaxed);
+  }
+}
+
+Json MetricsRegistry::to_json() const {
+  const MutexLock lock(mu_);
+  Json counters = Json::object();
+  for (const auto& [name, cell] : counters_) {
+    counters[name] = cell->value.load(std::memory_order_relaxed);
+  }
+  Json spans = Json::object();
+  for (const auto& [name, cell] : spans_) {
+    Json entry = Json::object();
+    entry["count"] = cell->count.load(std::memory_order_relaxed);
+    entry["seconds"] =
+        static_cast<double>(cell->nanos.load(std::memory_order_relaxed)) /
+        kNanosPerSecond;
+    spans[name] = std::move(entry);
+  }
+  Json out = Json::object();
+  out["counters"] = std::move(counters);
+  out["spans"] = std::move(spans);
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace extdict::util

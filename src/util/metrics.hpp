@@ -1,0 +1,143 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/json.hpp"
+#include "util/sync.hpp"
+#include "util/timer.hpp"
+
+namespace extdict::util {
+
+/// Process-wide observability registry: named monotonic counters plus
+/// phase-scoped span timers, with deterministic JSON emission.
+///
+/// This is the measurement half of the model-vs-measurement loop: the
+/// analytic cost model (core/cost_model.hpp) predicts FLOPs/words/time, the
+/// emulated cluster meters them exactly (dist::CostCounters), and the
+/// registry is where both the rolled-up counters and the wall-clock phase
+/// spans land so `bench/run_benchmarks` can emit them side by side.
+///
+/// Concurrency contract:
+///   * every operation is safe from any number of threads — the name maps
+///     are guarded by a leaf `util::Mutex`, the cells themselves are
+///     std::atomics (relaxed; the registry publishes totals, not orderings);
+///   * `counter()` / `span()` return references that stay valid for the
+///     registry's lifetime (cells are never erased, `reset()` only zeroes
+///     them), so hot paths can resolve a name once and bump the atomic
+///     directly;
+///   * the convenience mutators (`add`, `record_span`, ...) honour
+///     `set_enabled(false)` and become no-ops — that switch is what the
+///     instrumentation-overhead bench toggles.
+class MetricsRegistry {
+ public:
+  struct Counter {
+    std::atomic<std::uint64_t> value{0};
+
+    void add(std::uint64_t delta) noexcept {
+      value.fetch_add(delta, std::memory_order_relaxed);
+    }
+  };
+
+  struct Span {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> nanos{0};
+  };
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Resolves (creating on first use) the counter cell for `name`.
+  [[nodiscard]] Counter& counter(std::string_view name) EXTDICT_EXCLUDES(mu_);
+
+  /// counter(name) += delta; no-op while disabled.
+  void add(std::string_view name, std::uint64_t delta) EXTDICT_EXCLUDES(mu_);
+
+  /// counter(name) = max(counter(name), v); no-op while disabled. For
+  /// high-water quantities (peak memory) that summing would distort.
+  void update_max(std::string_view name, std::uint64_t v) EXTDICT_EXCLUDES(mu_);
+
+  /// Current value (0 for a name never touched).
+  [[nodiscard]] std::uint64_t value(std::string_view name) const
+      EXTDICT_EXCLUDES(mu_);
+
+  /// Resolves (creating on first use) the span cell for `name`.
+  [[nodiscard]] Span& span(std::string_view name) EXTDICT_EXCLUDES(mu_);
+
+  /// Adds one completed phase of `seconds` to the span; no-op while
+  /// disabled. Negative durations are clamped to zero.
+  void record_span(std::string_view name, double seconds)
+      EXTDICT_EXCLUDES(mu_);
+
+  [[nodiscard]] double span_seconds(std::string_view name) const
+      EXTDICT_EXCLUDES(mu_);
+  [[nodiscard]] std::uint64_t span_count(std::string_view name) const
+      EXTDICT_EXCLUDES(mu_);
+
+  /// Toggles the convenience mutators. Direct cell references returned by
+  /// `counter()`/`span()` are not gated — callers holding one opt out of
+  /// the switch knowingly.
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Zeroes every cell. Names (and outstanding references) stay valid.
+  void reset() EXTDICT_EXCLUDES(mu_);
+
+  /// Deterministic snapshot:
+  ///   {"counters": {name: value, ...},
+  ///    "spans": {name: {"count": n, "seconds": s}, ...}}
+  /// Names are emitted in lexicographic order.
+  [[nodiscard]] Json to_json() const EXTDICT_EXCLUDES(mu_);
+
+  /// The library-wide registry every subsystem reports into.
+  [[nodiscard]] static MetricsRegistry& global();
+
+ private:
+  // Leaf lock (policy: util/sync.hpp): guards the name maps only; cell
+  // updates go through the atomics without taking it.
+  mutable Mutex mu_;
+  // std::map: node stability keeps cell references valid as names register.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      EXTDICT_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Span>, std::less<>> spans_
+      EXTDICT_GUARDED_BY(mu_);
+  std::atomic<bool> enabled_{true};
+};
+
+/// RAII phase timer: records the scope's wall time into
+/// `registry.record_span(name)` on destruction.
+///
+/// The name is captured by value (spans outlive the string views handed in)
+/// and the clock is read in the constructor, so a disabled registry still
+/// costs two steady_clock reads — measured to be below the noise floor of
+/// every metered phase (BENCH_gram_model.json, "instrumentation_overhead").
+class SpanTimer {
+ public:
+  SpanTimer(MetricsRegistry& registry, std::string_view name)
+      : registry_(&registry), name_(name) {}
+
+  /// Records into the global registry.
+  explicit SpanTimer(std::string_view name)
+      : SpanTimer(MetricsRegistry::global(), name) {}
+
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+
+  ~SpanTimer() { registry_->record_span(name_, timer_.elapsed_seconds()); }
+
+ private:
+  MetricsRegistry* registry_;
+  std::string name_;
+  Timer timer_;
+};
+
+}  // namespace extdict::util

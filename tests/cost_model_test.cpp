@@ -10,10 +10,12 @@ dist::PlatformSpec spec(Index nodes, Index cores) {
 }
 
 TEST(CostModel, Equation2Structure) {
-  // time = (M*L + nnz)/P + min(M,L) * R_bf.
+  // time = 2*(M*L + nnz)/P + min(M,L) * R_bf — the chain Cᵀ(Dᵀ(D(Cx)))
+  // touches every D and every C entry twice (lift + adjoint), the same
+  // unit the original baseline charges (2·M·N for its two GEMVs).
   const auto platform = spec(2, 4);
   const UpdateCost c = transformed_update_cost(100, 50, 2000, 1000, 8, platform);
-  EXPECT_DOUBLE_EQ(c.flops_per_proc, (100.0 * 50 + 2000) / 8);
+  EXPECT_DOUBLE_EQ(c.flops_per_proc, 2.0 * (100.0 * 50 + 2000) / 8);
   EXPECT_DOUBLE_EQ(c.comm_words, 50.0);
   EXPECT_DOUBLE_EQ(c.time_cost, c.flops_per_proc + 50 * platform.r_time_bf());
   EXPECT_DOUBLE_EQ(c.energy_cost, c.flops_per_proc + 50 * platform.r_energy_bf());

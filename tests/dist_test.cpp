@@ -99,6 +99,55 @@ TEST(Cluster, UserTagsMustBeNonNegative) {
                std::invalid_argument);
 }
 
+TEST(Cluster, UserTagsMustStayBelowReservedRange) {
+  // Tags >= 1<<20 belong to the internal collective protocol; a user
+  // message wearing one would be indistinguishable from collective traffic.
+  Cluster cluster(Topology{1, 1});
+  for (const int tag :
+       {Communicator::kUserTagLimit, Communicator::kUserTagLimit + 3}) {
+    EXPECT_THROW(cluster.run([tag](Communicator& comm) {
+      const Real v = 1;
+      comm.send(0, tag, std::span<const Real>(&v, 1));
+    }),
+                 std::invalid_argument)
+        << "send with tag " << tag;
+    EXPECT_THROW(cluster.run([tag](Communicator& comm) {
+      Real v = 0;
+      comm.recv(0, tag, std::span<Real>(&v, 1));
+    }),
+                 std::invalid_argument)
+        << "recv with tag " << tag;
+    EXPECT_THROW(cluster.run([tag](Communicator& comm) {
+      (void)comm.recv_vector<Real>(0, tag);
+    }),
+                 std::invalid_argument)
+        << "recv_vector with tag " << tag;
+  }
+  // The largest legal tag still round-trips.
+  cluster.run([](Communicator& comm) {
+    const Real v = 7;
+    comm.send(0, Communicator::kUserTagLimit - 1, std::span<const Real>(&v, 1));
+    Real out = 0;
+    comm.recv(0, Communicator::kUserTagLimit - 1, std::span<Real>(&out, 1));
+    EXPECT_EQ(out, 7.0);
+  });
+}
+
+TEST(Cluster, CollectivesRunDespiteUserTagValidation) {
+  // The collectives deliberately carry reserved tags through the internal
+  // transport; the user-tag check must not apply to them.
+  Cluster cluster(Topology{1, 4});
+  cluster.run([](Communicator& comm) {
+    std::vector<Real> buf{static_cast<Real>(comm.rank() + 1)};
+    comm.allreduce_sum(std::span<Real>(buf));
+    EXPECT_EQ(buf[0], 10.0);
+    const Real mx = comm.allreduce_max_scalar(static_cast<Real>(comm.rank()));
+    EXPECT_EQ(mx, 3.0);
+    const auto all = comm.allgather(std::span<const Real>(buf));
+    EXPECT_EQ(all.size(), 4u);
+  });
+}
+
 TEST(Cluster, BroadcastDeliversToAllRanks) {
   for (const Index p : {1, 2, 3, 5, 8}) {
     Cluster cluster(Topology{1, p});

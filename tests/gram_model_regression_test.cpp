@@ -1,0 +1,167 @@
+// Regression net for the transformed cost model's work term: the metered
+// update FLOPs of every Eq. (2)-covered strategy must equal 2 × the model's
+// multiply-add pairs *exactly*, per iteration, with no slack. The pre-fix
+// model charged M·L + nnz (half the real work), which these tests would
+// have rejected on every strategy — and the sign-flip test at the end shows
+// the tuner decision the undercount inverted.
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.hpp"
+#include "core/dist_gram.hpp"
+#include "la/random.hpp"
+
+namespace extdict::core {
+namespace {
+
+constexpr Index kM = 24;
+constexpr Index kL = 16;
+constexpr Index kN = 96;
+constexpr Index kNnzPerCol = 5;
+
+Matrix make_dictionary() {
+  Matrix d(kM, kL);
+  la::Rng rng(41);
+  rng.fill_gaussian(std::span<Real>(d.data(), static_cast<std::size_t>(d.size())));
+  return d;
+}
+
+// Deterministic C with exactly kNnzPerCol entries in every column, so the
+// closed forms below are integer-exact.
+CscMatrix make_coefficients() {
+  la::CscMatrix::Builder builder(kL, kN);
+  for (Index j = 0; j < kN; ++j) {
+    for (Index k = 0; k < kNnzPerCol; ++k) {
+      builder.add((j * 7 + k * 3) % kL, Real{1} / static_cast<Real>(k + 1));
+    }
+    builder.commit_column();
+  }
+  return std::move(builder).build();
+}
+
+std::uint64_t measured_per_iteration(GramStrategy strategy, Index ranks,
+                                     int iterations = 3) {
+  const Matrix d = make_dictionary();
+  const CscMatrix c = make_coefficients();
+  const dist::Cluster cluster(dist::Topology{1, ranks});
+  const la::Vector x0(static_cast<std::size_t>(kN), Real{1});
+  const DistGramResult r =
+      dist_gram_apply(cluster, d, c, x0, iterations, strategy);
+  EXPECT_EQ(r.update_flops,
+            r.update_flops_per_iteration() * static_cast<std::uint64_t>(iterations))
+      << "update FLOPs must divide evenly across iterations";
+  return r.update_flops_per_iteration();
+}
+
+// 2 FLOPs per multiply-add pair: the identity the whole file pins.
+std::uint64_t model_flops(const UpdateCost& cost, Index p) {
+  return static_cast<std::uint64_t>(2.0 * cost.flops_per_proc *
+                                    static_cast<double>(p));
+}
+
+TEST(GramModelRegression, PartitionedMatchesModelExactly) {
+  const auto platform = dist::PlatformSpec::idataplex({1, 4});
+  const std::uint64_t nnz = static_cast<std::uint64_t>(kN) * kNnzPerCol;
+  for (const Index p : {1l, 2l, 4l}) {
+    const UpdateCost cost = transformed_update_cost(kM, kL, nnz, kN, p, platform);
+    EXPECT_EQ(measured_per_iteration(GramStrategy::kPartitionedDictionary, p),
+              model_flops(cost, p))
+        << "P=" << p;
+  }
+}
+
+TEST(GramModelRegression, RootDictionaryMatchesModelExactly) {
+  // Case 1 serialises the dense work on rank 0 but its *total* FLOPs are the
+  // same 2·(M·L + nnz) pairs — Eq. (2) still prices the volume correctly.
+  const auto platform = dist::PlatformSpec::idataplex({1, 4});
+  const std::uint64_t nnz = static_cast<std::uint64_t>(kN) * kNnzPerCol;
+  for (const Index p : {1l, 3l}) {
+    const UpdateCost cost = transformed_update_cost(kM, kL, nnz, kN, p, platform);
+    EXPECT_EQ(measured_per_iteration(GramStrategy::kRootDictionary, p),
+              model_flops(cost, p))
+        << "P=" << p;
+  }
+}
+
+TEST(GramModelRegression, ReplicatedPaysTheRedundancyFactor) {
+  // Case 2 re-does the Dᵀ multiply on every rank: measured = 4·nnz + 4·M·L·P.
+  // Eq. (2) covers it only at P = 1; the bench flags the larger counts.
+  const std::uint64_t nnz = static_cast<std::uint64_t>(kN) * kNnzPerCol;
+  const std::uint64_t ml = static_cast<std::uint64_t>(kM) * kL;
+  for (const Index p : {1l, 2l, 4l}) {
+    EXPECT_EQ(measured_per_iteration(GramStrategy::kReplicatedDictionary, p),
+              4 * nnz + 4 * ml * static_cast<std::uint64_t>(p))
+        << "P=" << p;
+  }
+  const auto platform = dist::PlatformSpec::idataplex({1, 1});
+  const UpdateCost at_one = transformed_update_cost(kM, kL, nnz, kN, 1, platform);
+  EXPECT_EQ(measured_per_iteration(GramStrategy::kReplicatedDictionary, 1),
+            model_flops(at_one, 1));
+}
+
+TEST(GramModelRegression, OriginalBaselineMatchesModelExactly) {
+  Matrix a(kM, kN);
+  la::Rng rng(43);
+  rng.fill_gaussian(std::span<Real>(a.data(), static_cast<std::size_t>(a.size())));
+  const auto platform = dist::PlatformSpec::idataplex({1, 4});
+  const la::Vector x0(static_cast<std::size_t>(kN), Real{1});
+  for (const Index p : {1l, 2l, 4l}) {
+    const dist::Cluster cluster(dist::Topology{1, p});
+    const DistGramResult r = dist_gram_apply_original(cluster, a, x0, 2);
+    const UpdateCost cost = original_update_cost(kM, kN, p, platform);
+    EXPECT_EQ(r.update_flops_per_iteration(), model_flops(cost, p)) << "P=" << p;
+  }
+}
+
+TEST(GramModelRegression, ModelRankingAgreesWithMeteredRanking) {
+  // The decision the 2× undercount inverted, at P = 1 with M=24, L=16,
+  // N=30, nnz=350 (so M·L + nnz = 734 and M·N = 720):
+  //   fixed model : 2·734 = 1468 pairs > 2·720 = 1440 -> original wins;
+  //   buggy model :   734 pairs       < 1440          -> transform "wins".
+  // The metered counters arbitrate: they agree with the fixed model.
+  constexpr Index m = 24, l = 16, n = 30;
+  constexpr std::uint64_t target_nnz = 350;
+
+  Matrix d(m, l);
+  la::Rng rng(47);
+  rng.fill_gaussian(std::span<Real>(d.data(), static_cast<std::size_t>(d.size())));
+  la::CscMatrix::Builder builder(l, n);
+  std::uint64_t placed = 0;
+  for (Index j = 0; j < n; ++j) {
+    for (Index k = 0; k < l && placed < target_nnz; ++k) {
+      if ((static_cast<std::uint64_t>(j) * l + k) % 41 == 0) continue;
+      builder.add(k, Real{1});
+      ++placed;
+    }
+    builder.commit_column();
+  }
+  const CscMatrix c = std::move(builder).build();
+  ASSERT_EQ(c.nnz(), target_nnz);
+  Matrix a(m, n);
+  rng.fill_gaussian(std::span<Real>(a.data(), static_cast<std::size_t>(a.size())));
+
+  const dist::Cluster cluster(dist::Topology{1, 1});
+  const la::Vector x0(static_cast<std::size_t>(n), Real{1});
+  const std::uint64_t measured_transformed =
+      dist_gram_apply(cluster, d, c, x0, 1, GramStrategy::kPartitionedDictionary)
+          .update_flops_per_iteration();
+  const std::uint64_t measured_original =
+      dist_gram_apply_original(cluster, a, x0, 1).update_flops_per_iteration();
+
+  const auto platform = dist::PlatformSpec::idataplex({1, 1});
+  const UpdateCost transformed =
+      transformed_update_cost(m, l, target_nnz, n, 1, platform);
+  const UpdateCost original = original_update_cost(m, n, 1, platform);
+
+  // Metered: the transform does NOT pay off at these counts.
+  EXPECT_GT(measured_transformed, measured_original);
+  // The fixed model agrees; the buggy half-work model preferred the
+  // transform (384 + 350 = 734 < 1440 = 2·M·N "pairs").
+  EXPECT_GT(transformed.flops_per_proc, original.flops_per_proc);
+  EXPECT_LT(static_cast<double>(m) * l + static_cast<double>(target_nnz),
+            original.flops_per_proc)
+      << "degenerate counts: the pre-fix comparison would not have flipped";
+}
+
+}  // namespace
+}  // namespace extdict::core

@@ -1,0 +1,176 @@
+// The observability layer's contracts: counters and spans are safe under
+// concurrent writers, JSON emission is deterministic and round-trips, and
+// the dist_gram phase spans partition each rank's wall time end to end.
+
+#include "util/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "core/dist_gram.hpp"
+#include "la/random.hpp"
+#include "util/json.hpp"
+
+namespace extdict::util {
+namespace {
+
+TEST(Metrics, CountersAccumulateAcrossConcurrentWriters) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Half through the name-resolving convenience path, half through a
+      // resolved cell — both must be race-free (tsan covers this test).
+      MetricsRegistry::Counter& cell = registry.counter("shared");
+      for (int i = 0; i < kAddsPerThread; ++i) {
+        if (i % 2 == 0) {
+          registry.add("shared", 1);
+        } else {
+          cell.add(1);
+        }
+        registry.record_span("phase", 1e-9);
+        registry.update_max("peak", static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.value("shared"),
+            static_cast<std::uint64_t>(kThreads) * kAddsPerThread);
+  EXPECT_EQ(registry.span_count("phase"),
+            static_cast<std::uint64_t>(kThreads) * kAddsPerThread);
+  EXPECT_EQ(registry.value("peak"), kAddsPerThread - 1);
+}
+
+TEST(Metrics, HandlesStayValidAcrossReset) {
+  MetricsRegistry registry;
+  MetricsRegistry::Counter& cell = registry.counter("kept");
+  cell.add(5);
+  registry.reset();
+  EXPECT_EQ(registry.value("kept"), 0u);
+  cell.add(2);  // the reference still points at the live cell
+  EXPECT_EQ(registry.value("kept"), 2u);
+}
+
+TEST(Metrics, DisabledRegistryDropsConvenienceMutations) {
+  MetricsRegistry registry;
+  registry.set_enabled(false);
+  registry.add("c", 10);
+  registry.record_span("s", 1.0);
+  registry.update_max("m", 7);
+  EXPECT_EQ(registry.value("c"), 0u);
+  EXPECT_EQ(registry.span_count("s"), 0u);
+  EXPECT_EQ(registry.value("m"), 0u);
+  registry.set_enabled(true);
+  registry.add("c", 3);
+  EXPECT_EQ(registry.value("c"), 3u);
+}
+
+TEST(Metrics, JsonSnapshotRoundTrips) {
+  MetricsRegistry registry;
+  registry.add("b.flops", 123456789);
+  registry.add("a.words", 42);
+  registry.record_span("solve", 0.25);
+  registry.record_span("solve", 0.5);
+
+  const Json snapshot = registry.to_json();
+  const Json reparsed = Json::parse(snapshot.dump(2));
+  EXPECT_EQ(reparsed.at("counters").at("a.words").as_u64(), 42u);
+  EXPECT_EQ(reparsed.at("counters").at("b.flops").as_u64(), 123456789u);
+  EXPECT_EQ(reparsed.at("spans").at("solve").at("count").as_u64(), 2u);
+  EXPECT_DOUBLE_EQ(reparsed.at("spans").at("solve").at("seconds").as_double(),
+                   registry.span_seconds("solve"));
+  // Deterministic: same state, same bytes.
+  EXPECT_EQ(snapshot.dump(2), registry.to_json().dump(2));
+  // Lexicographic key order in the snapshot.
+  const auto& counters = snapshot.at("counters").as_object();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].first, "a.words");
+  EXPECT_EQ(counters[1].first, "b.flops");
+}
+
+TEST(Json, ParseDumpRoundTripsTrickyValues) {
+  const char* text =
+      R"({"s":"a\"b\\c\né","n":[0,-1,3.25,1e-3,9007199254740991],)"
+      R"("b":[true,false,null],"o":{"nested":{"deep":1}}})";
+  const Json j = Json::parse(text);
+  EXPECT_EQ(j.at("s").as_string(), "a\"b\\c\né");
+  EXPECT_EQ(j.at("n").as_array()[4].as_u64(), 9007199254740991ull);
+  EXPECT_DOUBLE_EQ(j.at("n").as_array()[3].as_double(), 1e-3);
+  EXPECT_TRUE(j.at("b").as_array()[2].is_null());
+  // Round trip preserves everything, including insertion order.
+  const Json again = Json::parse(j.dump());
+  EXPECT_EQ(again.dump(), j.dump());
+  EXPECT_EQ(j.at("o").at("nested").at("deep").as_u64(), 1u);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW((void)Json::parse("{"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("{\"a\":1} trailing"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("tru"), std::runtime_error);
+}
+
+TEST(Metrics, DistGramSpansPartitionRankWallTime) {
+  // End to end: run the distributed Gram update and check the emitted spans
+  // against each other — per-phase spans nest inside the rank-total span,
+  // and counts follow the run's shape exactly.
+  using core::GramStrategy;
+  using la::Index;
+  using la::Real;
+
+  MetricsRegistry& metrics = MetricsRegistry::global();
+  metrics.reset();
+
+  constexpr Index m = 32, l = 24, n = 128;
+  constexpr int iterations = 4;
+  const Index p = 4;
+  la::Matrix d(m, l);
+  la::Rng rng(11);
+  rng.fill_gaussian(std::span<Real>(d.data(), static_cast<std::size_t>(d.size())));
+  la::CscMatrix::Builder builder(l, n);
+  for (Index j = 0; j < n; ++j) {
+    builder.add(j % l, Real{1});
+    builder.add((j * 5 + 1) % l, Real{-1});
+    builder.commit_column();
+  }
+  const la::CscMatrix c = std::move(builder).build();
+  const dist::Cluster cluster(dist::Topology{1, p});
+  const la::Vector x0(static_cast<std::size_t>(n), Real{1});
+
+  const auto result = core::dist_gram_apply(cluster, d, c, x0, iterations,
+                                            GramStrategy::kPartitionedDictionary);
+
+  EXPECT_EQ(metrics.span_count("dist_gram.rank"), static_cast<std::uint64_t>(p));
+  EXPECT_EQ(metrics.span_count("dist_gram.update"),
+            static_cast<std::uint64_t>(p) * iterations);
+  EXPECT_EQ(metrics.span_count("dist_gram.normalize"),
+            static_cast<std::uint64_t>(p) * iterations);
+  EXPECT_EQ(metrics.span_count("dist_gram.gather"),
+            static_cast<std::uint64_t>(p));
+  EXPECT_EQ(metrics.value("dist_gram.update_flops"), result.update_flops);
+  EXPECT_EQ(metrics.span_count("cluster.run"), 1u);
+
+  const double rank_total = metrics.span_seconds("dist_gram.rank");
+  const double phase_sum = metrics.span_seconds("dist_gram.update") +
+                           metrics.span_seconds("dist_gram.normalize") +
+                           metrics.span_seconds("dist_gram.gather");
+  // The phases are disjoint sub-intervals of each rank body: their sum can
+  // exceed the rank total only by clock resolution.
+  EXPECT_LE(phase_sum, rank_total + 1e-3);
+  // And they cover it up to per-rank setup (partition bookkeeping, buffer
+  // allocation) — loose bound so scheduler noise cannot flake CI.
+  EXPECT_GE(phase_sum, 0.1 * rank_total - 1e-3);
+  // Each rank body runs inside the cluster.run wall interval.
+  EXPECT_LE(rank_total,
+            static_cast<double>(p) * metrics.span_seconds("cluster.run") + 1e-3);
+}
+
+}  // namespace
+}  // namespace extdict::util

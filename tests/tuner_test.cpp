@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/cost_model.hpp"
 #include "data/subspace.hpp"
 
 namespace extdict::core {
@@ -106,6 +107,39 @@ TEST(Tuner, PlatformAwareness) {
   // With ruinous communication the tuner must not prefer a larger
   // dictionary than with cheap communication (comm scales with min(M,L)).
   EXPECT_LE(best_dear, best_cheap);
+}
+
+TEST(Tuner, CrossoverAgainstOriginalMatchesClosedForm) {
+  // For L > M both updates move min(M,L) = M words, so the comm terms
+  // cancel and the transform-vs-original crossover is pure work:
+  //   2·(M·L + α·N)/P = 2·M·N/P  =>  L* = N·(1 − α/M),
+  // independent of the platform. With M=20, N=100, α=5: L* = 75.
+  constexpr Index m = 20, n = 100;
+  constexpr Real alpha = 5;
+  const auto platform = dist::PlatformSpec::idataplex({2, 4});
+  const Index p = platform.topology.total();
+  const double original = original_update_cost(m, n, p, platform).time_cost;
+
+  for (const Index l : {60l, 70l}) {
+    EXPECT_LT(predicted_update_cost(m, l, alpha, n, p, platform).time_cost,
+              original)
+        << "L=" << l << " is below the crossover";
+  }
+  for (const Index l : {80l, 90l}) {
+    EXPECT_GT(predicted_update_cost(m, l, alpha, n, p, platform).time_cost,
+              original)
+        << "L=" << l << " is above the crossover";
+  }
+  EXPECT_NEAR(predicted_update_cost(m, 75, alpha, n, p, platform).time_cost,
+              original, 1e-9 * original);
+
+  // The 2× undercount moved this crossover to L = N·(2 − α/M) = 175: the
+  // half-work model still endorsed the transform at L = 90 (and up to 174).
+  const double buggy_work_at_90 =
+      (static_cast<double>(m) * 90 + static_cast<double>(alpha) * n) /
+      static_cast<double>(p);
+  EXPECT_LT(buggy_work_at_90 + m * platform.r_time_bf(), original)
+      << "degenerate counts: the pre-fix model would not have mis-ranked here";
 }
 
 TEST(Tuner, SubsetTuningAgreesWithFullTuning) {
