@@ -1,7 +1,7 @@
 // Model-verification benchmark driver: closes the model-vs-measurement loop
 // and writes it down as machine-checkable JSON.
 //
-//   run_benchmarks [--quick] [--out DIR]
+//   run_benchmarks [--quick] [--out DIR] [--trace FILE]
 //
 // Emits two schema-stable files (validated by tools/validate_bench_json.py,
 // run in CI's bench-smoke job):
@@ -19,8 +19,15 @@
 //
 // --quick runs test-scale datasets on the two smallest platforms (seconds,
 // CI-friendly); the default runs bench scale across all paper platforms.
+//
+// --trace FILE additionally records a per-rank event timeline (solver sweep
+// plus a dedicated P=4 Alg. 2 window over every Gram strategy) and exports
+// it as Chrome trace-event JSON — open it at ui.perfetto.dev or feed it to
+// tools/analyze_trace.py. Any dropped event fails the run: the default ring
+// capacity must hold the whole window.
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -37,6 +44,7 @@
 #include "util/json.hpp"
 #include "util/metrics.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace {
 
@@ -48,6 +56,7 @@ using util::Json;
 struct Options {
   bool quick = false;
   std::string out_dir = ".";
+  std::string trace_path;  // empty: tracing off
 };
 
 struct Transform {
@@ -436,6 +445,65 @@ int run_solvers(const Options& options, const std::vector<Dataset>& sets) {
   return write_file(options.out_dir + "/BENCH_solvers.json", doc);
 }
 
+// Dedicated trace window: one P=4 Alg. 2 run per Gram strategy plus the
+// original AᵀA baseline, on the smallest dataset/transform. Runs with the
+// recorder already enabled (main switches it on before run_solvers), attaches
+// the model parameters analyze_trace.py compares against, and exports.
+// Dropped events fail the run — the acceptance bar is a complete timeline at
+// the default ring capacity.
+int run_trace(const Options& options, const std::vector<Dataset>& sets) {
+  util::TraceRecorder& trace = util::TraceRecorder::global();
+  const auto& set = sets.front();
+  const auto& t = set.transforms.front();
+  const Index m = set.a.rows();
+  const Index n = set.a.cols();
+  const std::uint64_t nnz = t.exd.coefficients.nnz();
+  // The 1x4 paper platform — P=4 emulated ranks regardless of mode.
+  const auto platform = platforms(true).back();
+  const Index p = platform.topology.total();
+  const dist::Cluster cluster(platform.topology);
+  const la::Vector x0(static_cast<std::size_t>(n), Real{1});
+  constexpr int kIters = 3;
+
+  constexpr core::GramStrategy kStrategies[] = {
+      core::GramStrategy::kRootDictionary,
+      core::GramStrategy::kReplicatedDictionary,
+      core::GramStrategy::kPartitionedDictionary,
+  };
+  for (const core::GramStrategy strategy : kStrategies) {
+    (void)core::dist_gram_apply(cluster, t.exd.dictionary, t.exd.coefficients,
+                                x0, kIters, strategy);
+  }
+  (void)core::dist_gram_apply_original(cluster, set.a, x0, kIters);
+  trace.set_enabled(false);
+
+  Json model = Json::object();
+  model["dataset"] = set.name;
+  model["m"] = m;
+  model["l"] = t.l;
+  model["n"] = n;
+  model["nnz"] = nnz;
+  model["p"] = p;
+  model["iterations"] = kIters;
+  model["min_m_l"] = std::min(m, t.l);  // the Eq. (2) per-phase word term
+  trace.set_metadata("model", std::move(model));
+  trace.set_metadata("mode", options.quick ? "quick" : "full");
+
+  const int rc = write_file(options.trace_path, trace.to_chrome_json());
+  const std::uint64_t dropped = trace.dropped_events();
+  std::printf("trace: %llu events recorded, %llu dropped\n",
+              static_cast<unsigned long long>(trace.recorded_events()),
+              static_cast<unsigned long long>(dropped));
+  if (dropped != 0) {
+    std::fprintf(stderr,
+                 "error: trace dropped %llu events — raise the ring capacity "
+                 "or shrink the traced window\n",
+                 static_cast<unsigned long long>(dropped));
+    return 1;
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -445,8 +513,12 @@ int main(int argc, char** argv) {
       options.quick = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       options.out_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      options.trace_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: run_benchmarks [--quick] [--out DIR]\n");
+      std::fprintf(stderr,
+                   "usage: run_benchmarks [--quick] [--out DIR] "
+                   "[--trace FILE]\n");
       return 2;
     }
   }
@@ -454,7 +526,17 @@ int main(int argc, char** argv) {
   std::printf("run_benchmarks (%s mode)\n", options.quick ? "quick" : "full");
   const std::vector<Dataset> sets = load_datasets(options.quick);
 
+  // The gram sweep runs untraced: its 70+ cases would swamp the ring buffers
+  // (and the timeline). Tracing covers the solver sweep and the dedicated
+  // Alg. 2 window below.
   const int gram_rc = run_gram_model(options, sets);
+  if (!options.trace_path.empty()) {
+    util::TraceRecorder::global().set_enabled(true);
+  }
   const int solver_rc = run_solvers(options, sets);
-  return gram_rc != 0 ? gram_rc : solver_rc;
+  const int trace_rc =
+      options.trace_path.empty() ? 0 : run_trace(options, sets);
+  if (gram_rc != 0) return gram_rc;
+  if (solver_rc != 0) return solver_rc;
+  return trace_rc;
 }

@@ -7,6 +7,7 @@
 #include "sparsecoding/batch_omp.hpp"
 #include "util/metrics.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace extdict::core {
 
@@ -33,6 +34,8 @@ DistExdResult exd_transform_distributed(const dist::Cluster& cluster,
   std::vector<la::Real> all_values;
 
   result.stats = cluster.run([&](dist::Communicator& comm) {
+    const util::TraceScope rank_trace(util::TraceRecorder::global(),
+                                      "dist_exd.rank");
     const Index rank = comm.rank();
     const Index b = part.begin(rank);
     const Index e = part.end(rank);
@@ -76,14 +79,19 @@ DistExdResult exd_transform_distributed(const dist::Cluster& cluster,
     std::vector<Index> rows;
     std::vector<la::Real> values;
     counts.reserve(static_cast<std::size_t>(local_n));
-    for (Index j = b; j < e; ++j) {
-      const auto code = coder.encode(a.col(j));
-      counts.push_back(code.nnz());
-      for (const auto& [atom, coeff] : code.entries) {
-        rows.push_back(atom);
-        values.push_back(coeff);
+    {
+      const util::TraceScope encode_trace(
+          util::TraceRecorder::global(), "dist_exd.encode", "columns",
+          static_cast<std::uint64_t>(local_n));
+      for (Index j = b; j < e; ++j) {
+        const auto code = coder.encode(a.col(j));
+        counts.push_back(code.nnz());
+        for (const auto& [atom, coeff] : code.entries) {
+          rows.push_back(atom);
+          values.push_back(coeff);
+        }
+        comm.cost().add_flops(coder.encode_flops(code.nnz()));
       }
-      comm.cost().add_flops(coder.encode_flops(code.nnz()));
     }
 
     // Gather the per-block pieces on rank 0 (rank blocks arrive in order).

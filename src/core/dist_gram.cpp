@@ -7,6 +7,7 @@
 #include "la/blas.hpp"
 #include "util/contracts.hpp"
 #include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace extdict::core {
 
@@ -75,6 +76,8 @@ DistGramResult dist_gram_apply(const dist::Cluster& cluster, const Matrix& d,
 
   dist::RunStats stats = cluster.run([&](dist::Communicator& comm) {
     const util::SpanTimer rank_span(metrics, kSpanRank);
+    const util::TraceScope rank_trace(util::TraceRecorder::global(),
+                                      kSpanRank);
     const Index rank = comm.rank();
     const Index b = part.begin(rank);
     const Index e = part.end(rank);
@@ -126,6 +129,9 @@ DistGramResult dist_gram_apply(const dist::Cluster& cluster, const Matrix& d,
     for (int it = 0; it < iterations; ++it) {
       {
         const util::SpanTimer update_span(metrics, kSpanUpdate);
+        const util::TraceScope update_trace(util::TraceRecorder::global(),
+                                            kSpanUpdate, "iteration",
+                                            static_cast<std::uint64_t>(it));
         // Step 1: v1_i = C_i x_i.
         std::fill(v1.begin(), v1.end(), Real{0});
         c.spmv_range(b, e, x_local, v1);
@@ -200,12 +206,17 @@ DistGramResult dist_gram_apply(const dist::Cluster& cluster, const Matrix& d,
 
       {
         const util::SpanTimer normalize_span(metrics, kSpanNormalize);
+        const util::TraceScope normalize_trace(util::TraceRecorder::global(),
+                                               kSpanNormalize, "iteration",
+                                               static_cast<std::uint64_t>(it));
         normalize_distributed(comm, x_local);
       }
     }
 
     // Collect the distributed result on rank 0.
     const util::SpanTimer gather_span(metrics, kSpanGather);
+    const util::TraceScope gather_trace(util::TraceRecorder::global(),
+                                        kSpanGather);
     std::vector<Index> counts;
     const la::Vector gathered =
         comm.gather(0, std::span<const Real>(x_local), &counts);
@@ -244,6 +255,8 @@ DistGramResult dist_gram_apply_original(const dist::Cluster& cluster,
 
   dist::RunStats stats = cluster.run([&](dist::Communicator& comm) {
     const util::SpanTimer rank_span(metrics, kSpanRank);
+    const util::TraceScope rank_trace(util::TraceRecorder::global(),
+                                      kSpanRank);
     const Index rank = comm.rank();
     const Index b = part.begin(rank);
     const Index e = part.end(rank);
@@ -264,6 +277,9 @@ DistGramResult dist_gram_apply_original(const dist::Cluster& cluster,
     for (int it = 0; it < iterations; ++it) {
       {
         const util::SpanTimer update_span(metrics, kSpanUpdate);
+        const util::TraceScope update_trace(util::TraceRecorder::global(),
+                                            kSpanUpdate, "iteration",
+                                            static_cast<std::uint64_t>(it));
         // u = Σ_i A_i x_i.
         std::fill(u.begin(), u.end(), Real{0});
         for (Index j = b; j < e; ++j) {
@@ -283,10 +299,15 @@ DistGramResult dist_gram_apply_original(const dist::Cluster& cluster,
       }
 
       const util::SpanTimer normalize_span(metrics, kSpanNormalize);
+      const util::TraceScope normalize_trace(util::TraceRecorder::global(),
+                                             kSpanNormalize, "iteration",
+                                             static_cast<std::uint64_t>(it));
       normalize_distributed(comm, x_local);
     }
 
     const util::SpanTimer gather_span(metrics, kSpanGather);
+    const util::TraceScope gather_trace(util::TraceRecorder::global(),
+                                        kSpanGather);
     std::vector<Index> counts;
     const la::Vector gathered =
         comm.gather(0, std::span<const Real>(x_local), &counts);

@@ -4,11 +4,16 @@
 #include <omp.h>
 #endif
 
+#include <cstdint>
+#include <map>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "util/metrics.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace extdict::dist {
 
@@ -19,7 +24,18 @@ RunStats Cluster::run(const Body& body) const {
   RunStats stats;
   stats.per_rank.resize(static_cast<std::size_t>(p));
 
+  // Snapshot the tracer's totals so the rollup below reports this run's
+  // deltas, not process-lifetime cumulatives.
+  util::TraceRecorder& trace = util::TraceRecorder::global();
+  const bool traced = trace.enabled();
+  const std::uint64_t dropped_before = traced ? trace.dropped_events() : 0;
+  const auto rank_events_before =
+      traced ? trace.rank_event_counts()
+             : std::vector<std::pair<std::int32_t, std::uint64_t>>{};
+
   util::Timer timer;
+  const util::TraceScope run_scope(trace, "cluster.run", "ranks",
+                                   static_cast<std::uint64_t>(p));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(p));
   for (Index r = 0; r < p; ++r) {
@@ -30,10 +46,15 @@ RunStats Cluster::run(const Body& body) const {
 #ifdef _OPENMP
       omp_set_num_threads(1);
 #endif
+      // Tag this thread's trace lane with the emulated rank before the first
+      // event so the buffer preallocates outside any metered phase.
+      trace.set_thread_rank(static_cast<std::int32_t>(r));
+      const util::TraceScope rank_scope(trace, "cluster.rank");
       Communicator comm(shared, r);
       try {
         body(comm);
       } catch (...) {
+        trace.instant("cluster.abort");
         shared.abort(std::current_exception());
       }
       stats.per_rank[static_cast<std::size_t>(r)] = comm.cost();
@@ -68,6 +89,24 @@ RunStats Cluster::run(const Body& body) const {
   metrics.add("cluster.critical_path_words", stats.max_rank_words());
   metrics.update_max("cluster.peak_memory_words",
                      stats.max_peak_memory_words());
+
+  // Trace rollup (traced runs only): surface ring truncation and per-rank
+  // event volume next to the metered counters so a silent drop shows up in
+  // the BENCH_* metrics snapshots, not just in the trace file.
+  if (traced) {
+    metrics.add("trace.dropped_events",
+                trace.dropped_events() - dropped_before);
+    std::map<std::int32_t, std::uint64_t> before(rank_events_before.begin(),
+                                                 rank_events_before.end());
+    for (const auto& [rank, count] : trace.rank_event_counts()) {
+      const auto it = before.find(rank);
+      const std::uint64_t delta =
+          count - (it == before.end() ? 0 : it->second);
+      if (delta > 0 && rank != util::TraceRecorder::kHostPid) {
+        metrics.add("trace.events.rank" + std::to_string(rank), delta);
+      }
+    }
+  }
   return stats;
 }
 

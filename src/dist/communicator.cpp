@@ -54,6 +54,9 @@ std::exception_ptr SharedState::first_error() const {
 }
 
 void Communicator::reduce_sum(Index root, std::span<la::Real> buf) {
+  const util::TraceScope scope(util::TraceRecorder::global(), "comm.reduce",
+                               "root", static_cast<std::uint64_t>(root),
+                               "words", buf.size());
   const Index p = size();
   const Index vr = (rank_ - root + p) % p;
   std::vector<la::Real> incoming(buf.size());

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <cstring>
 #include <exception>
 #include <memory>
@@ -14,6 +15,7 @@
 #include "dist/topology.hpp"
 #include "la/types.hpp"
 #include "util/sync.hpp"
+#include "util/trace.hpp"
 
 namespace extdict::dist {
 
@@ -142,12 +144,20 @@ class Communicator {
 
   // -- collectives -----------------------------------------------------------
 
-  void barrier() { shared_->barrier.arrive_and_wait(); }
+  void barrier() {
+    const util::TraceScope scope(util::TraceRecorder::global(),
+                                 "comm.barrier");
+    shared_->barrier.arrive_and_wait();
+  }
 
   /// Binomial-tree broadcast of `buf` from `root` to all ranks.
   template <typename T>
     requires std::is_trivially_copyable_v<T>
   void broadcast(Index root, std::span<T> buf) {
+    const util::TraceScope scope(
+        util::TraceRecorder::global(), "comm.broadcast", "root",
+        static_cast<std::uint64_t>(root), "words",
+        buf.size_bytes() / sizeof(la::Real));
     const Index p = size();
     const Index vr = (rank_ - root + p) % p;
     for (Index mask = 1; mask < p; mask <<= 1) {
@@ -190,6 +200,10 @@ class Communicator {
     requires std::is_trivially_copyable_v<T>
   [[nodiscard]] std::vector<T> gather(Index root, std::span<const T> local,
                                       std::vector<Index>* counts = nullptr) {
+    const util::TraceScope scope(
+        util::TraceRecorder::global(), "comm.gather", "root",
+        static_cast<std::uint64_t>(root), "words",
+        local.size_bytes() / sizeof(la::Real));
     if (rank_ != root) {
       send_impl(root, kTagGather, local);
       return {};
@@ -215,6 +229,8 @@ class Communicator {
     requires std::is_trivially_copyable_v<T>
   [[nodiscard]] std::vector<T> scatter(Index root,
                                        const std::vector<std::vector<T>>& chunks) {
+    const util::TraceScope scope(util::TraceRecorder::global(), "comm.scatter",
+                                 "root", static_cast<std::uint64_t>(root));
     if (rank_ == root) {
       if (static_cast<Index>(chunks.size()) != size()) {
         throw std::invalid_argument("Communicator::scatter: chunk count != size()");
@@ -275,6 +291,10 @@ class Communicator {
     requires std::is_trivially_copyable_v<T>
   void send_impl(Index dest, int tag, std::span<const T> data) {
     check_peer(dest);
+    const util::TraceScope scope(
+        util::TraceRecorder::global(), "comm.send", "peer",
+        static_cast<std::uint64_t>(dest), "words",
+        data.size_bytes() / sizeof(la::Real));
     Mailbox::Envelope env{rank_, tag, to_bytes(data)};
     account_send(dest, env.payload.size());
     shared_->boxes[static_cast<std::size_t>(dest)]->push(std::move(env));
@@ -284,6 +304,12 @@ class Communicator {
     requires std::is_trivially_copyable_v<T>
   void recv_impl(Index source, int tag, std::span<T> out) {
     check_peer(source);
+    // Scope opens before the pop, so the slice includes any blocking wait —
+    // that is exactly the "wait" component analyze_trace.py attributes.
+    const util::TraceScope scope(
+        util::TraceRecorder::global(), "comm.recv", "peer",
+        static_cast<std::uint64_t>(source), "words",
+        out.size_bytes() / sizeof(la::Real));
     const std::vector<std::byte> payload = pop(source, tag);
     if (payload.size() != out.size() * sizeof(T)) {
       throw std::runtime_error("Communicator::recv: size mismatch");
@@ -296,10 +322,14 @@ class Communicator {
     requires std::is_trivially_copyable_v<T>
   [[nodiscard]] std::vector<T> recv_vector_impl(Index source, int tag) {
     check_peer(source);
+    // Payload length is only known at completion; it rides on the end event.
+    util::TraceScope scope(util::TraceRecorder::global(), "comm.recv", "peer",
+                           static_cast<std::uint64_t>(source));
     const std::vector<std::byte> payload = pop(source, tag);
     if (payload.size() % sizeof(T) != 0) {
       throw std::runtime_error("Communicator::recv_vector: torn payload");
     }
+    scope.set_end_arg("words", payload.size() / sizeof(la::Real));
     std::vector<T> out(payload.size() / sizeof(T));
     std::memcpy(out.data(), payload.data(), payload.size());
     account_recv(source, payload.size());

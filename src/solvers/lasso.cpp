@@ -8,6 +8,7 @@
 #include "la/random.hpp"
 #include "solvers/adagrad.hpp"
 #include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace extdict::solvers {
 
@@ -57,6 +58,7 @@ Real lasso_objective(const GramOperator& op, const la::Vector& y,
 LassoResult lasso_solve(const GramOperator& op, const la::Vector& y,
                         const LassoConfig& config) {
   const util::SpanTimer span("lasso.solve");
+  const util::TraceScope trace(util::TraceRecorder::global(), "lasso.solve");
   const Index n = op.dim();
   if (static_cast<Index>(y.size()) != op.data_dim()) {
     throw std::invalid_argument("lasso_solve: y size mismatch");
@@ -162,6 +164,8 @@ DistLassoResult lasso_solve_distributed(const dist::Cluster& cluster,
   bool converged_shared = false;
 
   dist::RunStats stats = cluster.run([&](dist::Communicator& comm) {
+    const util::TraceScope rank_trace(util::TraceRecorder::global(),
+                                      "lasso.rank");
     const Index rank = comm.rank();
     const Index b = part.begin(rank);
     const Index e = part.end(rank);
@@ -197,6 +201,9 @@ DistLassoResult lasso_solve_distributed(const dist::Cluster& cluster,
     int it = 0;
     bool converged = false;
     for (; it < config.max_iterations; ++it) {
+      const util::TraceScope iter_trace(util::TraceRecorder::global(),
+                                        "lasso.iteration", "iteration",
+                                        static_cast<std::uint64_t>(it));
       // Gram product through Alg. 2 (Case 1 layout: D on rank 0).
       std::fill(v1.begin(), v1.end(), Real{0});
       c.spmv_range(b, e, x_local, v1);

@@ -7,11 +7,14 @@
 #include "la/blas.hpp"
 #include "la/random.hpp"
 #include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace extdict::solvers {
 
 PowerResult power_method(const GramOperator& op, const PowerConfig& config) {
   const util::SpanTimer span("power_method.solve");
+  const util::TraceScope trace(util::TraceRecorder::global(),
+                               "power_method.solve");
   const Index n = op.dim();
   const Index k = std::min<Index>(config.num_eigenpairs, n);
   la::Rng rng(config.seed);
@@ -86,6 +89,8 @@ DistPowerResult power_method_distributed(const dist::Cluster& cluster,
   std::vector<int> iterations_shared(static_cast<std::size_t>(k), 0);
 
   result.stats = cluster.run([&](dist::Communicator& comm) {
+    const util::TraceScope rank_trace(util::TraceRecorder::global(),
+                                      "power_method.rank");
     const Index rank = comm.rank();
     const Index b = part.begin(rank);
     const Index e = part.end(rank);
@@ -142,6 +147,9 @@ DistPowerResult power_method_distributed(const dist::Cluster& cluster,
     };
 
     for (Index pair = 0; pair < k; ++pair) {
+      const util::TraceScope pair_trace(util::TraceRecorder::global(),
+                                        "power_method.pair", "pair",
+                                        static_cast<std::uint64_t>(pair));
       // Deterministic start: every rank seeds its own slice; orthogonalise
       // against the converged invariant subspace.
       la::Rng rng(config.seed * 1315423911ULL +
@@ -160,6 +168,10 @@ DistPowerResult power_method_distributed(const dist::Cluster& cluster,
       Real lambda = 0;
       int it = 0;
       for (; it < config.max_iterations; ++it) {
+        const util::TraceScope iter_trace(util::TraceRecorder::global(),
+                                          "power_method.iteration",
+                                          "iteration",
+                                          static_cast<std::uint64_t>(it));
         gram_apply(x, gx);
         // Deflation on distributed slices: gx -= λ_p v_p (v_pᵀ x).
         for (Index p = 0; p < pair; ++p) {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -9,7 +10,6 @@
 
 #include "util/json.hpp"
 #include "util/sync.hpp"
-#include "util/timer.hpp"
 
 namespace extdict::util {
 
@@ -116,14 +116,23 @@ class MetricsRegistry {
 /// RAII phase timer: records the scope's wall time into
 /// `registry.record_span(name)` on destruction.
 ///
-/// The name is captured by value (spans outlive the string views handed in)
-/// and the clock is read in the constructor, so a disabled registry still
-/// costs two steady_clock reads — measured to be below the noise floor of
-/// every metered phase (BENCH_gram_model.json, "instrumentation_overhead").
+/// The enabled switch is latched at construction: a disabled registry costs
+/// one relaxed atomic load — no clock reads, no name copy, no destructor
+/// record (so enabling mid-scope records nothing; toggle between phases, as
+/// the instrumentation-overhead bench does). When enabled, the name is
+/// captured by value (spans outlive the string views handed in) and the
+/// scope pays exactly two steady_clock reads — measured to be below the
+/// noise floor of every metered phase (BENCH_gram_model.json,
+/// "instrumentation_overhead").
 class SpanTimer {
  public:
   SpanTimer(MetricsRegistry& registry, std::string_view name)
-      : registry_(&registry), name_(name) {}
+      : registry_(registry.enabled() ? &registry : nullptr) {
+    if (registry_ != nullptr) {
+      name_ = name;
+      start_ = Clock::now();
+    }
+  }
 
   /// Records into the global registry.
   explicit SpanTimer(std::string_view name)
@@ -132,12 +141,19 @@ class SpanTimer {
   SpanTimer(const SpanTimer&) = delete;
   SpanTimer& operator=(const SpanTimer&) = delete;
 
-  ~SpanTimer() { registry_->record_span(name_, timer_.elapsed_seconds()); }
+  ~SpanTimer() {
+    if (registry_ != nullptr) {
+      registry_->record_span(
+          name_, std::chrono::duration<double>(Clock::now() - start_).count());
+    }
+  }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   MetricsRegistry* registry_;
   std::string name_;
-  Timer timer_;
+  Clock::time_point start_{};
 };
 
 }  // namespace extdict::util

@@ -1,0 +1,28 @@
+// Lint fixture: a TraceScope constructed inside a hot kernel file — even
+// disabled, every call pays the enabled-check, which per-element call rates
+// turn into measurable overhead. The second use shows the waiver syntax for
+// a deliberate, phase-granularity exception. Parameters are raw pointers on
+// purpose: this fixture isolates trace-in-hot-path from the shape-contract
+// rule. Never compiled — scanned by extdict-lint's self-test.
+// extdict-lint-expect: trace-in-hot-path
+
+#include "util/trace.hpp"
+
+namespace extdict::la {
+
+double fixture_dot(const double* x, const double* y, int n) {
+  const util::TraceScope scope(util::TraceRecorder::global(), "la.dot");
+  double s = 0;
+  for (int i = 0; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+void fixture_batch_marker(const double* data, int n) {
+  // One instant per whole batch, not per element: phase-level granularity.
+  // extdict-lint: allow(trace-in-hot-path) one event per batch call, not per element
+  util::TraceRecorder::global().instant("la.batch", "n",
+                                        static_cast<unsigned long long>(n));
+  (void)data;
+}
+
+}  // namespace extdict::la

@@ -1,0 +1,339 @@
+#!/usr/bin/env python3
+"""Validate and analyze ExtDict Chrome trace-event JSON (util::TraceRecorder).
+
+Usage:
+    tools/analyze_trace.py [--check] [--allow-dropped] TRACE.json
+
+Modes:
+    --check           validate only (structure, B/E nesting, drop accounting)
+                      and print a one-line verdict; this is what CI runs.
+    (default)         validate, then reconstruct per-rank compute /
+                      communication / wait attribution, load imbalance, and
+                      the per-iteration critical path of the Gram update
+                      phases, comparing measured words-on-critical-path with
+                      the min(M, L) term of the paper's Eq. (2).
+
+Options:
+    --allow-dropped   tolerate a non-zero dropped_events count (the default
+                      treats any drop as a failure — a truncated ring means
+                      the timeline silently lies).
+
+Exit codes: 0 valid, 1 malformed trace or failed invariant, 2 usage error.
+
+The trace layout (src/util/trace.hpp): pid = emulated rank (HOST_PID for
+untagged host threads), tid = ring-buffer registration index, ts in
+microseconds. Waiting is recorded inside comm.recv / comm.barrier slices
+(the receive scope opens before the blocking mailbox pop).
+"""
+
+import json
+import sys
+
+# Mirrors util::TraceRecorder::kHostPid.
+HOST_PID = 1 << 20
+
+VALID_PHASES = {"B", "E", "i", "C", "M"}
+
+# Slice names whose whole duration is communication, and the subset that is
+# blocking wait. Everything else inside a rank lane counts as compute.
+COMM_PREFIX = "comm."
+WAIT_NAMES = {"comm.recv", "comm.barrier"}
+
+# Phase spans carrying an "iteration" arg whose cross-rank envelope is the
+# per-iteration critical path.
+ITERATION_SPANS = (
+    "dist_gram.update",
+    "dist_gram.normalize",
+    "lasso.iteration",
+    "power_method.iteration",
+)
+
+
+class MalformedTrace(Exception):
+    pass
+
+
+def fail(message):
+    raise MalformedTrace(message)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"cannot parse {path}: {err}")
+    if not isinstance(doc, dict):
+        fail("top level is not an object")
+    if not isinstance(doc.get("traceEvents"), list):
+        fail("missing traceEvents array")
+    return doc
+
+
+def validate_events(doc):
+    """Structural checks plus per-lane B/E stack replay.
+
+    Returns {(pid, tid): [span, ...]} where each span is a dict with
+    name/start/end/depth/args, in start order per lane.
+    """
+    stacks = {}  # (pid, tid) -> [open span]
+    spans = {}  # (pid, tid) -> [closed span]
+    recorded = 0
+    for index, event in enumerate(doc["traceEvents"]):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            fail(f"{where}: not an object")
+        phase = event.get("ph")
+        if phase not in VALID_PHASES:
+            fail(f"{where}: bad ph {phase!r}")
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            fail(f"{where}: bad name")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                fail(f"{where}: bad {key}")
+        if phase == "M":
+            continue
+        recorded += 1
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            fail(f"{where}: bad ts")
+        args = event.get("args", {})
+        if not isinstance(args, dict):
+            fail(f"{where}: bad args")
+        lane = (event["pid"], event["tid"])
+        if phase == "B":
+            stack = stacks.setdefault(lane, [])
+            stack.append(
+                {
+                    "name": event["name"],
+                    "start": ts,
+                    "end": None,
+                    "depth": len(stack),
+                    "args": dict(args),
+                }
+            )
+        elif phase == "E":
+            stack = stacks.get(lane, [])
+            if not stack:
+                fail(f"{where}: E {event['name']!r} with no open span on "
+                     f"lane pid={lane[0]} tid={lane[1]}")
+            top = stack.pop()
+            if top["name"] != event["name"]:
+                fail(f"{where}: E {event['name']!r} closes open span "
+                     f"{top['name']!r} on lane pid={lane[0]} tid={lane[1]}")
+            if ts < top["start"]:
+                fail(f"{where}: span {event['name']!r} ends before it begins")
+            top["end"] = ts
+            top["args"].update(args)
+            spans.setdefault(lane, []).append(top)
+    for lane, stack in stacks.items():
+        if stack:
+            names = ", ".join(s["name"] for s in stack)
+            fail(f"unclosed span(s) on lane pid={lane[0]} tid={lane[1]}: "
+                 f"{names}")
+
+    other = doc.get("otherData", {})
+    if isinstance(other, dict) and "recorded_events" in other:
+        if other["recorded_events"] != recorded:
+            fail(f"otherData.recorded_events={other['recorded_events']} but "
+                 f"{recorded} events emitted")
+    for lane_spans in spans.values():
+        lane_spans.sort(key=lambda s: s["start"])
+    return spans
+
+
+def check_drops(doc, allow_dropped):
+    other = doc.get("otherData", {})
+    dropped = other.get("dropped_events", 0) if isinstance(other, dict) else 0
+    if not isinstance(dropped, int):
+        fail("otherData.dropped_events is not an integer")
+    if dropped and not allow_dropped:
+        fail(f"{dropped} events dropped (ring overflow) — the timeline is "
+             "incomplete; rerun with a larger capacity or pass "
+             "--allow-dropped to analyze anyway")
+    return dropped
+
+
+def merged_length(intervals):
+    """Total length of the union of [start, end] intervals."""
+    total = 0.0
+    last_end = None
+    for start, end in sorted(intervals):
+        if last_end is None or start > last_end:
+            total += end - start
+            last_end = end
+        elif end > last_end:
+            total += end - last_end
+            last_end = end
+    return total
+
+
+def rank_attribution(spans):
+    """Per-rank compute/comm/wait seconds from the union of lane intervals."""
+    ranks = {}
+    for (pid, _tid), lane_spans in spans.items():
+        if pid == HOST_PID:
+            continue
+        rank = ranks.setdefault(
+            pid, {"total": [], "comm": [], "wait": [], "events": 0}
+        )
+        rank["events"] += 2 * len(lane_spans)
+        for span in lane_spans:
+            interval = (span["start"], span["end"])
+            if span["depth"] == 0:
+                rank["total"].append(interval)
+            if span["name"].startswith(COMM_PREFIX):
+                rank["comm"].append(interval)
+            if span["name"] in WAIT_NAMES:
+                rank["wait"].append(interval)
+    result = {}
+    for pid, rank in sorted(ranks.items()):
+        total = merged_length(rank["total"])
+        comm = merged_length(rank["comm"])
+        wait = merged_length(rank["wait"])
+        result[pid] = {
+            "total_us": total,
+            "comm_us": comm,
+            "wait_us": wait,
+            "compute_us": max(0.0, total - comm),
+        }
+    return result
+
+
+def iteration_groups(spans, name):
+    """Cross-rank groups of `name` spans: same iteration arg, overlapping in
+    time (successive runs of the same workload are far apart, so a group is
+    exactly one iteration of one run across all its ranks)."""
+    per_iteration = {}
+    for (pid, _tid), lane_spans in spans.items():
+        if pid == HOST_PID:
+            continue
+        for span in lane_spans:
+            if span["name"] == name and "iteration" in span["args"]:
+                per_iteration.setdefault(span["args"]["iteration"], []).append(
+                    (pid, span)
+                )
+    groups = []
+    for iteration, members in sorted(per_iteration.items()):
+        members.sort(key=lambda item: item[1]["start"])
+        current, current_end = [], None
+        for pid, span in members:
+            if current and span["start"] > current_end:
+                groups.append((iteration, current))
+                current, current_end = [], None
+            current.append((pid, span))
+            end = span["end"]
+            current_end = end if current_end is None else max(current_end, end)
+        if current:
+            groups.append((iteration, current))
+    return groups
+
+
+def span_comm_words(lane_spans, outer):
+    """Words moved by comm spans nested inside `outer` on the same lane."""
+    words = 0
+    for span in lane_spans:
+        if (
+            span["name"].startswith(COMM_PREFIX)
+            and span["start"] >= outer["start"]
+            and span["end"] <= outer["end"]
+            and span["depth"] == outer["depth"] + 1
+        ):
+            words += span["args"].get("words", 0)
+    return words
+
+
+def analyze(doc, spans):
+    other = doc.get("otherData", {})
+    model = other.get("model", {}) if isinstance(other, dict) else {}
+
+    ranks = rank_attribution(spans)
+    if not ranks:
+        fail("no rank lanes in trace (nothing ran under dist::Cluster?)")
+    expected_p = model.get("p")
+    if isinstance(expected_p, int) and len(ranks) < expected_p:
+        fail(f"model says p={expected_p} ranks but only {len(ranks)} rank "
+             "lanes traced")
+
+    print(f"ranks: {len(ranks)}"
+          + (f" (model p={expected_p})" if expected_p else ""))
+    print(f"{'rank':>6} {'total ms':>10} {'compute ms':>11} {'comm ms':>9} "
+          f"{'wait ms':>9} {'comm %':>7}")
+    computes = []
+    for pid, att in ranks.items():
+        computes.append(att["compute_us"])
+        share = 100.0 * att["comm_us"] / att["total_us"] if att["total_us"] else 0.0
+        print(f"{pid:>6} {att['total_us'] / 1e3:>10.3f} "
+              f"{att['compute_us'] / 1e3:>11.3f} {att['comm_us'] / 1e3:>9.3f} "
+              f"{att['wait_us'] / 1e3:>9.3f} {share:>6.1f}%")
+    mean_compute = sum(computes) / len(computes)
+    imbalance = max(computes) / mean_compute if mean_compute > 0 else 1.0
+    print(f"load imbalance (max/mean compute): {imbalance:.3f}")
+
+    min_m_l = model.get("min_m_l")
+    for name in ITERATION_SPANS:
+        groups = iteration_groups(spans, name)
+        if not groups:
+            continue
+        print(f"\n{name}: {len(groups)} iteration group(s)")
+        for iteration, members in groups:
+            start = min(span["start"] for _pid, span in members)
+            end = max(span["end"] for _pid, span in members)
+            straggler_pid, straggler = max(
+                members, key=lambda item: item[1]["end"]
+            )
+            lane_spans = next(
+                lane
+                for (pid, _tid), lane in spans.items()
+                if pid == straggler_pid and straggler in lane
+            )
+            words = span_comm_words(lane_spans, straggler)
+            line = (f"  it {iteration}: wall {(end - start) / 1e3:.3f} ms "
+                    f"across {len(members)} rank(s), straggler rank "
+                    f"{straggler_pid}, critical-path comm {words} words")
+            if words and isinstance(min_m_l, int) and min_m_l > 0:
+                line += (f" = {words / min_m_l:.2f} x min(M, L)"
+                         f" [min(M, L) = {min_m_l}]")
+            print(line)
+
+    dropped = other.get("dropped_events", 0) if isinstance(other, dict) else 0
+    print(f"\nrecorded {other.get('recorded_events', '?')} events, "
+          f"{dropped} dropped")
+    return 0
+
+
+def main(argv):
+    check_only = False
+    allow_dropped = False
+    paths = []
+    for arg in argv[1:]:
+        if arg == "--check":
+            check_only = True
+        elif arg == "--allow-dropped":
+            allow_dropped = True
+        elif arg.startswith("-"):
+            print(__doc__, file=sys.stderr)
+            return 2
+        else:
+            paths.append(arg)
+    if len(paths) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    try:
+        doc = load(paths[0])
+        spans = validate_events(doc)
+        check_drops(doc, allow_dropped)
+        if check_only:
+            events = sum(2 * len(s) for s in spans.values())
+            print(f"{paths[0]}: OK ({events}+ events, "
+                  f"{len(spans)} lanes, nesting balanced, no drops)")
+            return 0
+        return analyze(doc, spans)
+    except MalformedTrace as err:
+        print(f"{paths[0]}: MALFORMED: {err}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -26,6 +26,14 @@ Enforces project rules the generic .clang-tidy configuration cannot express:
   cpp-include            no `#include` of a .cpp file; internal translation
                          units are not headers.
 
+  trace-in-hot-path      src/la/ and src/sparsecoding/ are the measured
+                         inner-loop kernels: even a disabled TraceScope /
+                         TraceRecorder call costs an atomic load per
+                         invocation, which multiplied by per-element call
+                         rates is measurable. Trace at the phase level
+                         (core/, dist/, solvers/) instead, or waive with
+                         `// extdict-lint: allow(trace-in-hot-path) <reason>`.
+
 Usage:
   tools/extdict-lint.py [--root DIR]        # scan the tree (default: repo)
   tools/extdict-lint.py FILE [FILE...]      # scan specific files
@@ -47,8 +55,15 @@ RULE_SYNC = "naked-sync-primitive"
 RULE_SHAPE = "missing-shape-contract"
 RULE_HOT_ALLOC = "hot-loop-allocation"
 RULE_CPP_INCLUDE = "cpp-include"
+RULE_TRACE = "trace-in-hot-path"
 
-ALL_RULES = (RULE_SYNC, RULE_SHAPE, RULE_HOT_ALLOC, RULE_CPP_INCLUDE)
+ALL_RULES = (RULE_SYNC, RULE_SHAPE, RULE_HOT_ALLOC, RULE_CPP_INCLUDE,
+             RULE_TRACE)
+
+# Directories whose files are per-element hot kernels: no tracing there.
+TRACE_FORBIDDEN_PREFIXES = ("src/la/", "src/sparsecoding/")
+
+TRACE_USE_RE = re.compile(r"\b(?:util::)?Trace(?:Scope|Recorder)\b")
 
 # The one translation unit allowed to touch the raw primitives.
 SYNC_ALLOWED = ("src/util/sync.hpp",)
@@ -384,6 +399,18 @@ def check_file(path: Path, rel: str, violations: list[Violation]) -> None:
                     path, lineno, RULE_HOT_ALLOC,
                     f"heap allocation ({what}) inside an "
                     "EXTDICT_HOT_ASSERT-marked loop"))
+
+    # -- tracing inside hot kernel files --------------------------------------
+    if rel_posix.startswith(TRACE_FORBIDDEN_PREFIXES):
+        for m in TRACE_USE_RE.finditer(masked):
+            lineno = line_of(masked, m.start())
+            if is_waived(waivers, lineno, RULE_TRACE):
+                continue
+            violations.append(Violation(
+                path, lineno, RULE_TRACE,
+                f"{m.group(0)} in a hot kernel file; trace at the phase "
+                "level (core/, dist/, solvers/) — per-element call sites "
+                "pay the enabled-check on every invocation"))
 
     # -- shape contracts at kernel entry --------------------------------------
     if (rel_posix.startswith(("src/la/", "src/sparsecoding/"))
