@@ -1,0 +1,544 @@
+// Serving-layer load bench: drives ExtDictServer with deterministic closed-
+// and open-loop request streams across a batch × queue × worker sweep and
+// writes the results as schema-stable JSON.
+//
+//   run_server_bench [--quick] [--out DIR] [--trace FILE]
+//
+// Emits BENCH_serve.json (validated by tools/validate_bench_json.py, run in
+// CI's bench-smoke job): one case per configuration with the server's own
+// accounting plus client-observed throughput and latency percentiles, and a
+// summary asserting the serving contract. The process exits non-zero if
+//
+//   * any future fails to resolve within the watchdog window (a lost
+//     request — the serving layer's cardinal sin),
+//   * the accounting identities do not balance for any case,
+//   * the closed-loop max_batch >= 32 configuration does not beat the
+//     batch-size-1 configuration on throughput (the micro-batching
+//     amortization claim, checked in quick mode too).
+//
+// Load generation is seeded: the signal pool and the open-loop exponential
+// interarrival schedule come from fixed-seed generators, so two runs offer
+// the identical request sequence (wall-clock results still vary with the
+// machine, like every other bench here).
+//
+// --trace FILE records the serve.batch.* timeline of the flagship batched
+// case and exports Chrome trace JSON for tools/analyze_trace.py.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <map>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "la/random.hpp"
+#include "serve/server.hpp"
+#include "util/json.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+namespace {
+
+using namespace extdict;
+using la::Index;
+using la::Real;
+using serve::BackpressurePolicy;
+using serve::EncodeResult;
+using serve::ExtDictServer;
+using serve::ServerConfig;
+using serve::ServerStats;
+using util::Json;
+
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  bool quick = false;
+  std::string out_dir = ".";
+  std::string trace_path;  // empty: tracing off
+};
+
+// One sweep point. `offered_rps == 0` means closed loop: submit every
+// request back to back and let backpressure pace the client. Open-loop
+// cases submit on a pre-drawn exponential-interarrival schedule.
+struct CaseSpec {
+  std::string name;
+  Index max_batch = 1;
+  std::uint64_t max_delay_us = 200;
+  int workers = 1;
+  std::size_t queue_capacity = 256;
+  BackpressurePolicy policy = BackpressurePolicy::kBlock;
+  int requests = 0;
+  double offered_rps = 0;
+  bool traced = false;  // flagship case: records the serve.batch.* timeline
+  // The amortization pair runs N passes and compares MEDIAN throughput: on
+  // loaded single-core CI boxes a single closed-loop pass is too noisy to
+  // anchor a pass/fail comparison, and best-of-N lets one lucky scheduler
+  // quantum flip the verdict.
+  int repeats = 1;
+};
+
+const char* policy_name(BackpressurePolicy p) {
+  switch (p) {
+    case BackpressurePolicy::kBlock: return "block";
+    case BackpressurePolicy::kReject: return "reject";
+    case BackpressurePolicy::kShedOldest: return "shed_oldest";
+  }
+  return "?";
+}
+
+// Client-observed outcome of one case: every future resolved, bucketed by
+// how. `lost` counts futures that never resolved — always fatal.
+struct CaseResult {
+  std::uint64_t served = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t stopped = 0;
+  std::uint64_t invalid = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t lost = 0;
+  double wall_seconds = 0;
+  util::Histogram total_latency;  // queue wait + encode window, per request
+  util::Histogram queue_latency;
+  ServerStats stats;
+};
+
+void resolve_future(std::future<EncodeResult>& future, CaseResult& result) {
+  using namespace std::chrono_literals;
+  if (future.wait_for(30s) != std::future_status::ready) {
+    ++result.lost;
+    return;
+  }
+  try {
+    const EncodeResult encoded = future.get();
+    ++result.served;
+    result.queue_latency.record(encoded.queue_seconds);
+    result.total_latency.record(encoded.queue_seconds + encoded.encode_seconds);
+  } catch (const serve::RequestRejected&) {
+    ++result.rejected;
+  } catch (const serve::RequestShed&) {
+    ++result.shed;
+  } catch (const serve::ServerStopped&) {
+    ++result.stopped;
+  } catch (const serve::InvalidRequest&) {
+    ++result.invalid;
+  } catch (...) {
+    ++result.failed;
+  }
+}
+
+// Deterministic pool of unit-scale gaussian signals; request i submits
+// pool[i % pool_size], so every configuration sees the same stream.
+std::vector<std::vector<Real>> make_signal_pool(Index m, int pool_size,
+                                                unsigned seed) {
+  la::Rng rng(seed);
+  std::vector<std::vector<Real>> pool(static_cast<std::size_t>(pool_size));
+  for (auto& signal : pool) {
+    signal.resize(static_cast<std::size_t>(m));
+    rng.fill_gaussian(signal);
+  }
+  return pool;
+}
+
+// Fills `result` in place (CaseResult is pinned: util::Histogram cells are
+// neither copyable nor movable).
+void run_case(const CaseSpec& spec, const la::Matrix& dict,
+              const std::vector<std::vector<Real>>& pool,
+              const sparsecoding::OmpConfig& omp, CaseResult& result) {
+  ExtDictServer server(dict, {.max_batch = spec.max_batch,
+                              .max_delay_us = spec.max_delay_us,
+                              .workers = spec.workers,
+                              .queue_capacity = spec.queue_capacity,
+                              .backpressure = spec.policy,
+                              .omp = omp});
+
+  // Open-loop arrival schedule, drawn up front from a fixed seed.
+  std::vector<double> arrival_s;
+  if (spec.offered_rps > 0) {
+    std::mt19937_64 gen(0x5eedULL + static_cast<std::uint64_t>(spec.requests));
+    std::exponential_distribution<double> interarrival(spec.offered_rps);
+    arrival_s.reserve(static_cast<std::size_t>(spec.requests));
+    double t = 0;
+    for (int i = 0; i < spec.requests; ++i) {
+      t += interarrival(gen);
+      arrival_s.push_back(t);
+    }
+  }
+
+  std::vector<std::future<EncodeResult>> futures;
+  futures.reserve(static_cast<std::size_t>(spec.requests));
+
+  const Clock::time_point start = Clock::now();
+  for (int i = 0; i < spec.requests; ++i) {
+    if (spec.offered_rps > 0) {
+      std::this_thread::sleep_until(
+          start + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(
+                          arrival_s[static_cast<std::size_t>(i)])));
+    }
+    futures.push_back(
+        server.submit(pool[static_cast<std::size_t>(i) % pool.size()]));
+  }
+  for (auto& future : futures) resolve_future(future, result);
+  result.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  server.stop();
+  result.stats = server.stats();
+}
+
+bool accounting_balances(const CaseSpec& spec, const CaseResult& r) {
+  const ServerStats& s = r.stats;
+  const auto client_total = r.served + r.rejected + r.shed + r.stopped +
+                            r.invalid + r.failed + r.lost;
+  return r.lost == 0 &&
+         client_total == static_cast<std::uint64_t>(spec.requests) &&
+         s.submitted == static_cast<std::uint64_t>(spec.requests) &&
+         s.submitted == s.accepted + s.invalid + s.rejected + s.stopped &&
+         s.accepted == s.served + s.encode_failed + s.shed + s.discarded &&
+         s.columns_encoded == s.served + s.encode_failed &&
+         s.served == r.served && s.rejected == r.rejected && s.shed == r.shed;
+}
+
+Json latency_json(const util::Histogram& h) {
+  Json j = Json::object();
+  j["count"] = h.count();
+  j["mean_seconds"] =
+      h.count() == 0 ? 0.0 : h.sum() / static_cast<double>(h.count());
+  j["p50_seconds"] = h.quantile(0.50);
+  j["p90_seconds"] = h.quantile(0.90);
+  j["p95_seconds"] = h.quantile(0.95);
+  j["p99_seconds"] = h.quantile(0.99);
+  j["max_seconds"] = h.max();
+  return j;
+}
+
+Json case_json(const CaseSpec& spec, const CaseResult& r) {
+  Json j = Json::object();
+  j["name"] = spec.name;
+  j["loop"] = spec.offered_rps > 0 ? "open" : "closed";
+  j["policy"] = policy_name(spec.policy);
+  j["max_batch"] = static_cast<std::uint64_t>(spec.max_batch);
+  j["max_delay_us"] = spec.max_delay_us;
+  j["workers"] = static_cast<std::uint64_t>(spec.workers);
+  j["queue_capacity"] = static_cast<std::uint64_t>(spec.queue_capacity);
+  j["requests"] = static_cast<std::uint64_t>(spec.requests);
+  if (spec.offered_rps > 0) j["offered_rps"] = spec.offered_rps;
+  j["wall_seconds"] = r.wall_seconds;
+  j["throughput_rps"] =
+      r.wall_seconds > 0 ? static_cast<double>(r.served) / r.wall_seconds : 0.0;
+
+  Json counts = Json::object();
+  const ServerStats& s = r.stats;
+  counts["submitted"] = s.submitted;
+  counts["accepted"] = s.accepted;
+  counts["served"] = s.served;
+  counts["rejected"] = s.rejected;
+  counts["shed"] = s.shed;
+  counts["stopped"] = s.stopped;
+  counts["discarded"] = s.discarded;
+  counts["invalid"] = s.invalid;
+  counts["encode_failed"] = s.encode_failed;
+  counts["lost"] = r.lost;
+  counts["batches"] = s.batches;
+  counts["columns_encoded"] = s.columns_encoded;
+  counts["max_batch_columns"] = s.max_batch_columns;
+  j["counts"] = std::move(counts);
+
+  j["latency"] = latency_json(r.total_latency);
+  j["queue_wait"] = latency_json(r.queue_latency);
+  return j;
+}
+
+std::vector<CaseSpec> build_sweep(bool quick) {
+  const int closed_n = quick ? 1000 : 8000;
+  const int pair_n = quick ? 2000 : 8000;
+  const int open_n = quick ? 400 : 4000;
+  const double open_rate = quick ? 4000.0 : 8000.0;
+
+  std::vector<CaseSpec> sweep;
+  // The amortization pair: identical load, batch 1 vs 32, one worker each.
+  sweep.push_back({.name = "closed_batch1_w1",
+                   .max_batch = 1,
+                   .workers = 1,
+                   .requests = pair_n,
+                   .repeats = 7});
+  sweep.push_back({.name = "closed_batch32_w1",
+                   .max_batch = 32,
+                   .workers = 1,
+                   .requests = pair_n,
+                   .traced = true,
+                   .repeats = 7});
+  sweep.push_back({.name = "closed_batch32_w2",
+                   .max_batch = 32,
+                   .workers = 2,
+                   .requests = closed_n});
+  // Backpressure under a tiny queue: reject and shed must stay accounted.
+  sweep.push_back({.name = "open_reject_q8",
+                   .max_batch = 8,
+                   .workers = 1,
+                   .queue_capacity = 8,
+                   .policy = BackpressurePolicy::kReject,
+                   .requests = open_n,
+                   .offered_rps = open_rate});
+  sweep.push_back({.name = "open_shed_q8",
+                   .max_batch = 8,
+                   .workers = 1,
+                   .queue_capacity = 8,
+                   .policy = BackpressurePolicy::kShedOldest,
+                   .requests = open_n,
+                   .offered_rps = open_rate});
+  sweep.push_back({.name = "open_block_q64",
+                   .max_batch = 16,
+                   .workers = 2,
+                   .queue_capacity = 64,
+                   .requests = open_n,
+                   .offered_rps = open_rate});
+  if (!quick) {
+    for (const Index batch : {Index{8}, Index{64}}) {
+      for (const int workers : {2, 4}) {
+        sweep.push_back(
+            {.name = "closed_batch" + std::to_string(batch) + "_w" +
+                     std::to_string(workers),
+             .max_batch = batch,
+             .workers = workers,
+             .requests = closed_n});
+      }
+    }
+  }
+  return sweep;
+}
+
+int write_file(const std::string& path, const Json& doc) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << doc.dump(2) << '\n';
+  std::printf("[out] %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      options.quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      options.out_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      options.trace_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: run_server_bench [--quick] [--out DIR] "
+                   "[--trace FILE]\n");
+      return 2;
+    }
+  }
+
+  std::printf("run_server_bench (%s mode)\n", options.quick ? "quick" : "full");
+
+  // Workload: a fixed-seed dictionary and signal pool, encoded under a hard
+  // sparsity cap so every request costs the same deterministic atom count —
+  // the clean setting for comparing scheduler configurations.
+  const Index m = 48, l = 96;
+  const sparsecoding::OmpConfig omp{.tolerance = 0.0, .max_atoms = 8};
+  la::Rng rng(17);
+  const la::Matrix dict = rng.gaussian_matrix(m, l, true);
+  const auto pool = make_signal_pool(m, 256, 18);
+
+  util::TraceRecorder& trace = util::TraceRecorder::global();
+
+  Json doc = Json::object();
+  doc["schema_version"] = 1;
+  doc["benchmark"] = "bench/run_server_bench micro-batch serving sweep";
+  doc["mode"] = options.quick ? "quick" : "full";
+  doc["units"] =
+      "throughput_rps: served requests per wall second; latency seconds are "
+      "queue wait + shared batch encode window, per request";
+  Json workload = Json::object();
+  workload["signal_dim"] = static_cast<std::uint64_t>(m);
+  workload["atoms"] = static_cast<std::uint64_t>(l);
+  workload["tolerance"] = omp.tolerance;
+  workload["max_atoms"] = static_cast<std::uint64_t>(omp.max_atoms);
+  workload["signal_pool"] = static_cast<std::uint64_t>(pool.size());
+  workload["seeds"] = "dict=17 signals=18 arrivals=0x5eed+requests";
+  doc["workload"] = std::move(workload);
+
+  Json cases = Json::array();
+  bool books_balance = true;
+  std::uint64_t total_submitted = 0, total_served = 0, total_lost = 0;
+  double batch1_rps = 0, batch32_rps = 0;
+
+  std::vector<CaseSpec> sweep = build_sweep(options.quick);
+
+  // The amortization pair duels with interleaved passes: alternating
+  // batch1/batch32 rounds land transient machine load on both configs
+  // instead of skewing whichever happened to own the noisy window. Each
+  // round yields a paired throughput ratio (its two passes are adjacent in
+  // time, so they share the machine state); the verdict is the MEDIAN of
+  // those per-round ratios — robust even when absolute throughput swings
+  // 2x between rounds on a busy single-core box.
+  std::map<std::string, std::vector<std::unique_ptr<CaseResult>>> prerun;
+  double duel_speedup = 0.0;
+  {
+    const CaseSpec* duel[2] = {nullptr, nullptr};
+    for (const CaseSpec& s : sweep) {
+      if (s.name == "closed_batch1_w1") duel[0] = &s;
+      if (s.name == "closed_batch32_w1") duel[1] = &s;
+    }
+    if (duel[0] != nullptr && duel[1] != nullptr) {
+      const auto pass_rps = [](const CaseResult& c) {
+        return c.wall_seconds > 0
+                   ? static_cast<double>(c.served) / c.wall_seconds
+                   : 0.0;
+      };
+      const int rounds =
+          std::max({1, duel[0]->repeats, duel[1]->repeats});
+      std::vector<double> round_ratio;
+      for (int r = 0; r < rounds; ++r) {
+        double rps[2] = {0.0, 0.0};
+        for (int side = 0; side < 2; ++side) {
+          const CaseSpec* s = duel[side];
+          prerun[s->name].push_back(std::make_unique<CaseResult>());
+          run_case(*s, dict, pool, omp, *prerun[s->name].back());
+          rps[side] = pass_rps(*prerun[s->name].back());
+        }
+        if (rps[0] > 0) round_ratio.push_back(rps[1] / rps[0]);
+      }
+      std::sort(round_ratio.begin(), round_ratio.end());
+      if (!round_ratio.empty()) {
+        duel_speedup = round_ratio[round_ratio.size() / 2];
+      }
+    }
+  }
+
+  for (const CaseSpec& spec : sweep) {
+    // Every pass must balance its books — a dropped future in any pass is a
+    // mismatch in that pass. Reported numbers come from the fastest pass.
+    std::vector<std::unique_ptr<CaseResult>> passes;
+    if (auto it = prerun.find(spec.name); it != prerun.end()) {
+      passes = std::move(it->second);
+    } else {
+      for (int rep = 0; rep < std::max(1, spec.repeats); ++rep) {
+        passes.push_back(std::make_unique<CaseResult>());
+        run_case(spec, dict, pool, omp, *passes.back());
+      }
+    }
+    const auto rps_of = [](const CaseResult& c) {
+      return c.wall_seconds > 0 ? static_cast<double>(c.served) / c.wall_seconds
+                                : 0.0;
+    };
+    std::size_t best = 0;
+    bool all_passes_balanced = true;
+    std::vector<double> pass_rps;
+    for (std::size_t r = 0; r < passes.size(); ++r) {
+      all_passes_balanced =
+          all_passes_balanced && accounting_balances(spec, *passes[r]);
+      pass_rps.push_back(rps_of(*passes[r]));
+      if (pass_rps[r] > pass_rps[best]) best = r;
+    }
+    std::sort(pass_rps.begin(), pass_rps.end());
+    const double median_rps = pass_rps[pass_rps.size() / 2];
+    // Cases report the best pass; the amortization verdict uses the median.
+    const CaseResult& result = *passes[best];
+
+    // The flagship case records its serve.batch.* timeline in a dedicated
+    // extra pass so trace overhead never contaminates the measured numbers.
+    if (spec.traced && !options.trace_path.empty()) {
+      trace.set_enabled(true);
+      CaseResult traced_pass;
+      run_case(spec, dict, pool, omp, traced_pass);
+      trace.set_enabled(false);
+      books_balance = books_balance && accounting_balances(spec, traced_pass);
+    }
+
+    const bool balanced = all_passes_balanced;
+    books_balance = books_balance && balanced;
+    total_submitted += result.stats.submitted;
+    total_served += result.stats.served;
+    total_lost += result.lost;
+    const double rps = result.wall_seconds > 0
+                           ? static_cast<double>(result.served) /
+                                 result.wall_seconds
+                           : 0.0;
+    if (spec.name == "closed_batch1_w1") batch1_rps = median_rps;
+    if (spec.name == "closed_batch32_w1") batch32_rps = median_rps;
+
+    std::printf(
+        "  %-18s %6s/%-11s served %5llu/%-5d rps %9.0f p99 %8.1f us%s\n",
+        spec.name.c_str(), spec.offered_rps > 0 ? "open" : "closed",
+        policy_name(spec.policy),
+        static_cast<unsigned long long>(result.served), spec.requests, rps,
+        result.total_latency.quantile(0.99) * 1e6,
+        balanced ? "" : "  [ACCOUNTING MISMATCH]");
+    cases.push_back(case_json(spec, result));
+  }
+  doc["cases"] = std::move(cases);
+
+  // Verdict from the paired duel when it ran; fall back to the case medians
+  // if a custom sweep dropped one side of the pair.
+  const double batch_speedup =
+      duel_speedup > 0
+          ? duel_speedup
+          : (batch1_rps > 0 ? batch32_rps / batch1_rps : 0.0);
+  const bool batch_win = batch_speedup > 1.0;
+  Json summary = Json::object();
+  summary["cases"] = static_cast<std::uint64_t>(doc.at("cases").as_array().size());
+  summary["total_submitted"] = total_submitted;
+  summary["total_served"] = total_served;
+  summary["total_lost"] = total_lost;
+  summary["all_futures_resolved"] = total_lost == 0;
+  summary["accounting_balanced"] = books_balance;
+  summary["batch1_rps"] = batch1_rps;  // median across the case's passes
+  summary["batch32_rps"] = batch32_rps;
+  summary["batch_speedup"] = batch_speedup;
+  summary["batch_amortization_win"] = batch_win;
+  doc["summary"] = std::move(summary);
+
+  int rc = write_file(options.out_dir + "/BENCH_serve.json", doc);
+
+  if (!options.trace_path.empty()) {
+    trace.set_metadata("mode", options.quick ? "quick" : "full");
+    const int trace_rc = write_file(options.trace_path, trace.to_chrome_json());
+    const std::uint64_t dropped = trace.dropped_events();
+    std::printf("trace: %llu events recorded, %llu dropped\n",
+                static_cast<unsigned long long>(trace.recorded_events()),
+                static_cast<unsigned long long>(dropped));
+    if (trace_rc != 0) rc = trace_rc;
+    if (dropped != 0) {
+      std::fprintf(stderr,
+                   "error: trace dropped %llu events — raise the ring "
+                   "capacity before trusting the timeline\n",
+                   static_cast<unsigned long long>(dropped));
+      rc = 1;
+    }
+  }
+
+  if (total_lost != 0 || !books_balance) {
+    std::fprintf(stderr,
+                 "error: serving contract violated (lost=%llu balanced=%d)\n",
+                 static_cast<unsigned long long>(total_lost),
+                 books_balance ? 1 : 0);
+    return 1;
+  }
+  if (!batch_win) {
+    std::fprintf(stderr,
+                 "error: micro-batching failed to beat batch-size-1 "
+                 "(batch1 %.0f rps vs batch32 %.0f rps, paired speedup "
+                 "%.2fx)\n",
+                 batch1_rps, batch32_rps, batch_speedup);
+    return 1;
+  }
+  std::printf("micro-batch amortization: %.0f -> %.0f rps (%.2fx)\n",
+              batch1_rps, batch32_rps, batch_speedup);
+  return rc;
+}

@@ -4,6 +4,10 @@
 //   extdict_cli <matrix.mtx> [--eps 0.1] [--nodes 2] [--cores 8]
 //               [--objective time|energy|memory] [--eigen K]
 //               [--save-dict D.mtx] [--save-coeffs C.mtx]
+//   extdict_cli serve [--dict D.mtx] [--requests N] [--clients T]
+//               [--batch B] [--workers W] [--queue Q]
+//               [--policy block|reject|shed] [--delay-us D]
+//               [--eps E] [--max-atoms K]
 //
 // The input is a Matrix Market *array* file (dense, real, general); columns
 // are the data signals. The tool normalises columns, tunes the Extensible
@@ -12,17 +16,30 @@
 // the transformed Gram operator, and can save D (dense) and C (sparse
 // coordinate) back to Matrix Market files.
 //
+// `serve` spins up the micro-batched sparse-coding server (src/serve/) on a
+// dictionary — loaded from --dict, or a bundled synthetic one — drives it
+// with a closed-loop client swarm, and prints the request accounting,
+// batching profile, and latency percentiles.
+//
 // With no argument it demonstrates itself on a bundled synthetic dataset.
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <future>
 #include <optional>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/extdict.hpp"
 #include "data/datasets.hpp"
 #include "la/io.hpp"
+#include "la/random.hpp"
+#include "serve/server.hpp"
 #include "solvers/power_method.hpp"
+#include "util/metrics.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -95,9 +112,198 @@ Options parse(int argc, char** argv) {
   return opt;
 }
 
+// --- serve subcommand -------------------------------------------------------
+
+struct ServeOptions {
+  std::string dict_path;
+  int requests = 2000;
+  int clients = 2;
+  la::Index batch = 32;
+  int workers = 2;
+  std::size_t queue = 256;
+  serve::BackpressurePolicy policy = serve::BackpressurePolicy::kBlock;
+  std::uint64_t delay_us = 200;
+  double eps = 0.0;
+  la::Index max_atoms = 8;
+};
+
+[[noreturn]] void serve_usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s serve [--dict D.mtx] [--requests N] [--clients T]\n"
+               "          [--batch B] [--workers W] [--queue Q]\n"
+               "          [--policy block|reject|shed] [--delay-us D]\n"
+               "          [--eps E] [--max-atoms K]\n",
+               argv0);
+  std::exit(2);
+}
+
+ServeOptions parse_serve(int argc, char** argv) {
+  ServeOptions opt;
+  for (int i = 2; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        serve_usage(argv[0]);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--dict")) {
+      opt.dict_path = need_value("--dict");
+    } else if (!std::strcmp(argv[i], "--requests")) {
+      opt.requests = std::atoi(need_value("--requests"));
+    } else if (!std::strcmp(argv[i], "--clients")) {
+      opt.clients = std::atoi(need_value("--clients"));
+    } else if (!std::strcmp(argv[i], "--batch")) {
+      opt.batch = std::atol(need_value("--batch"));
+    } else if (!std::strcmp(argv[i], "--workers")) {
+      opt.workers = std::atoi(need_value("--workers"));
+    } else if (!std::strcmp(argv[i], "--queue")) {
+      opt.queue = static_cast<std::size_t>(std::atol(need_value("--queue")));
+    } else if (!std::strcmp(argv[i], "--delay-us")) {
+      opt.delay_us = static_cast<std::uint64_t>(std::atol(need_value("--delay-us")));
+    } else if (!std::strcmp(argv[i], "--eps")) {
+      opt.eps = std::atof(need_value("--eps"));
+    } else if (!std::strcmp(argv[i], "--max-atoms")) {
+      opt.max_atoms = std::atol(need_value("--max-atoms"));
+    } else if (!std::strcmp(argv[i], "--policy")) {
+      const std::string v = need_value("--policy");
+      if (v == "block") {
+        opt.policy = serve::BackpressurePolicy::kBlock;
+      } else if (v == "reject") {
+        opt.policy = serve::BackpressurePolicy::kReject;
+      } else if (v == "shed") {
+        opt.policy = serve::BackpressurePolicy::kShedOldest;
+      } else {
+        serve_usage(argv[0]);
+      }
+    } else {
+      serve_usage(argv[0]);
+    }
+  }
+  if (opt.requests < 1 || opt.clients < 1 || opt.eps < 0) {
+    serve_usage(argv[0]);
+  }
+  return opt;
+}
+
+const char* policy_label(serve::BackpressurePolicy policy) {
+  switch (policy) {
+    case serve::BackpressurePolicy::kBlock: return "block";
+    case serve::BackpressurePolicy::kReject: return "reject";
+    case serve::BackpressurePolicy::kShedOldest: return "shed_oldest";
+  }
+  return "?";
+}
+
+int serve_main(int argc, char** argv) {
+  const ServeOptions opt = parse_serve(argc, argv);
+
+  la::Matrix dict;
+  if (opt.dict_path.empty()) {
+    std::printf("no --dict given — serving a synthetic 48 x 96 dictionary\n");
+    la::Rng rng(17);
+    dict = rng.gaussian_matrix(48, 96, true);
+  } else {
+    dict = la::read_matrix_market_dense(opt.dict_path);
+    dict.normalize_columns();
+    std::printf("loaded dictionary %s: %td x %td\n", opt.dict_path.c_str(),
+                dict.rows(), dict.cols());
+  }
+  const la::Index m = dict.rows();
+
+  serve::ExtDictServer server(
+      std::move(dict),
+      {.max_batch = opt.batch,
+       .max_delay_us = opt.delay_us,
+       .workers = opt.workers,
+       .queue_capacity = opt.queue,
+       .backpressure = opt.policy,
+       .omp = {.tolerance = opt.eps, .max_atoms = opt.max_atoms}});
+
+  // Closed-loop client swarm: each client owns a slice of the request budget
+  // and submits its next signal as soon as the previous future resolves.
+  // Latencies land in (thread-safe) histograms; failures are counted, not
+  // fatal — under reject/shed they are the expected backpressure signal.
+  util::Histogram latency;
+  util::Histogram queue_wait;
+  std::atomic<std::uint64_t> served{0}, backpressured{0}, errored{0};
+  util::Timer wall;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < opt.clients; ++c) {
+    const int share = opt.requests / opt.clients +
+                      (c < opt.requests % opt.clients ? 1 : 0);
+    clients.emplace_back([&, c, share] {
+      la::Rng rng(100u + static_cast<unsigned>(c));
+      la::Vector signal(m);
+      for (int i = 0; i < share; ++i) {
+        rng.fill_gaussian(signal);
+        try {
+          const serve::EncodeResult result = server.submit(signal).get();
+          latency.record(result.queue_seconds + result.encode_seconds);
+          queue_wait.record(result.queue_seconds);
+          served.fetch_add(1);
+        } catch (const serve::ServeError&) {
+          backpressured.fetch_add(1);
+        } catch (const std::exception&) {
+          errored.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double seconds = wall.elapsed_ms() / 1e3;
+  server.stop();
+
+  const serve::ServerStats stats = server.stats();
+  util::Table table({"quantity", "value"});
+  table.add_row({"policy / max_batch / workers",
+                 std::string(policy_label(opt.policy)) + " / " +
+                     std::to_string(opt.batch) + " / " +
+                     std::to_string(opt.workers)});
+  table.add_row({"requests submitted", std::to_string(stats.submitted)});
+  table.add_row({"served", std::to_string(stats.served)});
+  table.add_row({"rejected / shed", std::to_string(stats.rejected) + " / " +
+                                        std::to_string(stats.shed)});
+  table.add_row({"encode failures", std::to_string(stats.encode_failed)});
+  table.add_row({"batches", std::to_string(stats.batches)});
+  table.add_row(
+      {"columns per batch (mean / max)",
+       util::fmt(stats.batches
+                     ? static_cast<double>(stats.columns_encoded) /
+                           static_cast<double>(stats.batches)
+                     : 0.0,
+                 2) +
+           " / " + std::to_string(stats.max_batch_columns)});
+  const double rps =
+      seconds > 0 ? static_cast<double>(stats.served) / seconds : 0.0;
+  table.add_row({"throughput",
+                 util::fmt_count(static_cast<std::uint64_t>(rps)) +
+                     " requests/s"});
+  if (latency.count() > 0) {
+    table.add_row({"latency p50 / p99",
+                   util::fmt(latency.quantile(0.5) * 1e6, 4) + " / " +
+                       util::fmt(latency.quantile(0.99) * 1e6, 4) + " us"});
+    table.add_row({"queue wait p50 / p99",
+                   util::fmt(queue_wait.quantile(0.5) * 1e6, 4) + " / " +
+                       util::fmt(queue_wait.quantile(0.99) * 1e6, 4) + " us"});
+  }
+  std::printf("%s", table.str().c_str());
+
+  const std::uint64_t resolved = served.load() + backpressured.load() + errored.load();
+  if (resolved != stats.submitted) {
+    std::fprintf(stderr, "error: %llu futures unaccounted for\n",
+                 static_cast<unsigned long long>(stats.submitted - resolved));
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && !std::strcmp(argv[1], "serve")) {
+    return serve_main(argc, argv);
+  }
   const Options opt = parse(argc, argv);
 
   la::Matrix a;

@@ -1,0 +1,198 @@
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/sync.hpp"
+
+namespace extdict::serve {
+
+/// What a full queue does to a new arrival. The policy is the server's
+/// overload contract with its clients, so it is a constructor parameter,
+/// not a per-push flag.
+enum class BackpressurePolicy {
+  kBlock,      ///< push blocks until space frees up (or the queue closes)
+  kReject,     ///< push fails immediately; the caller owns the error
+  kShedOldest  ///< push succeeds by evicting the oldest queued item
+};
+
+/// Outcome of a `push`. On kRejected / kClosed the item was NOT consumed —
+/// the caller still owns it (and its promise). `shed` carries the evicted
+/// item under kShedOldest so the caller can fail its future.
+enum class PushStatus { kAccepted, kRejected, kClosed };
+
+/// Bounded MPMC FIFO queue on the annotated sync layer — the admission-control
+/// half of the serving subsystem. Any number of producers (client threads in
+/// `ExtDictServer::submit`) and consumers (batch workers) may operate
+/// concurrently; items come out in push order.
+///
+/// Lifecycle: `close()` makes every subsequent (and currently blocked) push
+/// return kClosed while consumers keep draining what is already queued —
+/// that is the server's graceful drain — and `close_and_drain()` additionally
+/// hands the leftovers back so the caller can fail them deterministically.
+///
+/// Locking: `mu_` is a LEAF lock per the library policy (util/sync.hpp) —
+/// nothing is called with it held except the condvars.
+template <class T>
+class BoundedQueue {
+ public:
+  struct PushResult {
+    PushStatus status = PushStatus::kAccepted;
+    std::optional<T> shed;  ///< evicted item (kShedOldest on a full queue)
+  };
+
+  /// `capacity` must be >= 1; a zero-capacity queue could never accept.
+  BoundedQueue(std::size_t capacity, BackpressurePolicy policy)
+      : capacity_(capacity == 0 ? 1 : capacity), policy_(policy) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Applies the backpressure policy. Only on kAccepted is `item` consumed;
+  /// on kRejected / kClosed it is left untouched in the caller's hands.
+  [[nodiscard]] PushResult push(T&& item) EXTDICT_EXCLUDES(mu_) {
+    PushResult result;
+    bool notify = false;
+    {
+      const util::MutexLock lock(mu_);
+      if (closed_) {
+        result.status = PushStatus::kClosed;
+        return result;
+      }
+      if (items_.size() >= capacity_) {
+        switch (policy_) {
+          case BackpressurePolicy::kBlock:
+            while (items_.size() >= capacity_ && !closed_) {
+              not_full_.wait(mu_);
+            }
+            if (closed_) {
+              result.status = PushStatus::kClosed;
+              return result;
+            }
+            break;
+          case BackpressurePolicy::kReject:
+            result.status = PushStatus::kRejected;
+            return result;
+          case BackpressurePolicy::kShedOldest:
+            result.shed = std::move(items_.front());
+            items_.pop_front();
+            break;
+        }
+      }
+      items_.push_back(std::move(item));
+      notify = true;
+    }
+    if (notify) not_empty_.notify_one();
+    return result;
+  }
+
+  /// Blocking pop: waits for an item or for close-plus-empty (nullopt, the
+  /// consumer's signal to exit).
+  [[nodiscard]] std::optional<T> pop() EXTDICT_EXCLUDES(mu_) {
+    std::optional<T> item;
+    {
+      const util::MutexLock lock(mu_);
+      while (items_.empty() && !closed_) not_empty_.wait(mu_);
+      if (items_.empty()) return std::nullopt;  // closed and drained
+      item = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Timed pop: like `pop` but also returns nullopt once `deadline` passes —
+  /// the micro-batcher's "flush on max_delay" path. A nullopt therefore
+  /// means timeout OR closed-and-drained; callers distinguish via `closed()`.
+  template <class Clock, class Duration>
+  [[nodiscard]] std::optional<T> pop_until(
+      const std::chrono::time_point<Clock, Duration>& deadline)
+      EXTDICT_EXCLUDES(mu_) {
+    std::optional<T> item;
+    {
+      const util::MutexLock lock(mu_);
+      while (items_.empty() && !closed_) {
+        if (not_empty_.wait_until(mu_, deadline) == std::cv_status::timeout &&
+            items_.empty()) {
+          return std::nullopt;
+        }
+      }
+      if (items_.empty()) return std::nullopt;
+      item = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  [[nodiscard]] std::optional<T> try_pop() EXTDICT_EXCLUDES(mu_) {
+    std::optional<T> item;
+    {
+      const util::MutexLock lock(mu_);
+      if (items_.empty()) return std::nullopt;
+      item = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Stops admissions (pending blocked pushes return kClosed) while letting
+  /// consumers drain the backlog. Idempotent.
+  void close() EXTDICT_EXCLUDES(mu_) {
+    {
+      const util::MutexLock lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  /// `close()` plus hands back everything still queued, in FIFO order — the
+  /// discard-stop path fails each returned item's future deterministically.
+  [[nodiscard]] std::vector<T> close_and_drain() EXTDICT_EXCLUDES(mu_) {
+    std::vector<T> drained;
+    {
+      const util::MutexLock lock(mu_);
+      closed_ = true;
+      drained.reserve(items_.size());
+      while (!items_.empty()) {
+        drained.push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+    return drained;
+  }
+
+  [[nodiscard]] bool closed() const EXTDICT_EXCLUDES(mu_) {
+    const util::MutexLock lock(mu_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const EXTDICT_EXCLUDES(mu_) {
+    const util::MutexLock lock(mu_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] BackpressurePolicy policy() const noexcept { return policy_; }
+
+ private:
+  const std::size_t capacity_;
+  const BackpressurePolicy policy_;
+
+  mutable util::Mutex mu_;
+  util::CondVar not_empty_;
+  util::CondVar not_full_;
+  std::deque<T> items_ EXTDICT_GUARDED_BY(mu_);
+  bool closed_ EXTDICT_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace extdict::serve

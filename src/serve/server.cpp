@@ -1,0 +1,240 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <string>
+#include <utility>
+
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+namespace extdict::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+void fail(std::promise<EncodeResult>& promise, std::exception_ptr error) {
+  promise.set_exception(std::move(error));
+}
+
+}  // namespace
+
+ExtDictServer::ExtDictServer(la::Matrix dictionary, ServerConfig config)
+    : config_(config),
+      dict_(std::move(dictionary)),
+      coder_(dict_, config.omp),
+      queue_(config.queue_capacity, config.backpressure) {
+  config_.max_batch = std::max<Index>(1, config_.max_batch);
+  config_.workers = std::max(1, config_.workers);
+  workers_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int w = 0; w < config_.workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ExtDictServer::~ExtDictServer() { stop(StopMode::kDrain); }
+
+sparsecoding::OmpConfig ExtDictServer::effective_config(
+    const EncodeOptions& options) const noexcept {
+  sparsecoding::OmpConfig config = config_.omp;
+  if (options.tolerance >= 0) config.tolerance = options.tolerance;
+  if (options.max_atoms >= 0) config.max_atoms = options.max_atoms;
+  return config;
+}
+
+std::future<EncodeResult> ExtDictServer::submit(std::span<const Real> signal,
+                                                const EncodeOptions& options) {
+  util::MetricsRegistry& metrics = util::MetricsRegistry::global();
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  metrics.add("serve.submitted", 1);
+
+  if (signal.empty() || static_cast<Index>(signal.size()) != dict_.rows()) {
+    invalid_.fetch_add(1, std::memory_order_relaxed);
+    metrics.add("serve.invalid", 1);
+    std::promise<EncodeResult> promise;
+    auto future = promise.get_future();
+    fail(promise, std::make_exception_ptr(InvalidRequest(
+                      "extdict::serve: signal has " +
+                      std::to_string(signal.size()) + " entries but the "
+                      "dictionary has " + std::to_string(dict_.rows()) +
+                      " rows")));
+    return future;
+  }
+
+  Request request;
+  request.signal.assign(signal.begin(), signal.end());
+  request.options = options;
+  request.submitted_at = Clock::now();
+  request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  auto future = request.promise.get_future();
+
+  if (!accepting()) {
+    stopped_rejects_.fetch_add(1, std::memory_order_relaxed);
+    metrics.add("serve.stopped_rejects", 1);
+    fail(request.promise, std::make_exception_ptr(ServerStopped()));
+    return future;
+  }
+
+  auto outcome = queue_.push(std::move(request));
+  switch (outcome.status) {
+    case PushStatus::kAccepted:
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+      metrics.add("serve.accepted", 1);
+      if (outcome.shed.has_value()) {
+        shed_.fetch_add(1, std::memory_order_relaxed);
+        metrics.add("serve.shed", 1);
+        fail(outcome.shed->promise, std::make_exception_ptr(RequestShed()));
+      }
+      break;
+    case PushStatus::kRejected:
+      // push() did not consume the request — its promise is still ours.
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      metrics.add("serve.rejected", 1);
+      fail(request.promise, std::make_exception_ptr(RequestRejected()));
+      break;
+    case PushStatus::kClosed:
+      stopped_rejects_.fetch_add(1, std::memory_order_relaxed);
+      metrics.add("serve.stopped_rejects", 1);
+      fail(request.promise, std::make_exception_ptr(ServerStopped()));
+      break;
+  }
+  return future;
+}
+
+void ExtDictServer::worker_loop() {
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      util::TraceScope collect("serve.batch.collect");
+      auto first = queue_.pop();
+      if (!first.has_value()) {
+        collect.set_end_arg("columns", 0);
+        return;  // closed and drained
+      }
+      batch.push_back(std::move(*first));
+      if (config_.max_batch > 1) {
+        const auto deadline = Clock::now() + std::chrono::microseconds(
+                                                 config_.max_delay_us);
+        while (static_cast<Index>(batch.size()) < config_.max_batch) {
+          auto next = queue_.pop_until(deadline);
+          if (!next.has_value()) break;  // flush: timeout (or drained)
+          batch.push_back(std::move(*next));
+        }
+      }
+      collect.set_end_arg("columns", batch.size());
+    }
+    encode_batch(batch);
+  }
+}
+
+void ExtDictServer::encode_batch(std::vector<Request>& batch) {
+  util::MetricsRegistry& metrics = util::MetricsRegistry::global();
+  const Index columns = static_cast<Index>(batch.size());
+  const auto flush_at = Clock::now();
+
+  // Queue wait ends at batch flush, shared by every column of the batch.
+  std::vector<double> queue_seconds(batch.size());
+  std::uint64_t queue_us_total = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    queue_seconds[i] = seconds_between(batch[i].submitted_at, flush_at);
+    queue_us_total += static_cast<std::uint64_t>(queue_seconds[i] * 1e6);
+  }
+
+  util::TraceScope trace("serve.batch.encode", "columns",
+                         static_cast<std::uint64_t>(columns));
+  trace.set_end_arg("queue_us", queue_us_total);
+
+  std::vector<sparsecoding::SparseCode> codes(batch.size());
+  std::vector<std::exception_ptr> errors(batch.size());
+#pragma omp parallel for schedule(dynamic, 1) if (columns > 1)
+  for (Index j = 0; j < columns; ++j) {
+    const auto i = static_cast<std::size_t>(j);
+    try {
+      codes[i] = coder_.encode(batch[i].signal,
+                               effective_config(batch[i].options));
+    } catch (...) {
+      // E.g. a non-finite signal tripping EXTDICT_CHECK_FINITE in a checked
+      // build: the error belongs to this request's future, not the worker.
+      errors[i] = std::current_exception();
+    }
+  }
+  const double encode_s = seconds_between(flush_at, Clock::now());
+
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  columns_encoded_.fetch_add(static_cast<std::uint64_t>(columns),
+                             std::memory_order_relaxed);
+  std::uint64_t seen = max_batch_columns_.load(std::memory_order_relaxed);
+  while (seen < static_cast<std::uint64_t>(columns) &&
+         !max_batch_columns_.compare_exchange_weak(
+             seen, static_cast<std::uint64_t>(columns),
+             std::memory_order_relaxed)) {
+  }
+  metrics.add("serve.batches", 1);
+  metrics.add("serve.columns", static_cast<std::uint64_t>(columns));
+
+  std::uint64_t served_in_batch = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    metrics.observe("serve.latency.queue_seconds", queue_seconds[i]);
+    metrics.observe("serve.latency.encode_seconds", encode_s);
+    metrics.observe("serve.latency.total_seconds", queue_seconds[i] + encode_s);
+    if (errors[i]) {
+      encode_failed_.fetch_add(1, std::memory_order_relaxed);
+      metrics.add("serve.encode_failures", 1);
+      fail(batch[i].promise, std::move(errors[i]));
+      continue;
+    }
+    EncodeResult result;
+    result.code = std::move(codes[i]);
+    result.request_id = batch[i].id;
+    result.batch_columns = columns;
+    result.queue_seconds = queue_seconds[i];
+    result.encode_seconds = encode_s;
+    served_.fetch_add(1, std::memory_order_relaxed);
+    ++served_in_batch;
+    batch[i].promise.set_value(std::move(result));
+  }
+  metrics.add("serve.served", served_in_batch);
+}
+
+void ExtDictServer::stop(StopMode mode) {
+  const util::MutexLock lock(stop_mu_);
+  if (stopped_) return;
+  accepting_.store(false, std::memory_order_relaxed);
+  if (mode == StopMode::kDrain) {
+    queue_.close();
+  } else {
+    auto leftovers = queue_.close_and_drain();
+    util::MetricsRegistry& metrics = util::MetricsRegistry::global();
+    for (auto& request : leftovers) {
+      discarded_.fetch_add(1, std::memory_order_relaxed);
+      metrics.add("serve.discarded", 1);
+      fail(request.promise, std::make_exception_ptr(ServerStopped()));
+    }
+  }
+  for (auto& worker : workers_) worker.join();
+  stopped_ = true;
+}
+
+ServerStats ExtDictServer::stats() const noexcept {
+  ServerStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.invalid = invalid_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.stopped = stopped_rejects_.load(std::memory_order_relaxed);
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.discarded = discarded_.load(std::memory_order_relaxed);
+  s.served = served_.load(std::memory_order_relaxed);
+  s.encode_failed = encode_failed_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.columns_encoded = columns_encoded_.load(std::memory_order_relaxed);
+  s.max_batch_columns = max_batch_columns_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace extdict::serve

@@ -1,0 +1,201 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <span>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "la/types.hpp"
+#include "serve/queue.hpp"
+#include "sparsecoding/batch_omp.hpp"
+#include "util/sync.hpp"
+
+namespace extdict::serve {
+
+using la::Index;
+using la::Real;
+
+/// Base class of the serving layer's documented rejection errors. Every
+/// submitted future resolves with a value or with exactly one of these (or
+/// `InvalidRequest`) — a future left dangling is a server bug, and the load
+/// bench treats it as one.
+class ServeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The queue was full under BackpressurePolicy::kReject.
+class RequestRejected final : public ServeError {
+ public:
+  RequestRejected() : ServeError("extdict::serve: queue full, request rejected") {}
+};
+
+/// The request was evicted by a newer arrival under kShedOldest.
+class RequestShed final : public ServeError {
+ public:
+  RequestShed() : ServeError("extdict::serve: request shed under load") {}
+};
+
+/// The server stopped before the request could be (or was) encoded.
+class ServerStopped final : public ServeError {
+ public:
+  ServerStopped() : ServeError("extdict::serve: server stopped") {}
+};
+
+/// Malformed request (zero-length or wrong-M signal). Derives from
+/// std::invalid_argument to match the library's shape-contract convention.
+class InvalidRequest final : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Per-request overrides of the server's default stopping rule. Negative
+/// means "server default"; `max_atoms == 0` means uncapped (min(M, L), the
+/// OmpConfig convention).
+struct EncodeOptions {
+  Real tolerance = -1;  ///< the paper's ε; < 0 → ServerConfig::omp.tolerance
+  Index max_atoms = -1;  ///< sparsity cap; < 0 → ServerConfig::omp.max_atoms
+};
+
+/// One served sparse code plus its latency attribution: how long the request
+/// sat queued before its batch formed, how long the shared Batch-OMP window
+/// ran, and how many columns shared that window.
+struct EncodeResult {
+  sparsecoding::SparseCode code;
+  std::uint64_t request_id = 0;
+  Index batch_columns = 0;   ///< columns encoded in this request's batch
+  double queue_seconds = 0;  ///< submit → batch flush
+  double encode_seconds = 0; ///< the batch's shared encode window
+};
+
+struct ServerConfig {
+  Index max_batch = 64;           ///< flush when this many columns collected
+  std::uint64_t max_delay_us = 200;  ///< ... or this long after the first one
+  int workers = 2;                ///< batch-encode worker threads
+  std::size_t queue_capacity = 1024;
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  sparsecoding::OmpConfig omp;    ///< default ε / sparsity cap
+};
+
+enum class StopMode {
+  kDrain,   ///< stop admissions, serve everything queued, then join
+  kDiscard  ///< stop admissions, fail queued requests with ServerStopped
+};
+
+/// Monotone request accounting, snapshot via `ExtDictServer::stats()`.
+/// Identities once the server has stopped (every future resolved):
+///   submitted == accepted + invalid + rejected + stopped
+///   accepted  == served + encode_failed + shed + discarded
+///   columns_encoded == served + encode_failed
+struct ServerStats {
+  std::uint64_t submitted = 0;  ///< submit() calls
+  std::uint64_t invalid = 0;    ///< failed shape validation
+  std::uint64_t rejected = 0;   ///< kReject on a full queue
+  std::uint64_t stopped = 0;    ///< refused because the server was stopping
+  std::uint64_t accepted = 0;   ///< entered the queue
+  std::uint64_t shed = 0;       ///< evicted under kShedOldest
+  std::uint64_t discarded = 0;  ///< failed by a kDiscard stop
+  std::uint64_t served = 0;     ///< futures resolved with a value
+  std::uint64_t encode_failed = 0;  ///< encode threw (e.g. non-finite signal)
+  std::uint64_t batches = 0;
+  std::uint64_t columns_encoded = 0;
+  std::uint64_t max_batch_columns = 0;  ///< largest batch observed
+};
+
+/// Persistent, thread-safe sparse-coding server: owns a dictionary and its
+/// resident Batch-OMP state (the Gram `DᵀD` is computed once, at
+/// construction), accepts encode requests from any number of client threads,
+/// and drives them through a micro-batching scheduler — a worker flushes a
+/// batch at `max_batch` columns or `max_delay_us` after the batch's first
+/// arrival, whichever comes first — so concurrent requests share one
+/// Batch-OMP window (one scheduler wakeup, one OpenMP parallel region)
+/// instead of paying the per-invocation setup each.
+///
+/// Shutdown is deterministic: `stop(kDrain)` (also the destructor) serves
+/// everything queued then joins; `stop(kDiscard)` fails queued requests with
+/// `ServerStopped`; either way every future ever returned by `submit`
+/// resolves. Submissions racing a stop resolve with `ServerStopped`.
+///
+/// Observability: per-batch `serve.batch.collect` / `serve.batch.encode`
+/// trace spans (columns + summed queue-wait args), `serve.*` counters, and
+/// `serve.latency.{queue,encode,total}_seconds` histograms in the global
+/// registry — `stats()` is the server's own (always-on) accounting.
+///
+/// Lock ordering: the queue's mutex and the registry's are leaves;
+/// `stop_mu_` is the one documented exception to the leaf policy (see its
+/// declaration).
+class ExtDictServer {
+ public:
+  /// Takes the dictionary by value: the server owns its copy (and the Gram)
+  /// for its whole lifetime, so callers can drop theirs.
+  explicit ExtDictServer(la::Matrix dictionary, ServerConfig config = {});
+
+  /// Drains and stops (StopMode::kDrain semantics).
+  ~ExtDictServer();
+
+  ExtDictServer(const ExtDictServer&) = delete;
+  ExtDictServer& operator=(const ExtDictServer&) = delete;
+
+  /// Queues one signal for encoding. Always returns a future that will
+  /// resolve: with an EncodeResult, or with InvalidRequest (bad shape),
+  /// RequestRejected / RequestShed (backpressure), or ServerStopped.
+  /// Blocks only under BackpressurePolicy::kBlock on a full queue.
+  [[nodiscard]] std::future<EncodeResult> submit(
+      std::span<const Real> signal, const EncodeOptions& options = {});
+
+  /// Idempotent; concurrent calls serialize and all return after shutdown
+  /// completes. The first caller's mode wins.
+  void stop(StopMode mode = StopMode::kDrain);
+
+  [[nodiscard]] bool accepting() const noexcept {
+    return accepting_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] ServerStats stats() const noexcept;
+
+  [[nodiscard]] Index signal_dim() const noexcept { return dict_.rows(); }
+  [[nodiscard]] Index atom_count() const noexcept { return dict_.cols(); }
+  [[nodiscard]] const ServerConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Request {
+    std::vector<Real> signal;
+    EncodeOptions options;
+    std::promise<EncodeResult> promise;
+    std::chrono::steady_clock::time_point submitted_at;
+    std::uint64_t id = 0;
+  };
+
+  void worker_loop();
+  void encode_batch(std::vector<Request>& batch);
+  [[nodiscard]] sparsecoding::OmpConfig effective_config(
+      const EncodeOptions& options) const noexcept;
+
+  ServerConfig config_;
+  la::Matrix dict_;
+  sparsecoding::BatchOmp coder_;
+  BoundedQueue<Request> queue_;
+  std::vector<std::thread> workers_;
+
+  std::atomic<bool> accepting_{true};
+  std::atomic<std::uint64_t> next_id_{0};
+
+  // NOT a leaf lock (documented exception to the util/sync.hpp policy):
+  // stop() holds it across queue close and worker join so concurrent stops
+  // serialize on the complete shutdown. Ordering: stop_mu_ → queue mutex;
+  // no other path acquires both, and workers never touch stop_mu_.
+  util::Mutex stop_mu_;
+  bool stopped_ EXTDICT_GUARDED_BY(stop_mu_) = false;
+
+  // stats() cells (always-on, independent of the metrics registry switch).
+  std::atomic<std::uint64_t> submitted_{0}, invalid_{0}, rejected_{0},
+      stopped_rejects_{0}, accepted_{0}, shed_{0}, discarded_{0}, served_{0},
+      encode_failed_{0}, batches_{0}, columns_encoded_{0}, max_batch_columns_{0};
+};
+
+}  // namespace extdict::serve

@@ -19,9 +19,19 @@ BatchOmp::BatchOmp(const Matrix& dict, OmpConfig config)
                    : std::min(dict.rows(), dict.cols());
 }
 
+// extdict-lint: allow(missing-shape-contract) delegates to the checked overload
 SparseCode BatchOmp::encode(std::span<const Real> signal) const {
+  return encode(signal, config_);
+}
+
+SparseCode BatchOmp::encode(std::span<const Real> signal,
+                            const OmpConfig& config) const {
   const Index m = dict_->rows();
   const Index l = dict_->cols();
+  const Index max_atoms =
+      config.max_atoms > 0
+          ? std::min(config.max_atoms, std::min(m, l))
+          : std::min(m, l);
   EXTDICT_REQUIRE_SHAPE(static_cast<Index>(signal.size()) == m,
                         "BatchOmp::encode: |signal|=" +
                             std::to_string(signal.size()) +
@@ -32,16 +42,16 @@ SparseCode BatchOmp::encode(std::span<const Real> signal) const {
 
   SparseCode code;
   const Real eps0 = la::dot(signal, signal);
-  if (eps0 == Real{0} || max_atoms_ == 0) return code;
+  if (eps0 == Real{0} || max_atoms == 0) return code;
   // Stop when ||r||² <= (ε ||x||)².
-  const Real target_sq = config_.tolerance * config_.tolerance * eps0;
+  const Real target_sq = config.tolerance * config.tolerance * eps0;
 
   // alpha0 = Dᵀ x (computed once); alpha = Dᵀ r maintained via the Gram.
   la::Vector alpha0(static_cast<std::size_t>(l));
   la::gemv_t(1, *dict_, signal, 0, alpha0);
   la::Vector alpha = alpha0;
 
-  la::ProgressiveCholesky chol(max_atoms_);
+  la::ProgressiveCholesky chol(max_atoms);
   std::vector<Index> selected;
   std::vector<bool> used(static_cast<std::size_t>(l), false);
   la::Vector gamma;                 // coefficients on the selection
@@ -49,7 +59,7 @@ SparseCode BatchOmp::encode(std::span<const Real> signal) const {
   la::Vector beta(static_cast<std::size_t>(l));
   Real eps = eps0;
 
-  while (eps > target_sq && static_cast<Index>(selected.size()) < max_atoms_) {
+  while (eps > target_sq && static_cast<Index>(selected.size()) < max_atoms) {
     Index best = -1;
     Real best_abs = 0;
     for (Index j = 0; j < l; ++j) {

@@ -22,8 +22,15 @@ class BatchOmp {
  public:
   BatchOmp(const Matrix& dict, OmpConfig config);
 
-  /// Sparse-codes a single signal (length rows()).
+  /// Sparse-codes a single signal (length rows()) with the config given at
+  /// construction.
   [[nodiscard]] SparseCode encode(std::span<const Real> signal) const;
+
+  /// Sparse-codes a single signal under a caller-supplied stopping rule —
+  /// the resident Gram/dictionary state is shared, only ε / max_atoms vary.
+  /// This is the entry the serving layer uses for per-request tolerances.
+  [[nodiscard]] SparseCode encode(std::span<const Real> signal,
+                                  const OmpConfig& config) const;
 
   /// Sparse-codes every column of `signals`, returning the L x N coefficient
   /// matrix in CSC form.

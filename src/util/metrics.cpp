@@ -1,5 +1,6 @@
 #include "util/metrics.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace extdict::util {
@@ -8,7 +9,145 @@ namespace {
 
 constexpr double kNanosPerSecond = 1e9;
 
+// CAS-loop add/min/max on atomic<double> (fetch_add on floating atomics is
+// C++20 but spotty across standard libraries; the loop is portable).
+void atomic_add(std::atomic<double>& cell, double delta) noexcept {
+  double seen = cell.load(std::memory_order_relaxed);
+  while (!cell.compare_exchange_weak(seen, seen + delta,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& cell, double v) noexcept {
+  double seen = cell.load(std::memory_order_relaxed);
+  while (v < seen &&
+         !cell.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& cell, double v) noexcept {
+  double seen = cell.load(std::memory_order_relaxed);
+  while (v > seen &&
+         !cell.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
 }  // namespace
+
+// -- Histogram ----------------------------------------------------------------
+
+void Histogram::record(double value) noexcept {
+  int bucket = 0;
+  if (value >= kFirstLower) {
+    bucket = static_cast<int>(
+        kBucketsPerDecade * (std::log10(value) - std::log10(kFirstLower)));
+    bucket = std::clamp(bucket, 0, kBucketCount - 1);
+  }
+  buckets_[static_cast<std::size_t>(bucket)].fetch_add(
+      1, std::memory_order_relaxed);
+  // First observation seeds min/max; racing seeders then CAS toward the true
+  // extremes, so the pair is exact once every writer has returned.
+  if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
+    min_.store(value, std::memory_order_relaxed);
+    max_.store(value, std::memory_order_relaxed);
+  } else {
+    atomic_min(min_, value);
+    atomic_max(max_, value);
+  }
+  atomic_add(sum_, value);
+}
+
+double Histogram::bucket_upper(int i) noexcept {
+  return kFirstLower *
+         std::pow(10.0, static_cast<double>(i + 1) / kBucketsPerDecade);
+}
+
+double Histogram::quantile(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n))));
+  std::uint64_t seen = 0;
+  double estimate = max();
+  for (int i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t c =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    if (seen + c >= rank) {
+      // Log-interpolate inside the bucket by the rank's fraction of it.
+      const double lower = i == 0 ? kFirstLower : bucket_upper(i - 1);
+      const double upper = bucket_upper(i);
+      const double frac =
+          static_cast<double>(rank - seen) / static_cast<double>(c);
+      estimate = lower * std::pow(upper / lower, frac);
+      break;
+    }
+    seen += c;
+  }
+  return std::clamp(estimate, min(), max());
+}
+
+void Histogram::merge_from(const Histogram& other) noexcept {
+  std::uint64_t merged = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t c = other.buckets_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+    if (c == 0) continue;
+    buckets_[static_cast<std::size_t>(i)].fetch_add(c,
+                                                    std::memory_order_relaxed);
+    merged += c;
+  }
+  if (merged == 0) return;
+  if (count_.fetch_add(merged, std::memory_order_relaxed) == 0) {
+    min_.store(other.min(), std::memory_order_relaxed);
+    max_.store(other.max(), std::memory_order_relaxed);
+  } else {
+    atomic_min(min_, other.min());
+    atomic_max(max_, other.max());
+  }
+  atomic_add(sum_, other.sum());
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+double Histogram::min() const noexcept {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const noexcept {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+Json Histogram::to_json() const {
+  Json j = Json::object();
+  j["count"] = count();
+  j["sum"] = sum();
+  j["min"] = min();
+  j["max"] = max();
+  j["p50"] = quantile(0.50);
+  j["p90"] = quantile(0.90);
+  j["p95"] = quantile(0.95);
+  j["p99"] = quantile(0.99);
+  Json buckets = Json::array();
+  for (int i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t c =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    Json b = Json::object();
+    b["le"] = bucket_upper(i);
+    b["count"] = c;
+    buckets.push_back(std::move(b));
+  }
+  j["buckets"] = std::move(buckets);
+  return j;
+}
 
 MetricsRegistry::Counter& MetricsRegistry::counter(std::string_view name) {
   const MutexLock lock(mu_);
@@ -76,6 +215,25 @@ std::uint64_t MetricsRegistry::span_count(std::string_view name) const {
              : it->second->count.load(std::memory_order_relaxed);
 }
 
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  const MutexLock lock(mu_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  return *histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+              .first->second;
+}
+
+void MetricsRegistry::observe(std::string_view name, double value) {
+  if (!enabled()) return;
+  histogram(name).record(value);
+}
+
+std::uint64_t MetricsRegistry::histogram_count(std::string_view name) const {
+  const MutexLock lock(mu_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? 0 : it->second->count();
+}
+
 void MetricsRegistry::reset() {
   const MutexLock lock(mu_);
   for (auto& [name, cell] : counters_) {
@@ -85,6 +243,7 @@ void MetricsRegistry::reset() {
     cell->count.store(0, std::memory_order_relaxed);
     cell->nanos.store(0, std::memory_order_relaxed);
   }
+  for (auto& [name, cell] : histograms_) cell->reset();
 }
 
 Json MetricsRegistry::to_json() const {
@@ -102,9 +261,14 @@ Json MetricsRegistry::to_json() const {
         kNanosPerSecond;
     spans[name] = std::move(entry);
   }
+  Json histograms = Json::object();
+  for (const auto& [name, cell] : histograms_) {
+    histograms[name] = cell->to_json();
+  }
   Json out = Json::object();
   out["counters"] = std::move(counters);
   out["spans"] = std::move(spans);
+  out["histograms"] = std::move(histograms);
   return out;
 }
 

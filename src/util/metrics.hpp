@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -12,6 +13,73 @@
 #include "util/sync.hpp"
 
 namespace extdict::util {
+
+/// Fixed-layout latency/value histogram: log-spaced buckets covering twelve
+/// decades ([1e-9, 1e3), ten buckets per decade — nanoseconds to a quarter
+/// hour when the unit is seconds), plus exact count/sum/min/max. The bucket
+/// layout is a compile-time constant, so two histograms always merge
+/// bucket-for-bucket and `to_json` is schema-stable.
+///
+/// Concurrency contract (same spirit as the registry's counters): `record`
+/// is wait-free-ish — relaxed atomic adds on the bucket cells and CAS loops
+/// for min/max/sum — and safe from any number of threads. `merge_from`,
+/// `quantile`, and `to_json` take racy-but-coherent snapshots: call them
+/// after quiescing writers when exact totals matter (benches join their
+/// clients first).
+class Histogram {
+ public:
+  /// Ten log-spaced buckets per decade across [1e-9, 1e3).
+  static constexpr int kBucketsPerDecade = 10;
+  static constexpr int kDecades = 12;
+  static constexpr int kBucketCount = kBucketsPerDecade * kDecades;
+  static constexpr double kFirstLower = 1e-9;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Records one observation. Non-positive values land in the first bucket,
+  /// values past the last bound in the last — count/sum/min/max stay exact
+  /// either way, only the quantile estimate saturates.
+  void record(double value) noexcept;
+
+  /// Upper bound of bucket `i` (the lower bound of bucket 0 is kFirstLower).
+  [[nodiscard]] static double bucket_upper(int i) noexcept;
+
+  /// Estimated q-quantile (q in [0, 1]): log-interpolated position inside
+  /// the bucket holding the ceil(q·count)-th observation, clamped to the
+  /// exact observed [min, max]. Returns 0 when empty.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  /// Adds `other`'s cells into this histogram (bucket-for-bucket; counts and
+  /// sums add, min/max combine).
+  void merge_from(const Histogram& other) noexcept;
+
+  void reset() noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+
+  /// Deterministic snapshot:
+  ///   {"count": n, "sum": s, "min": m, "max": M,
+  ///    "p50": ..., "p90": ..., "p95": ..., "p99": ...,
+  ///    "buckets": [{"le": upper, "count": c}, ...]}   (non-empty buckets
+  /// only, ascending by bound; quantities are 0 while empty).
+  [[nodiscard]] Json to_json() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};  // valid only while count_ > 0
+  std::atomic<double> max_{0.0};
+};
 
 /// Process-wide observability registry: named monotonic counters plus
 /// phase-scoped span timers, with deterministic JSON emission.
@@ -79,6 +147,18 @@ class MetricsRegistry {
   [[nodiscard]] std::uint64_t span_count(std::string_view name) const
       EXTDICT_EXCLUDES(mu_);
 
+  /// Resolves (creating on first use) the histogram cell for `name`. Like
+  /// counter cells, the reference stays valid for the registry's lifetime.
+  [[nodiscard]] Histogram& histogram(std::string_view name)
+      EXTDICT_EXCLUDES(mu_);
+
+  /// histogram(name).record(value); no-op while disabled.
+  void observe(std::string_view name, double value) EXTDICT_EXCLUDES(mu_);
+
+  /// Recorded-observation count (0 for a name never touched).
+  [[nodiscard]] std::uint64_t histogram_count(std::string_view name) const
+      EXTDICT_EXCLUDES(mu_);
+
   /// Toggles the convenience mutators. Direct cell references returned by
   /// `counter()`/`span()` are not gated — callers holding one opt out of
   /// the switch knowingly.
@@ -94,7 +174,8 @@ class MetricsRegistry {
 
   /// Deterministic snapshot:
   ///   {"counters": {name: value, ...},
-  ///    "spans": {name: {"count": n, "seconds": s}, ...}}
+  ///    "spans": {name: {"count": n, "seconds": s}, ...},
+  ///    "histograms": {name: Histogram::to_json(), ...}}
   /// Names are emitted in lexicographic order.
   [[nodiscard]] Json to_json() const EXTDICT_EXCLUDES(mu_);
 
@@ -109,6 +190,8 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
       EXTDICT_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Span>, std::less<>> spans_
+      EXTDICT_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
       EXTDICT_GUARDED_BY(mu_);
   std::atomic<bool> enabled_{true};
 };

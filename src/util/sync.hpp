@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -146,6 +147,19 @@ class CondVar {
     std::unique_lock<std::mutex> native(mu.raw_, std::adopt_lock);
     cv_.wait(native);
     native.release();
+  }
+
+  /// Timed variant of `wait`: returns std::cv_status::timeout once `deadline`
+  /// passes without a notification. Same locking contract as `wait`, and the
+  /// same spurious-wakeup caveat — callers loop on predicate *and* clock.
+  template <class Clock, class Duration>
+  std::cv_status wait_until(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      EXTDICT_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.raw_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(native, deadline);
+    native.release();
+    return status;
   }
 
   void notify_one() noexcept { cv_.notify_one(); }

@@ -94,6 +94,123 @@ TEST(Metrics, JsonSnapshotRoundTrips) {
   EXPECT_EQ(counters[1].first, "b.flops");
 }
 
+TEST(Histogram, ExactMomentsAndSaturatingBuckets) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+
+  h.record(1e-3);
+  h.record(2e-3);
+  h.record(4e-3);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 7e-3);
+  EXPECT_DOUBLE_EQ(h.min(), 1e-3);
+  EXPECT_DOUBLE_EQ(h.max(), 4e-3);
+
+  // Out-of-range values keep the exact moments; only buckets saturate.
+  h.record(0.0);      // below range → first bucket
+  h.record(1e9);      // above range → last bucket
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1e9);
+}
+
+TEST(Histogram, QuantilesLandWithinBucketResolution) {
+  // 1000 evenly spread values in (0, 1]: the q-quantile is ~q, and a
+  // log-spaced bucket is at most a 10^0.1 ≈ 1.26x band, so assert to ~30%.
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(i * 1e-3);
+  for (const double q : {0.5, 0.9, 0.95, 0.99}) {
+    const double estimate = h.quantile(q);
+    EXPECT_GE(estimate, q * 0.7) << "q=" << q;
+    EXPECT_LE(estimate, q * 1.3) << "q=" << q;
+  }
+  // Extremes stay clamped inside the exact observed [min, max].
+  EXPECT_GE(h.quantile(0.0), 1e-3);
+  EXPECT_LE(h.quantile(0.0), 2e-3);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.0);
+}
+
+TEST(Histogram, MergeCombinesCellsExactly) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.record(1e-4);
+  for (int i = 0; i < 300; ++i) b.record(1e-2);
+  a.merge_from(b);
+  EXPECT_EQ(a.count(), 400u);
+  EXPECT_NEAR(a.sum(), 100 * 1e-4 + 300 * 1e-2, 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), 1e-4);
+  EXPECT_DOUBLE_EQ(a.max(), 1e-2);
+  // 3/4 of the mass sits at 1e-2, so the median follows it.
+  EXPECT_GT(a.quantile(0.5), 1e-3);
+}
+
+TEST(Histogram, RecordIsExactUnderConcurrentWriters) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record((t + 1) * 1e-6);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(h.min(), 1e-6);
+  EXPECT_DOUBLE_EQ(h.max(), kThreads * 1e-6);
+  double expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t) expected_sum += (t + 1) * 1e-6 * kPerThread;
+  EXPECT_NEAR(h.sum(), expected_sum, expected_sum * 1e-9);
+}
+
+TEST(Histogram, JsonSnapshotIsDeterministicAndSchemaStable) {
+  Histogram a, b;
+  for (const double v : {1e-3, 2e-3, 5e-2, 5e-2, 1.5}) {
+    a.record(v);
+    b.record(v);
+  }
+  EXPECT_EQ(a.to_json().dump(2), b.to_json().dump(2));
+  const Json j = Json::parse(a.to_json().dump());
+  EXPECT_EQ(j.at("count").as_u64(), 5u);
+  EXPECT_DOUBLE_EQ(j.at("min").as_double(), 1e-3);
+  EXPECT_DOUBLE_EQ(j.at("max").as_double(), 1.5);
+  const auto& buckets = j.at("buckets").as_array();
+  ASSERT_FALSE(buckets.empty());
+  std::uint64_t total = 0;
+  double last_le = 0;
+  for (const auto& bucket : buckets) {
+    EXPECT_GT(bucket.at("le").as_double(), last_le);  // ascending bounds
+    last_le = bucket.at("le").as_double();
+    total += bucket.at("count").as_u64();
+  }
+  EXPECT_EQ(total, 5u);  // non-empty buckets partition the observations
+}
+
+TEST(Metrics, RegistryHistogramsObserveResetAndEmit) {
+  MetricsRegistry registry;
+  registry.observe("lat", 1e-3);
+  registry.observe("lat", 2e-3);
+  EXPECT_EQ(registry.histogram_count("lat"), 2u);
+  EXPECT_EQ(registry.histogram_count("never"), 0u);
+
+  registry.set_enabled(false);
+  registry.observe("lat", 5e-3);  // dropped by the gate
+  EXPECT_EQ(registry.histogram_count("lat"), 2u);
+  registry.set_enabled(true);
+
+  const Json snapshot = registry.to_json();
+  EXPECT_EQ(snapshot.at("histograms").at("lat").at("count").as_u64(), 2u);
+
+  Histogram& cell = registry.histogram("lat");
+  registry.reset();
+  EXPECT_EQ(registry.histogram_count("lat"), 0u);
+  cell.record(1.0);  // handle survives reset, like counter cells
+  EXPECT_EQ(registry.histogram_count("lat"), 1u);
+}
+
 TEST(Json, ParseDumpRoundTripsTrickyValues) {
   const char* text =
       R"({"s":"a\"b\\c\né","n":[0,-1,3.25,1e-3,9007199254740991],)"

@@ -1,0 +1,163 @@
+// BoundedQueue contracts: FIFO order, capacity enforcement per backpressure
+// policy, timed pops for the micro-batch flush path, and close semantics
+// (drain for graceful stop, close_and_drain for discard).
+
+#include "serve/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace extdict::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(BoundedQueue, FifoOrderAcrossPushPop) {
+  BoundedQueue<int> q(8, BackpressurePolicy::kReject);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(q.push(int{i}).status, PushStatus::kAccepted);
+  }
+  EXPECT_EQ(q.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    const auto item = q.try_pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BoundedQueue, RejectPolicyFailsWhenFullAndKeepsItem) {
+  BoundedQueue<int> q(2, BackpressurePolicy::kReject);
+  EXPECT_EQ(q.push(1).status, PushStatus::kAccepted);
+  EXPECT_EQ(q.push(2).status, PushStatus::kAccepted);
+  int third = 3;
+  const auto result = q.push(std::move(third));
+  EXPECT_EQ(result.status, PushStatus::kRejected);
+  EXPECT_FALSE(result.shed.has_value());
+  EXPECT_EQ(third, 3);  // not consumed
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(BoundedQueue, ShedOldestEvictsHeadAndPreservesOrder) {
+  BoundedQueue<int> q(3, BackpressurePolicy::kShedOldest);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(q.push(int{i}).status, PushStatus::kAccepted);
+  }
+  const auto result = q.push(99);
+  EXPECT_EQ(result.status, PushStatus::kAccepted);
+  ASSERT_TRUE(result.shed.has_value());
+  EXPECT_EQ(*result.shed, 0);  // the oldest
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(*q.try_pop(), 1);
+  EXPECT_EQ(*q.try_pop(), 2);
+  EXPECT_EQ(*q.try_pop(), 99);
+}
+
+TEST(BoundedQueue, BlockPolicyWaitsForSpace) {
+  BoundedQueue<int> q(1, BackpressurePolicy::kBlock);
+  EXPECT_EQ(q.push(1).status, PushStatus::kAccepted);
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_EQ(q.push(2).status, PushStatus::kAccepted);
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(pushed.load());  // still blocked on the full queue
+  EXPECT_EQ(*q.pop(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(*q.pop(), 2);
+}
+
+TEST(BoundedQueue, CloseUnblocksBlockedPusherWithClosed) {
+  BoundedQueue<int> q(1, BackpressurePolicy::kBlock);
+  EXPECT_EQ(q.push(1).status, PushStatus::kAccepted);
+  std::atomic<bool> saw_closed{false};
+  std::thread producer([&] {
+    if (q.push(2).status == PushStatus::kClosed) saw_closed.store(true);
+  });
+  std::this_thread::sleep_for(10ms);
+  q.close();
+  producer.join();
+  EXPECT_TRUE(saw_closed.load());
+  // The backlog stays poppable after close (drain semantics)...
+  EXPECT_EQ(*q.pop(), 1);
+  // ...and a drained closed queue pops nullopt instead of blocking.
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, PopBlocksUntilItemArrives) {
+  BoundedQueue<int> q(4, BackpressurePolicy::kBlock);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(10ms);
+    EXPECT_EQ(q.push(7).status, PushStatus::kAccepted);
+  });
+  const auto item = q.pop();  // blocks until the producer delivers
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(*item, 7);
+  producer.join();
+}
+
+TEST(BoundedQueue, PopUntilTimesOutOnEmptyQueue) {
+  BoundedQueue<int> q(4, BackpressurePolicy::kBlock);
+  const auto before = std::chrono::steady_clock::now();
+  const auto item = q.pop_until(before + 5ms);
+  EXPECT_FALSE(item.has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - before, 5ms);
+}
+
+TEST(BoundedQueue, PopUntilReturnsItemBeforeDeadline) {
+  BoundedQueue<int> q(4, BackpressurePolicy::kBlock);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(5ms);
+    EXPECT_EQ(q.push(42).status, PushStatus::kAccepted);
+  });
+  const auto item = q.pop_until(std::chrono::steady_clock::now() + 500ms);
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(*item, 42);
+  producer.join();
+}
+
+TEST(BoundedQueue, PushAfterCloseReturnsClosed) {
+  BoundedQueue<int> q(4, BackpressurePolicy::kReject);
+  q.close();
+  EXPECT_EQ(q.push(1).status, PushStatus::kClosed);
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(BoundedQueue, CloseAndDrainHandsBackBacklogInOrder) {
+  BoundedQueue<int> q(4, BackpressurePolicy::kReject);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(q.push(int{i}).status, PushStatus::kAccepted);
+  }
+  const auto drained = q.close_and_drain();
+  ASSERT_EQ(drained.size(), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(drained[static_cast<std::size_t>(i)], i);
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_EQ(q.push(9).status, PushStatus::kClosed);
+}
+
+TEST(BoundedQueue, ZeroCapacityClampsToOne) {
+  BoundedQueue<int> q(0, BackpressurePolicy::kReject);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_EQ(q.push(1).status, PushStatus::kAccepted);
+  EXPECT_EQ(q.push(2).status, PushStatus::kRejected);
+}
+
+TEST(BoundedQueue, MoveOnlyItemsFlowThrough) {
+  BoundedQueue<std::unique_ptr<int>> q(2, BackpressurePolicy::kShedOldest);
+  EXPECT_EQ(q.push(std::make_unique<int>(1)).status, PushStatus::kAccepted);
+  EXPECT_EQ(q.push(std::make_unique<int>(2)).status, PushStatus::kAccepted);
+  const auto result = q.push(std::make_unique<int>(3));
+  EXPECT_EQ(result.status, PushStatus::kAccepted);
+  ASSERT_TRUE(result.shed.has_value());
+  EXPECT_EQ(**result.shed, 1);
+  EXPECT_EQ(**q.pop(), 2);
+  EXPECT_EQ(**q.pop(), 3);
+}
+
+}  // namespace
+}  // namespace extdict::serve

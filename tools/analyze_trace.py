@@ -24,6 +24,11 @@ The trace layout (src/util/trace.hpp): pid = emulated rank (HOST_PID for
 untagged host threads), tid = ring-buffer registration index, ts in
 microseconds. Waiting is recorded inside comm.recv / comm.barrier slices
 (the receive scope opens before the blocking mailbox pop).
+
+Serving-layer traces (bench/run_server_bench, src/serve/) have no rank
+lanes at all — worker threads stay on HOST_PID. For those, analysis reports
+the serve.batch.* family instead: batches formed, columns per batch, and
+queue-wait vs encode-time attribution from the span args.
 """
 
 import json
@@ -200,6 +205,40 @@ def rank_attribution(spans):
     return result
 
 
+def serve_attribution(spans):
+    """Micro-batch scheduler summary from serve.batch.* spans (any lane,
+    including HOST_PID — serving workers are not rank-tagged). Returns True
+    when the trace contains the family."""
+    batches = 0
+    columns = []
+    encode_us = 0.0
+    collect_us = 0.0
+    queue_us = 0
+    for lane_spans in spans.values():
+        for span in lane_spans:
+            if span["name"] == "serve.batch.encode":
+                batches += 1
+                columns.append(span["args"].get("columns", 0))
+                encode_us += span["end"] - span["start"]
+                queue_us += span["args"].get("queue_us", 0)
+            elif span["name"] == "serve.batch.collect":
+                collect_us += span["end"] - span["start"]
+    if batches == 0:
+        return False
+    total_columns = sum(columns)
+    mean_columns = total_columns / batches
+    print(f"\nserve.batch.*: {batches} batch(es), {total_columns} column(s) "
+          f"(mean {mean_columns:.1f}/batch, max {max(columns)})")
+    print(f"  encode wall {encode_us / 1e3:.3f} ms, collect wall "
+          f"{collect_us / 1e3:.3f} ms, summed per-request queue wait "
+          f"{queue_us / 1e3:.3f} ms")
+    if encode_us > 0:
+        print(f"  queue-wait / encode-wall ratio: {queue_us / encode_us:.2f} "
+              "(large values mean requests spend far longer queued than "
+              "being encoded — add workers or shrink the flush window)")
+    return True
+
+
 def iteration_groups(spans, name):
     """Cross-rank groups of `name` spans: same iteration arg, overlapping in
     time (successive runs of the same workload are far apart, so a group is
@@ -248,27 +287,33 @@ def analyze(doc, spans):
     model = other.get("model", {}) if isinstance(other, dict) else {}
 
     ranks = rank_attribution(spans)
-    if not ranks:
-        fail("no rank lanes in trace (nothing ran under dist::Cluster?)")
-    expected_p = model.get("p")
-    if isinstance(expected_p, int) and len(ranks) < expected_p:
-        fail(f"model says p={expected_p} ranks but only {len(ranks)} rank "
-             "lanes traced")
+    if ranks:
+        expected_p = model.get("p")
+        if isinstance(expected_p, int) and len(ranks) < expected_p:
+            fail(f"model says p={expected_p} ranks but only {len(ranks)} rank "
+                 "lanes traced")
 
-    print(f"ranks: {len(ranks)}"
-          + (f" (model p={expected_p})" if expected_p else ""))
-    print(f"{'rank':>6} {'total ms':>10} {'compute ms':>11} {'comm ms':>9} "
-          f"{'wait ms':>9} {'comm %':>7}")
-    computes = []
-    for pid, att in ranks.items():
-        computes.append(att["compute_us"])
-        share = 100.0 * att["comm_us"] / att["total_us"] if att["total_us"] else 0.0
-        print(f"{pid:>6} {att['total_us'] / 1e3:>10.3f} "
-              f"{att['compute_us'] / 1e3:>11.3f} {att['comm_us'] / 1e3:>9.3f} "
-              f"{att['wait_us'] / 1e3:>9.3f} {share:>6.1f}%")
-    mean_compute = sum(computes) / len(computes)
-    imbalance = max(computes) / mean_compute if mean_compute > 0 else 1.0
-    print(f"load imbalance (max/mean compute): {imbalance:.3f}")
+        print(f"ranks: {len(ranks)}"
+              + (f" (model p={expected_p})" if expected_p else ""))
+        print(f"{'rank':>6} {'total ms':>10} {'compute ms':>11} {'comm ms':>9} "
+              f"{'wait ms':>9} {'comm %':>7}")
+        computes = []
+        for pid, att in ranks.items():
+            computes.append(att["compute_us"])
+            share = (100.0 * att["comm_us"] / att["total_us"]
+                     if att["total_us"] else 0.0)
+            print(f"{pid:>6} {att['total_us'] / 1e3:>10.3f} "
+                  f"{att['compute_us'] / 1e3:>11.3f} "
+                  f"{att['comm_us'] / 1e3:>9.3f} "
+                  f"{att['wait_us'] / 1e3:>9.3f} {share:>6.1f}%")
+        mean_compute = sum(computes) / len(computes)
+        imbalance = max(computes) / mean_compute if mean_compute > 0 else 1.0
+        print(f"load imbalance (max/mean compute): {imbalance:.3f}")
+
+    served = serve_attribution(spans)
+    if not ranks and not served:
+        fail("no rank lanes and no serve.batch.* spans in trace (nothing ran "
+             "under dist::Cluster or serve::ExtDictServer?)")
 
     min_m_l = model.get("min_m_l")
     for name in ITERATION_SPANS:

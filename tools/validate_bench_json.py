@@ -5,10 +5,12 @@ Dependency-free (stdlib json only). CI's bench-smoke job runs
 
     run_benchmarks --quick --out OUT
     tools/validate_bench_json.py OUT/BENCH_gram_model.json OUT/BENCH_solvers.json
+    run_server_bench --quick --out OUT
+    tools/validate_bench_json.py OUT/BENCH_serve.json
 
 so a schema drift — a renamed field, a type change, a dropped summary — fails
 the PR even when the benchmark itself runs fine. The checked-in repo-root
-copies of both files must also validate (the default when run with no args).
+copies of the files must also validate (the default when run with no args).
 
 The schema language is a small subset of JSON Schema: dicts with "type",
 "required", "properties", "items". Unknown extra fields are allowed — the
@@ -169,6 +171,105 @@ SOLVERS_SCHEMA = {
     },
 }
 
+SERVE_LATENCY = {
+    "type": "object",
+    "required": [
+        "count", "mean_seconds", "p50_seconds", "p90_seconds", "p95_seconds",
+        "p99_seconds", "max_seconds",
+    ],
+    "properties": {name: NUMBER for name in (
+        "count", "mean_seconds", "p50_seconds", "p90_seconds", "p95_seconds",
+        "p99_seconds", "max_seconds")},
+}
+
+SERVE_COUNTS = {
+    "type": "object",
+    "required": [
+        "submitted", "accepted", "served", "rejected", "shed", "stopped",
+        "discarded", "invalid", "encode_failed", "lost", "batches",
+        "columns_encoded", "max_batch_columns",
+    ],
+    "properties": {name: NUMBER for name in (
+        "submitted", "accepted", "served", "rejected", "shed", "stopped",
+        "discarded", "invalid", "encode_failed", "lost", "batches",
+        "columns_encoded", "max_batch_columns")},
+}
+
+SERVE_CASE = {
+    "type": "object",
+    "required": [
+        "name", "loop", "policy", "max_batch", "max_delay_us", "workers",
+        "queue_capacity", "requests", "wall_seconds", "throughput_rps",
+        "counts", "latency", "queue_wait",
+    ],
+    "properties": {
+        "name": STRING,
+        "loop": STRING,
+        "policy": STRING,
+        "max_batch": NUMBER,
+        "max_delay_us": NUMBER,
+        "workers": NUMBER,
+        "queue_capacity": NUMBER,
+        "requests": NUMBER,
+        "offered_rps": NUMBER,  # open-loop cases only
+        "wall_seconds": NUMBER,
+        "throughput_rps": NUMBER,
+        "counts": SERVE_COUNTS,
+        "latency": SERVE_LATENCY,
+        "queue_wait": SERVE_LATENCY,
+    },
+}
+
+SERVE_SCHEMA = {
+    "type": "object",
+    "required": [
+        "schema_version", "benchmark", "mode", "units", "workload", "cases",
+        "summary",
+    ],
+    "properties": {
+        "schema_version": NUMBER,
+        "benchmark": STRING,
+        "mode": STRING,
+        "units": STRING,
+        "workload": {
+            "type": "object",
+            "required": [
+                "signal_dim", "atoms", "tolerance", "max_atoms",
+                "signal_pool", "seeds",
+            ],
+            "properties": {
+                "signal_dim": NUMBER,
+                "atoms": NUMBER,
+                "tolerance": NUMBER,
+                "max_atoms": NUMBER,
+                "signal_pool": NUMBER,
+                "seeds": STRING,
+            },
+        },
+        "cases": {"type": "array", "items": SERVE_CASE},
+        "summary": {
+            "type": "object",
+            "required": [
+                "cases", "total_submitted", "total_served", "total_lost",
+                "all_futures_resolved", "accounting_balanced", "batch1_rps",
+                "batch32_rps", "batch_speedup", "batch_amortization_win",
+            ],
+            "properties": {
+                "cases": NUMBER,
+                "total_submitted": NUMBER,
+                "total_served": NUMBER,
+                "total_lost": NUMBER,
+                "all_futures_resolved": BOOL,
+                "accounting_balanced": BOOL,
+                "batch1_rps": NUMBER,
+                "batch32_rps": NUMBER,
+                "batch_speedup": NUMBER,
+                "batch_amortization_win": BOOL,
+            },
+        },
+    },
+}
+
 TYPE_CHECKS = {
     "object": lambda v: isinstance(v, dict),
     "array": lambda v: isinstance(v, list),
@@ -223,6 +324,51 @@ def check_semantics_gram(doc, errors):
                           "numbers differ")
 
 
+def check_semantics_serve(doc, errors):
+    """The serving contract: nothing lost, books balance, batching pays."""
+    summary = doc.get("summary", {})
+    cases = doc.get("cases", [])
+    if summary.get("cases") != len(cases):
+        errors.append("summary.cases disagrees with len(cases)")
+    if summary.get("total_lost") != 0:
+        errors.append("summary.total_lost is nonzero: futures were lost")
+    if not summary.get("all_futures_resolved", False):
+        errors.append("summary.all_futures_resolved is false")
+    if not summary.get("accounting_balanced", False):
+        errors.append("summary.accounting_balanced is false")
+    if not summary.get("batch_amortization_win", False):
+        errors.append("summary.batch_amortization_win is false: micro-"
+                      "batching did not beat the batch-size-1 configuration")
+    if summary.get("batch_speedup", 0) <= 1.0:
+        errors.append("summary.batch_speedup is not > 1")
+    names = {c.get("name") for c in cases}
+    for wanted in ("closed_batch1_w1", "closed_batch32_w1"):
+        if wanted not in names:
+            errors.append(f"amortization pair case '{wanted}' is missing")
+    for i, case in enumerate(cases):
+        counts = case.get("counts", {})
+        if counts.get("lost") != 0:
+            errors.append(f"cases[{i}]: counts.lost is nonzero")
+        submitted = counts.get("submitted", 0)
+        refused = sum(counts.get(k, 0)
+                      for k in ("accepted", "invalid", "rejected", "stopped"))
+        if submitted != refused:
+            errors.append(f"cases[{i}]: submitted != accepted + invalid + "
+                          "rejected + stopped")
+        accepted = counts.get("accepted", 0)
+        settled = sum(counts.get(k, 0)
+                      for k in ("served", "encode_failed", "shed", "discarded"))
+        if accepted != settled:
+            errors.append(f"cases[{i}]: accepted != served + encode_failed + "
+                          "shed + discarded")
+        if counts.get("columns_encoded") != (counts.get("served", 0)
+                                             + counts.get("encode_failed", 0)):
+            errors.append(f"cases[{i}]: columns_encoded != served + "
+                          "encode_failed")
+        if case.get("loop") == "open" and "offered_rps" not in case:
+            errors.append(f"cases[{i}]: open-loop case lacks offered_rps")
+
+
 def run(path, schema, semantic_check=None):
     try:
         doc = json.loads(Path(path).read_text())
@@ -241,7 +387,8 @@ def run(path, schema, semantic_check=None):
 
 
 def main(argv):
-    paths = argv[1:] or ["BENCH_gram_model.json", "BENCH_solvers.json"]
+    paths = argv[1:] or ["BENCH_gram_model.json", "BENCH_solvers.json",
+                         "BENCH_serve.json"]
     ok = True
     for path in paths:
         name = Path(path).name
@@ -249,9 +396,12 @@ def main(argv):
             ok &= run(path, GRAM_MODEL_SCHEMA, check_semantics_gram)
         elif "solvers" in name:
             ok &= run(path, SOLVERS_SCHEMA)
+        elif "serve" in name:
+            ok &= run(path, SERVE_SCHEMA, check_semantics_serve)
         else:
             print(f"FAIL {path}: unknown artifact (expected "
-                  "BENCH_gram_model.json or BENCH_solvers.json)")
+                  "BENCH_gram_model.json, BENCH_solvers.json, or "
+                  "BENCH_serve.json)")
             ok = False
     return 0 if ok else 1
 
