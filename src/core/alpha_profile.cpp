@@ -6,6 +6,7 @@
 
 #include "core/exd.hpp"
 #include "la/random.hpp"
+#include "util/contracts.hpp"
 #include "util/timer.hpp"
 
 namespace extdict::core {
@@ -26,9 +27,8 @@ const AlphaPoint& AlphaProfile::at(Index l) const {
 
 AlphaProfile estimate_alpha_profile(const Matrix& a,
                                     const AlphaProfileConfig& config) {
-  if (config.l_grid.empty() || config.trials < 1) {
-    throw std::invalid_argument("estimate_alpha_profile: bad config");
-  }
+  EXTDICT_REQUIRE_SHAPE(!config.l_grid.empty() && config.trials >= 1,
+                        "estimate_alpha_profile: bad config");
   util::Timer timer;
   AlphaProfile profile;
   profile.columns_used = a.cols();
@@ -72,12 +72,10 @@ AlphaProfile estimate_alpha_profile_subsets(const Matrix& a,
                                             const AlphaProfileConfig& config,
                                             std::vector<Index> subset_sizes,
                                             Real convergence_threshold) {
-  if (subset_sizes.empty()) {
-    throw std::invalid_argument("estimate_alpha_profile_subsets: empty sizes");
-  }
-  if (!std::is_sorted(subset_sizes.begin(), subset_sizes.end())) {
-    throw std::invalid_argument("estimate_alpha_profile_subsets: sizes must increase");
-  }
+  EXTDICT_REQUIRE_SHAPE(!subset_sizes.empty(),
+                        "estimate_alpha_profile_subsets: empty sizes");
+  EXTDICT_REQUIRE_SHAPE(std::is_sorted(subset_sizes.begin(), subset_sizes.end()),
+                        "estimate_alpha_profile_subsets: sizes must increase");
   util::Timer timer;
   la::Rng rng(config.seed ^ 0xabcdefULL);
   // One shared shuffled order makes the subsets nested: A_1 ⊂ A_2 ⊂ ... ⊂ A.

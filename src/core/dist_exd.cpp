@@ -1,10 +1,9 @@
 #include "core/dist_exd.hpp"
 
-#include <stdexcept>
-
 #include "core/dist_gram.hpp"
 #include "la/random.hpp"
 #include "sparsecoding/batch_omp.hpp"
+#include "util/contracts.hpp"
 #include "util/metrics.hpp"
 #include "util/timer.hpp"
 #include "util/trace.hpp"
@@ -13,10 +12,9 @@ namespace extdict::core {
 
 DistExdResult exd_transform_distributed(const dist::Cluster& cluster,
                                         const Matrix& a, const ExdConfig& config) {
-  if (config.dictionary_size <= 0 || config.dictionary_size > a.cols()) {
-    throw std::invalid_argument(
-        "exd_transform_distributed: dictionary_size out of range");
-  }
+  EXTDICT_REQUIRE_SHAPE(
+      config.dictionary_size > 0 && config.dictionary_size <= a.cols(),
+      "exd_transform_distributed: dictionary_size out of range");
   const Index m = a.rows();
   const Index l = config.dictionary_size;
   const Index n = a.cols();

@@ -2,7 +2,6 @@
 
 #include <cmath>
 #include <numeric>
-#include <stdexcept>
 
 #include "la/blas.hpp"
 #include "util/contracts.hpp"
@@ -46,12 +45,10 @@ void normalize_distributed(dist::Communicator& comm, std::span<Real> local) {
 DistGramResult dist_gram_apply(const dist::Cluster& cluster, const Matrix& d,
                                const CscMatrix& c, const la::Vector& x0,
                                int iterations, GramStrategy strategy) {
-  if (c.rows() != d.cols()) {
-    throw std::invalid_argument("dist_gram_apply: D/C shape mismatch");
-  }
-  if (static_cast<Index>(x0.size()) != c.cols()) {
-    throw std::invalid_argument("dist_gram_apply: x size mismatch");
-  }
+  EXTDICT_REQUIRE_SHAPE(c.rows() == d.cols(),
+                        "dist_gram_apply: D/C shape mismatch");
+  EXTDICT_REQUIRE_SHAPE(static_cast<Index>(x0.size()) == c.cols(),
+                        "dist_gram_apply: x size mismatch");
   EXTDICT_CHECK_FINITE(std::span<const Real>(x0), "dist_gram_apply: x0");
   const Index m = d.rows();
   const Index l = d.cols();
@@ -237,9 +234,8 @@ DistGramResult dist_gram_apply(const dist::Cluster& cluster, const Matrix& d,
 DistGramResult dist_gram_apply_original(const dist::Cluster& cluster,
                                         const Matrix& a, const la::Vector& x0,
                                         int iterations) {
-  if (static_cast<Index>(x0.size()) != a.cols()) {
-    throw std::invalid_argument("dist_gram_apply_original: x size mismatch");
-  }
+  EXTDICT_REQUIRE_SHAPE(static_cast<Index>(x0.size()) == a.cols(),
+                        "dist_gram_apply_original: x size mismatch");
   const Index m = a.rows();
   const Index n = a.cols();
   const Index p = cluster.topology().total();

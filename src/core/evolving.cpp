@@ -1,17 +1,15 @@
 #include "core/evolving.hpp"
 
-#include <stdexcept>
-
 #include "la/blas.hpp"
 #include "la/random.hpp"
 #include "sparsecoding/batch_omp.hpp"
+#include "util/contracts.hpp"
 
 namespace extdict::core {
 
 EvolveReport evolve(ExdResult& exd, const Matrix& a_new, const ExdConfig& config) {
-  if (a_new.rows() != exd.dictionary.rows()) {
-    throw std::invalid_argument("evolve: row mismatch with existing dictionary");
-  }
+  EXTDICT_REQUIRE_SHAPE(a_new.rows() == exd.dictionary.rows(),
+                        "evolve: row mismatch with existing dictionary");
   EvolveReport report;
   report.new_columns = a_new.cols();
   if (a_new.cols() == 0) return report;

@@ -1,7 +1,6 @@
 #include "core/exd.hpp"
 
 #include <cmath>
-#include <stdexcept>
 
 #include "la/blas.hpp"
 #include "la/random.hpp"
@@ -13,9 +12,9 @@
 namespace extdict::core {
 
 ExdResult exd_transform(const Matrix& a, const ExdConfig& config) {
-  if (config.dictionary_size <= 0 || config.dictionary_size > a.cols()) {
-    throw std::invalid_argument("exd_transform: dictionary_size out of range");
-  }
+  EXTDICT_REQUIRE_SHAPE(
+      config.dictionary_size > 0 && config.dictionary_size <= a.cols(),
+      "exd_transform: dictionary_size out of range");
   la::Rng rng(config.seed);
   // Alg. 1 step 0: uniform random subset of column indices forms D.
   std::vector<Index> atoms =
@@ -28,9 +27,8 @@ ExdResult exd_transform(const Matrix& a, const ExdConfig& config) {
 
 ExdResult exd_transform_with_dictionary(const Matrix& a, Matrix dictionary,
                                         const ExdConfig& config) {
-  if (dictionary.rows() != a.rows()) {
-    throw std::invalid_argument("exd_transform_with_dictionary: row mismatch");
-  }
+  EXTDICT_REQUIRE_SHAPE(dictionary.rows() == a.rows(),
+                        "exd_transform_with_dictionary: row mismatch");
   EXTDICT_CHECK_FINITE(
       std::span<const Real>(a.data(), static_cast<std::size_t>(a.size())),
       "exd_transform: data matrix");
@@ -54,9 +52,9 @@ ExdResult exd_transform_with_dictionary(const Matrix& a, Matrix dictionary,
 }
 
 Real transformation_error(const Matrix& a, const Matrix& d, const CscMatrix& c) {
-  if (c.rows() != d.cols() || c.cols() != a.cols() || d.rows() != a.rows()) {
-    throw std::invalid_argument("transformation_error: shape mismatch");
-  }
+  EXTDICT_REQUIRE_SHAPE(
+      c.rows() == d.cols() && c.cols() == a.cols() && d.rows() == a.rows(),
+      "transformation_error: shape mismatch");
   const Index n = a.cols();
   Real num = 0, den = 0;
 #pragma omp parallel for schedule(static) reduction(+ : num, den) if (n > 64)

@@ -61,7 +61,7 @@ class DenseGramOperator final : public GramOperator {
   [[nodiscard]] std::uint64_t flops_per_apply() const noexcept override;
 
  private:
-  const Matrix* a_;
+  const Matrix* const a_;
   mutable util::Mutex scratch_mu_;  // leaf lock (policy: util/sync.hpp)
   mutable la::Vector scratch_ EXTDICT_GUARDED_BY(scratch_mu_);  // A x
 };
@@ -83,8 +83,8 @@ class TransformedGramOperator final : public GramOperator {
   [[nodiscard]] std::uint64_t flops_per_apply() const noexcept override;
 
  private:
-  const Matrix* d_;
-  const CscMatrix* c_;
+  const Matrix* const d_;
+  const CscMatrix* const c_;
   mutable util::Mutex scratch_mu_;  // leaf lock (policy: util/sync.hpp)
   mutable la::Vector v1_ EXTDICT_GUARDED_BY(scratch_mu_);  // C x       (L)
   mutable la::Vector v2_ EXTDICT_GUARDED_BY(scratch_mu_);  // D C x     (M)

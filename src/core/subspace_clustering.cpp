@@ -40,10 +40,9 @@ ClusteringResult cluster_by_codes(const ExdResult& exd,
                                   const ClusteringConfig& config) {
   const CscMatrix& c = exd.coefficients;
   const Index n = c.cols();
-  if (exd.atom_indices.size() != static_cast<std::size_t>(c.rows())) {
-    throw std::invalid_argument(
-        "cluster_by_codes: transform lacks atom provenance (atom_indices)");
-  }
+  EXTDICT_REQUIRE_SHAPE(
+      exd.atom_indices.size() == static_cast<std::size_t>(c.rows()),
+      "cluster_by_codes: transform lacks atom provenance (atom_indices)");
 
   // Union columns with the *source columns* of the atoms they use.
   DisjointSets sets(n);

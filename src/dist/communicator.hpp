@@ -36,7 +36,7 @@ class CentralBarrier {
   // lock-ordering policy in util/sync.hpp).
   util::Mutex mu_;
   util::CondVar cv_;
-  Index total_;
+  const Index total_;
   Index count_ EXTDICT_GUARDED_BY(mu_) = 0;
   std::uint64_t generation_ EXTDICT_GUARDED_BY(mu_) = 0;
   bool poisoned_ EXTDICT_GUARDED_BY(mu_) = false;
@@ -46,8 +46,13 @@ class CentralBarrier {
 struct SharedState {
   explicit SharedState(Topology topo);
 
+  // Written once by the constructor, read-only (topology) or internally
+  // synchronized (Mailbox, CentralBarrier own leaf locks) afterwards.
+  // extdict-analyze: allow(guarded-by) construction-time init, then immutable
   Topology topology;
+  // extdict-analyze: allow(guarded-by) Mailboxes are internally synchronized
   std::vector<std::unique_ptr<Mailbox>> boxes;
+  // extdict-analyze: allow(guarded-by) CentralBarrier is internally synchronized
   CentralBarrier barrier;
 
   std::atomic<bool> aborted{false};

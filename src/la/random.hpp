@@ -32,11 +32,13 @@ class Rng {
     return d(engine_);
   }
 
+  // extdict-lint: allow(missing-shape-contract) any length is valid
   void fill_gaussian(std::span<Real> x, Real mean = 0, Real stddev = 1) {
     std::normal_distribution<Real> d(mean, stddev);
     for (Real& v : x) v = d(engine_);
   }
 
+  // extdict-lint: allow(missing-shape-contract) any length is valid
   void fill_uniform(std::span<Real> x, Real lo = 0, Real hi = 1) {
     std::uniform_real_distribution<Real> d(lo, hi);
     for (Real& v : x) v = d(engine_);

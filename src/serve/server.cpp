@@ -24,13 +24,17 @@ void fail(std::promise<EncodeResult>& promise, std::exception_ptr error) {
 
 }  // namespace
 
+ServerConfig ExtDictServer::sanitized(ServerConfig config) noexcept {
+  config.max_batch = std::max<Index>(1, config.max_batch);
+  config.workers = std::max(1, config.workers);
+  return config;
+}
+
 ExtDictServer::ExtDictServer(la::Matrix dictionary, ServerConfig config)
-    : config_(config),
+    : config_(sanitized(config)),
       dict_(std::move(dictionary)),
       coder_(dict_, config.omp),
       queue_(config.queue_capacity, config.backpressure) {
-  config_.max_batch = std::max<Index>(1, config_.max_batch);
-  config_.workers = std::max(1, config_.workers);
   workers_.reserve(static_cast<std::size_t>(config_.workers));
   for (int w = 0; w < config_.workers; ++w) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -216,6 +220,11 @@ void ExtDictServer::stop(StopMode mode) {
       fail(request.promise, std::make_exception_ptr(ServerStopped()));
     }
   }
+  // Joining under stop_mu_ is the shutdown contract: concurrent stop() calls
+  // (and the destructor racing an explicit stop) must all return only after
+  // every worker has exited. Workers never touch stop_mu_, so this cannot
+  // deadlock — it only serializes the stoppers.
+  // extdict-analyze: allow(blocking-while-locked) shutdown join, by contract
   for (auto& worker : workers_) worker.join();
   stopped_ = true;
 }

@@ -176,19 +176,34 @@ class ExtDictServer {
   [[nodiscard]] sparsecoding::OmpConfig effective_config(
       const EncodeOptions& options) const noexcept;
 
-  ServerConfig config_;
-  la::Matrix dict_;
-  sparsecoding::BatchOmp coder_;
+  /// Clamps max_batch ≥ 1 and workers ≥ 1 so `config_` can stay const (and
+  /// lock-free to read) for the server's whole lifetime.
+  [[nodiscard]] static ServerConfig sanitized(ServerConfig config) noexcept;
+
+  const ServerConfig config_;
+  const la::Matrix dict_;
+  const sparsecoding::BatchOmp coder_;
+  // Internally synchronized: BoundedQueue owns its mutex (a leaf lock).
+  // extdict-analyze: allow(guarded-by) BoundedQueue is internally synchronized
   BoundedQueue<Request> queue_;
-  std::vector<std::thread> workers_;
+  // Written only by the constructor (pre-publication) and joined by stop()
+  // under stop_mu_; clang TSA exempts constructor bodies, so the annotation
+  // holds for every post-publication access.
+  std::vector<std::thread> workers_ EXTDICT_GUARDED_BY(stop_mu_);
 
   std::atomic<bool> accepting_{true};
   std::atomic<std::uint64_t> next_id_{0};
 
   // NOT a leaf lock (documented exception to the util/sync.hpp policy):
   // stop() holds it across queue close and worker join so concurrent stops
-  // serialize on the complete shutdown. Ordering: stop_mu_ → queue mutex;
-  // no other path acquires both, and workers never touch stop_mu_.
+  // serialize on the complete shutdown. No other path acquires both, and
+  // workers never touch stop_mu_. The two outgoing ordering edges — the
+  // queue's mutex (close / close_and_drain) and the metrics registry's
+  // (discard accounting) — are declared below; `tools/extdict-analyze.py`
+  // fails the build if the extracted lock-order graph ever grows an edge
+  // not declared here.
+  // extdict-analyze: non-leaf(ExtDictServer::stop_mu_ -> BoundedQueue::mu_)
+  // extdict-analyze: non-leaf(ExtDictServer::stop_mu_ -> MetricsRegistry::mu_)
   util::Mutex stop_mu_;
   bool stopped_ EXTDICT_GUARDED_BY(stop_mu_) = false;
 

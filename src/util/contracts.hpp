@@ -69,22 +69,47 @@ constexpr bool checks_enabled() noexcept {
 
 }  // namespace extdict::util
 
+// ---------------------------------------------------------------------------
+// Static-analysis markers (tools/extdict-analyze.py).
+//
+// Contract macros vanish during preprocessing, so an AST-level analyzer cannot
+// see which source lines evaluated a contract. Under -DEXTDICT_ANALYZE (set
+// only by the analyzer's -fsyntax-only front-end, never by a real build) each
+// contract macro additionally evaluates a distinct, declared-but-never-defined
+// marker function. The calls survive into the Clang AST with accurate
+// expansion locations and are never linked, so the markers need no definition.
+// Normal builds compile EXTDICT_ANALYZE_MARK to ((void)0).
+#ifdef EXTDICT_ANALYZE
+namespace extdict::util::analyze {
+void mark_require_shape();
+void mark_assert();
+void mark_hot_assert();
+void mark_check_finite();
+}  // namespace extdict::util::analyze
+#define EXTDICT_ANALYZE_MARK(name) ::extdict::util::analyze::mark_##name()
+#else
+#define EXTDICT_ANALYZE_MARK(name) ((void)0)
+#endif
+
 #ifdef EXTDICT_ENABLE_CHECKS
 
 #ifndef NDEBUG
 #define EXTDICT_HOT_ASSERT(cond, detail)                                  \
   do {                                                                    \
+    EXTDICT_ANALYZE_MARK(hot_assert);                                     \
     if (!(cond)) [[unlikely]] {                                           \
       ::extdict::util::contract_failure("assertion", __FILE__, __LINE__,  \
                                         #cond, (detail));                 \
     }                                                                     \
   } while (0)
 #else
-#define EXTDICT_HOT_ASSERT(cond, detail) ((void)sizeof(!(cond)))
+#define EXTDICT_HOT_ASSERT(cond, detail) \
+  (EXTDICT_ANALYZE_MARK(hot_assert), (void)sizeof(!(cond)))
 #endif
 
 #define EXTDICT_ASSERT(cond, detail)                                      \
   do {                                                                    \
+    EXTDICT_ANALYZE_MARK(assert);                                         \
     if (!(cond)) [[unlikely]] {                                           \
       ::extdict::util::contract_failure("assertion", __FILE__, __LINE__,  \
                                         #cond, (detail));                 \
@@ -93,6 +118,7 @@ constexpr bool checks_enabled() noexcept {
 
 #define EXTDICT_REQUIRE_SHAPE(cond, detail)                               \
   do {                                                                    \
+    EXTDICT_ANALYZE_MARK(require_shape);                                  \
     if (!(cond)) [[unlikely]] {                                           \
       ::extdict::util::contract_failure("shape requirement", __FILE__,    \
                                         __LINE__, #cond, (detail));       \
@@ -101,6 +127,7 @@ constexpr bool checks_enabled() noexcept {
 
 #define EXTDICT_CHECK_FINITE(span_expr, what)                             \
   do {                                                                    \
+    EXTDICT_ANALYZE_MARK(check_finite);                                   \
     const ::extdict::la::Index extdict_nf_ =                              \
         ::extdict::util::first_non_finite(span_expr);                     \
     if (extdict_nf_ >= 0) [[unlikely]] {                                  \
@@ -115,17 +142,21 @@ constexpr bool checks_enabled() noexcept {
 
 // Disabled contracts must not evaluate their operands; sizeof keeps the
 // expressions type-checked (and their variables "used") at zero cost.
-#define EXTDICT_ASSERT(cond, detail) ((void)sizeof(!(cond)))
+#define EXTDICT_ASSERT(cond, detail) \
+  (EXTDICT_ANALYZE_MARK(assert), (void)sizeof(!(cond)))
 
-#define EXTDICT_HOT_ASSERT(cond, detail) ((void)sizeof(!(cond)))
+#define EXTDICT_HOT_ASSERT(cond, detail) \
+  (EXTDICT_ANALYZE_MARK(hot_assert), (void)sizeof(!(cond)))
 
 #define EXTDICT_REQUIRE_SHAPE(cond, detail)              \
   do {                                                   \
+    EXTDICT_ANALYZE_MARK(require_shape);                 \
     if (!(cond)) [[unlikely]] {                          \
       ::extdict::util::shape_failure(__func__);          \
     }                                                    \
   } while (0)
 
-#define EXTDICT_CHECK_FINITE(span_expr, what) ((void)sizeof(span_expr))
+#define EXTDICT_CHECK_FINITE(span_expr, what) \
+  (EXTDICT_ANALYZE_MARK(check_finite), (void)sizeof(span_expr))
 
 #endif  // EXTDICT_ENABLE_CHECKS

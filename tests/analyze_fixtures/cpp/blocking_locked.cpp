@@ -1,0 +1,27 @@
+// Seeded violation: sleeps while holding a mutex.
+//
+// extdict-analyze-path: src/serve/fixture_blocking_locked.cpp
+// extdict-analyze-expect: blocking-while-locked
+#include <chrono>
+#include <thread>
+
+#include "util/sync.hpp"
+
+namespace extdict::serve {
+
+class FixtureSleepy {
+ public:
+  void nap() {
+    const util::MutexLock lock(mu_);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ++naps_;
+  }
+
+ private:
+  util::Mutex mu_;
+  long naps_ EXTDICT_GUARDED_BY(mu_) = 0;
+};
+
+inline void fixture_use_sleepy() { FixtureSleepy{}.nap(); }
+
+}  // namespace extdict::serve

@@ -1,0 +1,31 @@
+// Clean baseline: a condition-variable wait on the mutex it protects is the
+// one blocking operation that is legitimate under a lock.
+//
+// extdict-analyze-path: src/serve/fixture_blocking_ok.cpp
+// extdict-analyze-expect: none
+#include "util/sync.hpp"
+
+namespace extdict::serve {
+
+class FixtureGate {
+ public:
+  void open() {
+    const util::MutexLock lock(mu_);
+    ready_ = true;
+    cv_.notify_all();
+  }
+
+  void pass() {
+    const util::MutexLock lock(mu_);
+    while (!ready_) cv_.wait(mu_);
+  }
+
+ private:
+  util::Mutex mu_;
+  util::CondVar cv_;
+  bool ready_ EXTDICT_GUARDED_BY(mu_) = false;
+};
+
+inline void fixture_use_gate() { FixtureGate{}.open(); }
+
+}  // namespace extdict::serve

@@ -1,0 +1,23 @@
+// Seeded violation: a mutex-owning class with an unannotated mutable field.
+//
+// extdict-analyze-path: src/serve/fixture_guarded_missing.cpp
+// extdict-analyze-expect: guarded-by
+#include "util/sync.hpp"
+
+namespace extdict::serve {
+
+class FixtureCounter {
+ public:
+  void bump() {
+    const util::MutexLock lock(mu_);
+    ++count_;
+  }
+
+ private:
+  util::Mutex mu_;
+  long count_ = 0;  // missing EXTDICT_GUARDED_BY(mu_)
+};
+
+inline void fixture_use_counter() { FixtureCounter{}.bump(); }
+
+}  // namespace extdict::serve

@@ -1,0 +1,34 @@
+// Clean baseline for the guarded-by audit: annotated, const, atomic and
+// waived fields are all acceptable states for members of a mutex-owning
+// class.
+//
+// extdict-analyze-path: src/serve/fixture_guarded_ok.cpp
+// extdict-analyze-expect: none
+#include <atomic>
+
+#include "util/sync.hpp"
+
+namespace extdict::serve {
+
+class FixtureLedger {
+ public:
+  explicit FixtureLedger(long limit) : limit_(limit) {}
+
+  void record(long amount) {
+    const util::MutexLock lock(mu_);
+    balance_ += amount;
+    observed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  util::Mutex mu_;
+  long balance_ EXTDICT_GUARDED_BY(mu_) = 0;
+  const long limit_;
+  std::atomic<unsigned long> observed_{0};
+  // extdict-analyze: allow(guarded-by) fixture: written once at construction
+  double scale_ = 1.0;
+};
+
+inline void fixture_use_ledger() { FixtureLedger{10}.record(1); }
+
+}  // namespace extdict::serve

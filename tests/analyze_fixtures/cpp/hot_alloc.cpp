@@ -1,0 +1,25 @@
+// Seeded violation: a loop containing EXTDICT_HOT_ASSERT is hot by
+// declaration; allocating inside it (push_back) must fire. The assert's
+// detail argument itself is exempt — it only evaluates on failure.
+//
+// extdict-analyze-path: src/core/fixture_hot_alloc.cpp
+// extdict-analyze-expect: hot-loop-allocation
+#include <cstddef>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace extdict::core {
+
+double fixture_hot_copy(const std::vector<double>& xs,
+                        std::vector<double>& copies) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXTDICT_HOT_ASSERT(xs[i] >= 0.0, "negative sample");
+    copies.push_back(xs[i]);  // allocation inside a hot loop
+    sum += xs[i];
+  }
+  return sum;
+}
+
+}  // namespace extdict::core

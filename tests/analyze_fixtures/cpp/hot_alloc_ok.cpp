@@ -1,0 +1,36 @@
+// Clean baseline: allocations in a loop are fine when the loop is not hot
+// (no EXTDICT_HOT_ASSERT inside it), and a hot loop without allocations
+// passes. The HOT_ASSERT detail string is only evaluated on failure and is
+// exempt.
+//
+// extdict-analyze-path: src/core/fixture_hot_alloc_ok.cpp
+// extdict-analyze-expect: none
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace extdict::core {
+
+double fixture_cold_copy(const std::vector<double>& xs,
+                         std::vector<double>& copies) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    copies.push_back(xs[i]);  // not hot: no HOT_ASSERT in this loop
+    sum += xs[i];
+  }
+  return sum;
+}
+
+double fixture_hot_sum(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXTDICT_HOT_ASSERT(xs[i] >= 0.0,
+                       "negative sample at " + std::to_string(i));
+    sum += xs[i];
+  }
+  return sum;
+}
+
+}  // namespace extdict::core

@@ -1,0 +1,29 @@
+// Clean baseline: the same nested acquisition as the undeclared fixture,
+// but the ordering edge is declared at the source mutex — the analyzer
+// checks the extracted graph exactly matches the declared edges.
+//
+// extdict-analyze-path: src/serve/fixture_lock_order_declared.cpp
+// extdict-analyze-expect: none
+#include "util/sync.hpp"
+
+namespace extdict::serve {
+
+class FixtureOrdered {
+ public:
+  void both() {
+    const util::MutexLock hold_outer(outer_mu_);
+    const util::MutexLock hold_inner(inner_mu_);
+    ++generation_;
+  }
+
+ private:
+  // Outer intentionally wraps inner; the edge is part of the fixture contract.
+  // extdict-analyze: non-leaf(FixtureOrdered::outer_mu_ -> inner_mu_) by design
+  util::Mutex outer_mu_;
+  util::Mutex inner_mu_;
+  long generation_ EXTDICT_GUARDED_BY(inner_mu_) = 0;
+};
+
+inline void fixture_use_ordered() { FixtureOrdered{}.both(); }
+
+}  // namespace extdict::serve

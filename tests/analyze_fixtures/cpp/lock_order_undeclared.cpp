@@ -1,0 +1,26 @@
+// Seeded violation: acquires a second mutex while holding the first,
+// without declaring the ordering edge at the source mutex.
+//
+// extdict-analyze-path: src/serve/fixture_lock_order_undeclared.cpp
+// extdict-analyze-expect: lock-order
+#include "util/sync.hpp"
+
+namespace extdict::serve {
+
+class FixturePair {
+ public:
+  void both() {
+    const util::MutexLock hold_outer(outer_mu_);
+    const util::MutexLock hold_inner(inner_mu_);  // undeclared edge
+    ++generation_;
+  }
+
+ private:
+  util::Mutex outer_mu_;
+  util::Mutex inner_mu_;
+  long generation_ EXTDICT_GUARDED_BY(inner_mu_) = 0;
+};
+
+inline void fixture_use_pair() { FixturePair{}.both(); }
+
+}  // namespace extdict::serve

@@ -1,0 +1,21 @@
+// Seeded violation: loops over a Matrix parameter before any
+// EXTDICT_REQUIRE_SHAPE. Compiled by `extdict-analyze.py --self-test` with
+// -fsyntax-only -DEXTDICT_ANALYZE against the real src/util headers.
+//
+// extdict-analyze-path: src/la/fixture_shape_missing.cpp
+// extdict-analyze-expect: missing-shape-contract
+#include "la/matrix.hpp"
+#include "util/contracts.hpp"
+
+namespace extdict::la {
+
+double fixture_late_contract_sum(const Matrix& a) {
+  double sum = 0.0;
+  for (Index j = 0; j < a.cols(); ++j) {
+    for (Index i = 0; i < a.rows(); ++i) sum += a(i, j);
+  }
+  EXTDICT_REQUIRE_SHAPE(a.rows() > 0, "too late: the data is already read");
+  return sum;
+}
+
+}  // namespace extdict::la

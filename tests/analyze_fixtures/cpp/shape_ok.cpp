@@ -1,0 +1,27 @@
+// Clean baseline: the entry contract runs before the first loop, and a
+// second entry point delegates its validation to the first.
+//
+// extdict-analyze-path: src/la/fixture_shape_ok.cpp
+// extdict-analyze-expect: none
+#include "la/matrix.hpp"
+#include "util/contracts.hpp"
+
+namespace extdict::la {
+
+double fixture_contract_first_sum(const Matrix& a) {
+  EXTDICT_REQUIRE_SHAPE(a.rows() > 0 && a.cols() > 0, "matrix must be nonempty");
+  double sum = 0.0;
+  for (Index j = 0; j < a.cols(); ++j) {
+    for (Index i = 0; i < a.rows(); ++i) sum += a(i, j);
+  }
+  return sum;
+}
+
+double fixture_delegated_mean(const Matrix& a) {
+  const double sum = fixture_contract_first_sum(a);  // validates shape
+  double n = 0.0;
+  for (Index j = 0; j < a.cols(); ++j) n += static_cast<double>(a.rows());
+  return n > 0 ? sum / n : 0.0;
+}
+
+}  // namespace extdict::la

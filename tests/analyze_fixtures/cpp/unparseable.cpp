@@ -1,0 +1,13 @@
+// Error-path fixture: this TU does not compile (the include target does not
+// exist), so the AST dump fails. The front-end must report a clean
+// AnalyzeError (exit 2 on a tree scan), never a Python traceback.
+//
+// extdict-analyze-unparseable
+// extdict-analyze-expect: none
+#include "extdict_analyze_fixture_header_that_does_not_exist.hpp"
+
+namespace extdict::core {
+
+int fixture_never_compiles() { return 0; }
+
+}  // namespace extdict::core

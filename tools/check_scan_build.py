@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Gate CI on the Clang static analyzer's findings, against a baseline.
+
+`scan-build -plist -o <dir>` drops one .plist file per analyzed TU. This
+script walks those files, fingerprints every diagnostic, and compares the set
+with the checked-in baseline (tools/scan-build-baseline.txt):
+
+  * a finding whose fingerprint is NOT in the baseline fails the build — fix
+    it, or (for a justified false positive) re-run with --update-baseline and
+    commit the new baseline together with a comment explaining the entry;
+  * baseline entries that no longer occur are reported as stale (a warning,
+    not a failure: fingerprints can drift across clang releases).
+
+A fingerprint is `issue_hash_content_of_line_in_context` (clang's
+whitespace/line-shift-insensitive hash) plus the checker name and the
+repo-relative file, so entries survive unrelated edits but do not hide a
+second instance of the same defect elsewhere.
+
+Usage:
+  tools/check_scan_build.py <plist-output-dir> [--update-baseline]
+
+Exits 0 when every finding is baselined, 1 on new findings, 2 on usage or
+parse errors. Stdlib only (plistlib).
+"""
+
+import argparse
+import os
+import plistlib
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE = os.path.join(REPO_ROOT, "tools", "scan-build-baseline.txt")
+
+
+def iter_plists(root):
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for name in sorted(filenames):
+            if name.endswith(".plist"):
+                yield os.path.join(dirpath, name)
+
+
+def rel_source(path):
+    path = os.path.abspath(path)
+    try:
+        return os.path.relpath(path, REPO_ROOT)
+    except ValueError:
+        return path
+
+
+def collect_findings(plist_dir):
+    """-> {fingerprint: human description}, parse errors raise SystemExit."""
+    findings = {}
+    n_files = 0
+    for path in iter_plists(plist_dir):
+        n_files += 1
+        try:
+            with open(path, "rb") as fh:
+                doc = plistlib.load(fh)
+        except Exception as exc:  # noqa: BLE001 - any parse failure gates
+            print("check_scan_build: cannot parse %s: %s" % (path, exc),
+                  file=sys.stderr)
+            raise SystemExit(2)
+        files = doc.get("files", [])
+        for diag in doc.get("diagnostics", []):
+            loc = diag.get("location", {})
+            file_idx = loc.get("file", -1)
+            src = files[file_idx] if 0 <= file_idx < len(files) else "<unknown>"
+            src = rel_source(src)
+            issue_hash = diag.get(
+                "issue_hash_content_of_line_in_context", "<no-hash>")
+            checker = diag.get("check_name", diag.get("category", "<checker>"))
+            fingerprint = "%s %s %s" % (checker, src, issue_hash)
+            findings[fingerprint] = "%s:%s: [%s] %s" % (
+                src, loc.get("line", "?"), checker,
+                diag.get("description", "<no description>"))
+    print("check_scan_build: %d plist file(s), %d finding(s)"
+          % (n_files, len(findings)))
+    return findings
+
+
+def load_baseline():
+    entries = set()
+    if os.path.exists(BASELINE):
+        with open(BASELINE, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line and not line.startswith("#"):
+                    entries.add(line)
+    return entries
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Compare scan-build plist output with the baseline.")
+    parser.add_argument("plist_dir", help="scan-build -plist -o output dir")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite tools/scan-build-baseline.txt with the "
+                             "current finding set instead of failing")
+    opts = parser.parse_args(argv)
+
+    if not os.path.isdir(opts.plist_dir):
+        print("check_scan_build: no such directory: " + opts.plist_dir,
+              file=sys.stderr)
+        return 2
+
+    findings = collect_findings(opts.plist_dir)
+    baseline = load_baseline()
+
+    if opts.update_baseline:
+        with open(BASELINE, "w", encoding="utf-8") as fh:
+            fh.write("# Clang static analyzer baseline "
+                     "(tools/check_scan_build.py).\n"
+                     "# One fingerprint per line: <checker> <file> "
+                     "<issue-hash>. Comment every entry you add.\n")
+            for fingerprint in sorted(findings):
+                fh.write("# " + findings[fingerprint] + "\n")
+                fh.write(fingerprint + "\n")
+        print("check_scan_build: wrote %d entr%s to %s"
+              % (len(findings), "y" if len(findings) == 1 else "ies",
+                 os.path.relpath(BASELINE, REPO_ROOT)))
+        return 0
+
+    new = sorted(fp for fp in findings if fp not in baseline)
+    stale = sorted(fp for fp in baseline if fp not in findings)
+
+    for fingerprint in stale:
+        print("check_scan_build: stale baseline entry (fixed? clang hash "
+              "drift?): " + fingerprint)
+    if new:
+        print("check_scan_build: %d new finding(s) not in the baseline:"
+              % len(new), file=sys.stderr)
+        for fingerprint in new:
+            print("  " + findings[fingerprint], file=sys.stderr)
+            print("    fingerprint: " + fingerprint, file=sys.stderr)
+        print("fix the findings, or baseline justified false positives with\n"
+              "  tools/check_scan_build.py %s --update-baseline"
+              % opts.plist_dir, file=sys.stderr)
+        return 1
+
+    print("check_scan_build: clean against baseline (%d entr%s)"
+          % (len(baseline), "y" if len(baseline) == 1 else "ies"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

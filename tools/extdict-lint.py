@@ -458,7 +458,8 @@ def gather_tree_files(root: Path) -> list[Path]:
             if path.suffix not in (".hpp", ".cpp", ".h", ".cc"):
                 continue
             rel = path.relative_to(root).as_posix()
-            if "lint_fixtures" in rel or "thread_safety_compile_test" in rel:
+            if "lint_fixtures" in rel or "analyze_fixtures" in rel or \
+                    "thread_safety_compile_test" in rel:
                 continue  # deliberate violations / compile fixtures
             files.append(path)
     return files

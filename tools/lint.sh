@@ -17,6 +17,17 @@ cd "${repo_root}"
 # House-invariant checks first: pure python, no build dir needed.
 if command -v python3 >/dev/null 2>&1; then
   python3 tools/extdict-lint.py
+
+  # AST-level whole-program analysis (lock order, annotation coverage,
+  # contract coverage). Needs a clang front-end and a compile_commands.json;
+  # exits 77 (treated as a skip here) when clang is not installed.
+  analyze_rc=0
+  python3 tools/extdict-analyze.py --skip-without-clang || analyze_rc=$?
+  if [[ "${analyze_rc}" -eq 77 ]]; then
+    echo "lint.sh: extdict-analyze skipped (no clang; CI enforces)"
+  elif [[ "${analyze_rc}" -ne 0 ]]; then
+    exit "${analyze_rc}"
+  fi
 else
   echo "lint.sh: python3 not found; skipping extdict-lint"
 fi
