@@ -169,7 +169,8 @@ Image PatchDenoiser::denoise(const Image& noisy) const {
   std::vector<la::Vector> restored(windows.size());
 
   const Index count = static_cast<Index>(windows.size());
-#pragma omp parallel for schedule(dynamic, 4) if (count > 1)
+#pragma omp parallel for schedule(dynamic, 4) default(none) \
+    shared(noisy, windows, restored, patch, count) if (count > 1)
   for (Index w = 0; w < count; ++w) {
     const auto [x0, y0] = windows[static_cast<std::size_t>(w)];
     la::Vector raw(static_cast<std::size_t>(patch * patch));

@@ -86,7 +86,8 @@ TransformResult oasis_transform(const Matrix& a, Real tolerance,
     Real next_best = -1;
     remaining = 0;
     const Index cols = n;
-#pragma omp parallel for schedule(static) if (cols > 512)
+#pragma omp parallel for schedule(static) default(none) \
+    shared(a, q, res_energy, cols) if (cols > 512)
     for (Index j = 0; j < cols; ++j) {
       if (res_energy[static_cast<std::size_t>(j)] <= Real{0}) continue;
       const Real proj = la::dot(q, a.col(j));

@@ -39,7 +39,8 @@ Matrix pseudo_inverse_apply(const Matrix& d, const Matrix& a) {
     try {
       const la::Cholesky chol(ddt);
       const Index cols = a.cols();
-#pragma omp parallel for schedule(static) if (cols > 8)
+#pragma omp parallel for schedule(static) default(none) \
+    shared(a, w, chol, cols) if (cols > 8)
       for (Index j = 0; j < cols; ++j) {
         la::Vector col(a.col(j).begin(), a.col(j).end());
         chol.solve_in_place(col);

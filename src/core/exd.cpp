@@ -57,7 +57,8 @@ Real transformation_error(const Matrix& a, const Matrix& d, const CscMatrix& c) 
       "transformation_error: shape mismatch");
   const Index n = a.cols();
   Real num = 0, den = 0;
-#pragma omp parallel for schedule(static) reduction(+ : num, den) if (n > 64)
+#pragma omp parallel for schedule(static) default(none) shared(a, d, c, n) \
+    reduction(+ : num, den) if (n > 64)
   for (Index j = 0; j < n; ++j) {
     la::Vector r(a.col(j).begin(), a.col(j).end());
     const auto rows = c.col_rows(j);

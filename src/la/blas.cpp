@@ -95,7 +95,8 @@ void gemv_t(Real alpha, const Matrix& a, std::span<const Real> x, Real beta,
           std::to_string(x.size()) + ", |y|=" + std::to_string(y.size()));
   EXTDICT_CHECK_FINITE(x, "gemv_t: x");
   const Index cols = a.cols();
-#pragma omp parallel for schedule(static) if (cols > 256)
+#pragma omp parallel for schedule(static) default(none) \
+    shared(a, x, y, alpha, beta, cols) if (cols > 256)
   for (Index j = 0; j < cols; ++j) {
     const Real d = dot(a.col(j), x);
     auto& yj = y[static_cast<std::size_t>(j)];
@@ -129,7 +130,8 @@ void gemm(Real alpha, const Matrix& a, Trans ta, const Matrix& b, Trans tb,
   // streams contiguous columns of A — this is the shape ExtDict hits in the
   // hot loop (D * V, etc.).
   if (ta == Trans::kNo && tb == Trans::kNo) {
-#pragma omp parallel for schedule(static) if (n > 1)
+#pragma omp parallel for schedule(static) default(none) \
+    shared(a, b, c, alpha, beta, n, k) if (n > 1)
     for (Index j = 0; j < n; ++j) {
       auto cj = c.col(j);
       if (beta == Real{0}) {
@@ -148,7 +150,8 @@ void gemm(Real alpha, const Matrix& a, Trans ta, const Matrix& b, Trans tb,
 
   // A^T * B: each C(i,j) is a dot of two contiguous columns.
   if (ta == Trans::kYes && tb == Trans::kNo) {
-#pragma omp parallel for schedule(static) if (n > 1)
+#pragma omp parallel for schedule(static) default(none) \
+    shared(a, b, c, alpha, beta, n, m) if (n > 1)
     for (Index j = 0; j < n; ++j) {
       for (Index i = 0; i < m; ++i) {
         const Real d = dot(a.col(i), b.col(j));
@@ -160,7 +163,8 @@ void gemm(Real alpha, const Matrix& a, Trans ta, const Matrix& b, Trans tb,
   }
 
   // Generic fallback for the remaining transpose combinations.
-#pragma omp parallel for schedule(static) if (n > 1)
+#pragma omp parallel for schedule(static) default(none) \
+    shared(a, ta, b, tb, c, alpha, beta, m, n, k) if (n > 1)
   for (Index j = 0; j < n; ++j) {
     for (Index i = 0; i < m; ++i) {
       Real s = 0;
@@ -182,7 +186,8 @@ Matrix matmul(const Matrix& a, const Matrix& b, Trans ta, Trans tb) {
 Matrix gram(const Matrix& a) {
   const Index n = a.cols();
   Matrix g(n, n);
-#pragma omp parallel for schedule(dynamic, 8) if (n > 1)
+#pragma omp parallel for schedule(dynamic, 8) default(none) shared(a, g, n) \
+    if (n > 1)
   for (Index j = 0; j < n; ++j) {
     for (Index i = 0; i <= j; ++i) {
       g(i, j) = dot(a.col(i), a.col(j));

@@ -56,7 +56,8 @@ void CscMatrix::spmv_t_range(Index j0, Index j1, std::span<const Real> w,
       "spmv_t_range: C is " + util::shape_string(rows_, cols_) + ", |w|=" +
           std::to_string(w.size()) + ", |y|=" + std::to_string(y.size()));
   const Index span = j1 - j0;
-#pragma omp parallel for schedule(static) if (span > 1024)
+#pragma omp parallel for schedule(static) default(none) \
+    shared(w, y, j0, j1, span) if (span > 1024)
   for (Index j = j0; j < j1; ++j) {
     const auto rows = col_rows(j);
     const auto vals = col_values(j);

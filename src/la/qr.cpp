@@ -96,7 +96,8 @@ Matrix HouseholderQr::solve_many(const Matrix& b) const {
                             std::to_string(qr_.rows()));
   Matrix x(qr_.cols(), b.cols());
   const Index cols = b.cols();
-#pragma omp parallel for schedule(static) if (cols > 8)
+#pragma omp parallel for schedule(static) default(none) shared(b, x, cols) \
+    if (cols > 8)
   for (Index j = 0; j < cols; ++j) {
     Vector v(b.col(j).begin(), b.col(j).end());
     apply_qt(v);

@@ -155,7 +155,8 @@ void ExtDictServer::encode_batch(std::vector<Request>& batch) {
 
   std::vector<sparsecoding::SparseCode> codes(batch.size());
   std::vector<std::exception_ptr> errors(batch.size());
-#pragma omp parallel for schedule(dynamic, 1) if (columns > 1)
+#pragma omp parallel for schedule(dynamic, 1) default(none) \
+    shared(batch, codes, errors, columns) if (columns > 1)
   for (Index j = 0; j < columns; ++j) {
     const auto i = static_cast<std::size_t>(j);
     try {

@@ -139,7 +139,8 @@ la::CscMatrix BatchOmp::encode_all(const Matrix& signals) const {
   const util::SpanTimer span("batch_omp.encode_all");
   std::vector<std::vector<std::pair<Index, Real>>> columns(
       static_cast<std::size_t>(n));
-#pragma omp parallel for schedule(dynamic, 16) if (n > 1)
+#pragma omp parallel for schedule(dynamic, 16) default(none) \
+    shared(signals, columns, n) if (n > 1)
   for (Index j = 0; j < n; ++j) {
     columns[static_cast<std::size_t>(j)] = encode(signals.col(j)).entries;
   }

@@ -1,0 +1,19 @@
+// Seeded violation: the region body is race-free, but the directive does
+// not declare default(none) — sharing must be explicit on every region.
+//
+// extdict-analyze-path: src/serve/fixture_omp_sharing_default_missing.cpp
+// extdict-analyze-expect: omp-sharing
+#include <cstddef>
+#include <vector>
+
+namespace extdict::serve {
+
+void fixture_fill(std::vector<double>& y) {
+  const long n = static_cast<long>(y.size());
+#pragma omp parallel for schedule(static)
+  for (long j = 0; j < n; ++j) {
+    y[static_cast<std::size_t>(j)] = 0.0;
+  }
+}
+
+}  // namespace extdict::serve

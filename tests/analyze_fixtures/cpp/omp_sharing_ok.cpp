@@ -1,0 +1,27 @@
+// Clean baseline: induction-indexed writes (directly and through a cast
+// alias), a declared reduction, and region-local scratch.
+//
+// extdict-analyze-path: src/serve/fixture_omp_sharing_ok.cpp
+// extdict-analyze-expect: none
+#include <cstddef>
+#include <vector>
+
+namespace extdict::serve {
+
+double fixture_scale(const std::vector<double>& x, std::vector<double>& y,
+                     double s) {
+  const long n = static_cast<long>(x.size());
+  double energy = 0.0;
+#pragma omp parallel for schedule(static) default(none) shared(x, y, s, n) \
+    reduction(+ : energy)
+  for (long j = 0; j < n; ++j) {
+    const auto i = static_cast<std::size_t>(j);
+    double v = s * x[i];  // region-local scratch
+    v += 1.0;
+    y[i] = v;
+    energy += v * v;
+  }
+  return energy;
+}
+
+}  // namespace extdict::serve

@@ -1,0 +1,21 @@
+// Seeded violation: a scalar accumulated across iterations without a
+// reduction clause — every iteration races on `acc`.
+//
+// extdict-analyze-path: src/serve/fixture_omp_sharing_race.cpp
+// extdict-analyze-expect: omp-sharing
+#include <cstddef>
+#include <vector>
+
+namespace extdict::serve {
+
+double fixture_sum(const std::vector<double>& x) {
+  const long n = static_cast<long>(x.size());
+  double acc = 0.0;
+#pragma omp parallel for schedule(static) default(none) shared(x, n, acc)
+  for (long j = 0; j < n; ++j) {
+    acc += x[static_cast<std::size_t>(j)];  // race: should be reduction(+:acc)
+  }
+  return acc;
+}
+
+}  // namespace extdict::serve

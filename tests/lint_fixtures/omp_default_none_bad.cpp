@@ -1,0 +1,22 @@
+// extdict-lint-expect: omp-default-none
+// Two parallel directives without default(none): one single-line, one with
+// a backslash continuation that hides the (absent) clause on a later line.
+
+#include <cstddef>
+
+void saxpy(double a, const double* x, double* y, std::size_t n) {
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] += a * x[i];
+  }
+}
+
+void scale_rows(double* m, std::size_t rows, std::size_t cols, double s) {
+#pragma omp parallel for schedule(dynamic, 1) \
+    shared(m, rows, cols, s)
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m[r * cols + c] *= s;
+    }
+  }
+}

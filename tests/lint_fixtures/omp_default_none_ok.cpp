@@ -1,0 +1,43 @@
+// extdict-lint-expect: none
+// Compliant parallel directives: default(none) inline, default(none) behind
+// a backslash continuation, a waived directive, a commented-out pragma (no
+// directive at all), and a nested `omp for` (inherits the region's rules —
+// only `parallel` takes a default clause).
+
+#include <cstddef>
+
+void saxpy(double a, const double* x, double* y, std::size_t n) {
+#pragma omp parallel for schedule(static) default(none) shared(a, x, y, n)
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] += a * x[i];
+  }
+}
+
+void scale_rows(double* m, std::size_t rows, std::size_t cols, double s) {
+#pragma omp parallel for schedule(dynamic, 1) \
+    default(none) shared(m, rows, cols, s)
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m[r * cols + c] *= s;
+    }
+  }
+}
+
+void legacy_kernel(double* y, std::size_t n) {
+  // extdict-lint: allow(omp-default-none) mirrors upstream reference kernel
+#pragma omp parallel for
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = 0.0;
+  }
+}
+
+void nested_region(double* y, std::size_t n) {
+// #pragma omp parallel for   <- commented out, not a directive
+#pragma omp parallel default(none) shared(y, n)
+  {
+#pragma omp for schedule(static)
+    for (std::size_t i = 0; i < n; ++i) {
+      y[i] = 1.0;
+    }
+  }
+}

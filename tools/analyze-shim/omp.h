@@ -1,0 +1,34 @@
+/* Minimal <omp.h> for extdict-analyze's -fsyntax-only AST dumps.
+ *
+ * The analyzer compiles every TU with -fopenmp so the `#pragma omp`
+ * directives survive into the AST, but clang installs its own omp.h only
+ * with libomp-dev; gcc builds resolve <omp.h> from libgomp. This shim
+ * (injected with -isystem, so a real omp.h still wins when present)
+ * declares just the entry points the tree uses. It is never linked — the
+ * analyzer never runs anything past -fsyntax-only.
+ */
+#ifndef EXTDICT_ANALYZE_SHIM_OMP_H_
+#define EXTDICT_ANALYZE_SHIM_OMP_H_
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+void omp_set_num_threads(int num_threads);
+int omp_get_num_threads(void);
+int omp_get_max_threads(void);
+int omp_get_thread_num(void);
+int omp_get_num_procs(void);
+int omp_in_parallel(void);
+void omp_set_dynamic(int dynamic_threads);
+int omp_get_dynamic(void);
+void omp_set_nested(int nested);
+int omp_get_nested(void);
+double omp_get_wtime(void);
+double omp_get_wtick(void);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif  /* EXTDICT_ANALYZE_SHIM_OMP_H_ */

@@ -3,7 +3,7 @@
 
 Mechanizes the concurrency and contract policies that `src/util/sync.hpp` and
 `docs/CORRECTNESS.md` state in prose, and that `tools/extdict-lint.py` can only
-approximate with regexes. Five rules, all operating on real Clang ASTs
+approximate with regexes. Six rules, all operating on real Clang ASTs
 (`clang++ -fsyntax-only -Xclang -ast-dump=json`, driven by
 `compile_commands.json`; stdlib python only, no libclang):
 
@@ -31,6 +31,25 @@ approximate with regexes. Five rules, all operating on real Clang ASTs
   hot-loop-allocation    AST-accurate version of the extdict-lint rule: no
                          heap allocation inside a loop that contains an
                          EXTDICT_HOT_ASSERT.
+  omp-sharing            Whole-program OpenMP data-sharing verification.
+                         Every `#pragma omp parallel` region must say
+                         `default(none)` (checked against the source text —
+                         Clang's JSON dump does not expose the default
+                         clause's kind). Every lvalue written inside a
+                         region must be provably race-free: subscripted by
+                         the loop induction variable (or a region-local
+                         alias of it), region-local, listed in a
+                         private/firstprivate/lastprivate/reduction clause,
+                         std::atomic, written under `omp atomic` /
+                         `omp critical` / a held util::Mutex, or explicitly
+                         waived. Calls out of a region are followed
+                         transitively through the merged per-TU fact
+                         summaries: a region may only reach
+                         thread-compatible functions — nothing that writes
+                         unguarded statics/globals, blocks, or acquires a
+                         declared non-leaf lock; functions that mutate
+                         their own members without a lock are flagged when
+                         invoked on a receiver shared across iterations.
 
 Contract macros are invisible after preprocessing, so the front-end compiles
 every TU with -DEXTDICT_ANALYZE: `src/util/contracts.hpp` then injects a
@@ -62,7 +81,7 @@ import shutil
 import subprocess
 import sys
 
-VERSION = "1"  # bump to invalidate caches on analyzer behavior changes
+VERSION = "2"  # bump to invalidate caches on analyzer behavior changes
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
@@ -72,6 +91,7 @@ RULES = (
     "blocking-while-locked",
     "missing-shape-contract",
     "hot-loop-allocation",
+    "omp-sharing",
 )
 
 WAIVER_RE = re.compile(
@@ -118,6 +138,44 @@ FSTREAM_TYPE_RE = re.compile(
 FILE_FREE_NAMES = frozenset((
     "fopen", "fclose", "fread", "fwrite", "fflush", "fgets", "fputs",
     "fprintf", "fscanf"))
+
+# OpenMP directives that fork a team. Combined directives keep the parallel
+# region and the worksharing loop in one node.
+OMP_PARALLEL_KINDS = frozenset((
+    "OMPParallelDirective", "OMPParallelForDirective",
+    "OMPParallelForSimdDirective", "OMPParallelSectionsDirective"))
+# Directives whose dynamic extent makes the writes inside them race-free.
+OMP_SYNC_KINDS = {
+    "OMPAtomicDirective": "atomic",
+    "OMPCriticalDirective": "critical",
+    "OMPSingleDirective": "single",
+    "OMPMasterDirective": "master",
+    "OMPMaskedDirective": "masked",
+}
+# Loop-associated directives: their first ForStmt's induction variable is
+# iteration-unique within the enclosing parallel region.
+OMP_LOOP_KINDS = frozenset((
+    "OMPParallelForDirective", "OMPParallelForSimdDirective",
+    "OMPForDirective", "OMPForSimdDirective"))
+# Clauses that privatize (or reduce, which privatizes the partials) the
+# listed variables.
+OMP_PRIVATE_CLAUSES = frozenset((
+    "OMPPrivateClause", "OMPFirstprivateClause", "OMPLastprivateClause",
+    "OMPLinearClause", "OMPReductionClause", "OMPInReductionClause"))
+# Pure value-preserving wrappers an induction alias may be built from.
+CAST_WRAPPER_KINDS = frozenset((
+    "ImplicitCastExpr", "CStyleCastExpr", "CXXStaticCastExpr",
+    "CXXFunctionalCastExpr", "CXXConstCastExpr", "ParenExpr",
+    "ExprWithCleanups", "ConstantExpr", "MaterializeTemporaryExpr",
+    "FullExpr"))
+# operator spellings that mutate their first operand.
+MUTATING_OPERATORS = frozenset((
+    "operator=", "operator+=", "operator-=", "operator*=", "operator/=",
+    "operator%=", "operator&=", "operator|=", "operator^=", "operator<<=",
+    "operator>>=", "operator++", "operator--"))
+
+OMP_PRAGMA_RE = re.compile(r"#\s*pragma\s+omp\s+parallel\b")
+DEFAULT_NONE_RE = re.compile(r"\bdefault\s*\(\s*none\s*\)")
 
 
 class AnalyzeError(Exception):
@@ -169,6 +227,8 @@ class _Extractor:
         self._suppress_alloc = 0
         self._order = 0
         self._param_ids = {}
+        self._omp = []         # enclosing OpenMP parallel-region stack
+        self._omp_sync = []    # enclosing omp atomic/critical/single stack
 
     # -- location decoding ---------------------------------------------------
 
@@ -223,6 +283,8 @@ class _Extractor:
     def _event(self, ev):
         if self._fn is None:
             return
+        if self._omp and "rgn" not in ev:
+            ev["rgn"] = self._omp[-1]["id"]
         self._order += 1
         ev["o"] = self._order
         self._fn["events"].append(ev)
@@ -307,6 +369,8 @@ class _Extractor:
         handler = getattr(self, "_on_" + kind, None)
         if handler is not None:
             handler(node, pos, project)
+        elif kind.startswith("OMP") and kind.endswith("Directive"):
+            self._omp_directive(node, pos, project)
         else:
             self._recurse(node)
 
@@ -354,9 +418,11 @@ class _Extractor:
     def _on_FieldDecl(self, node, pos, project):
         name = node.get("name")
         rec_qual = self._qual("")
+        fq, fd = self._qual_type(node)
         self.decl_index[node.get("id", "")] = {
             "kind": "field",
             "qual": (rec_qual + "::" + name) if name else rec_qual,
+            "atomic": bool(ATOMIC_TYPE_RE.search(fq + " " + fd)),
         }
         if project and name and rec_qual in self.records:
             q, d = self._qual_type(node)
@@ -421,20 +487,29 @@ class _Extractor:
             "params": [{k: p[k] for k in ("name", "type", "dim")}
                        for p in params],
             "events": [],
+            "regions": [],
             "intrinsic": in_sync_hpp,
         }
         param_ids = {p["id"]: p["name"] for p in params if p["dim"]}
+        for p in params:
+            if p["id"]:
+                self.decl_index[p["id"]] = {
+                    "kind": "var", "qual": p["name"], "storage": "param",
+                    "mutex": False,
+                    "atomic": bool(ATOMIC_TYPE_RE.search(p["type"]))}
 
         self._fn_stack.append(
             (self._fn, self._frames, self._loops, self._order,
-             self._param_ids, self._hot_loops))
+             self._param_ids, self._hot_loops, self._omp, self._omp_sync))
         self._fn, self._frames, self._loops, self._order = fn, [], [], 0
         self._param_ids = param_ids
         self._hot_loops = set()
+        self._omp, self._omp_sync = [], []
         self._recurse(node)
         self._finish_function(fn)
         (self._fn, self._frames, self._loops, self._order,
-         self._param_ids, self._hot_loops) = self._fn_stack.pop()
+         self._param_ids, self._hot_loops, self._omp,
+         self._omp_sync) = self._fn_stack.pop()
 
         prev = self.functions.get(identity)
         if prev is None or len(fn["events"]) > len(prev["events"]):
@@ -460,6 +535,11 @@ class _Extractor:
             if loops & self._hot_loops:
                 kept.append(ev)
         fn["events"] = kept
+        # Region variable sets were built as python sets; freeze them into
+        # sorted lists so per-TU facts stay JSON-cacheable.
+        for region in fn["regions"]:
+            for key in ("private", "shared", "induction", "locals"):
+                region[key] = sorted(region[key])
 
     # -- statements ----------------------------------------------------------
 
@@ -486,10 +566,30 @@ class _Extractor:
     def _on_VarDecl(self, node, pos, project):
         q, d = self._qual_type(node)
         name = node.get("name", "")
+        if self._fn is None:
+            storage = "global"
+        elif node.get("storageClass") == "static":
+            storage = "static"
+        else:
+            storage = "local"
         self.decl_index[node.get("id", "")] = {
             "kind": "var", "qual": self._qual(name) if name else name,
+            "storage": storage,
+            "atomic": bool(ATOMIC_TYPE_RE.search(q + " " + d)),
             "mutex": bool(MUTEX_TYPE_RE.search(q + " " + d)) and
                      not MUTEXLOCK_TYPE_RE.search(q + " " + d)}
+        if self._omp and storage == "local":
+            region = self._omp[-1]
+            region["locals"].add(node.get("id", ""))
+            init = self._var_init(node)
+            if init is not None:
+                if self._induction_alias(init, region):
+                    region["induction"].add(node.get("id", ""))
+                elif self._mutable_ref_type(q):
+                    # `auto& slot = y[j];` — binding a mutable reference is
+                    # the checkpoint: classify the referent now, and let the
+                    # later writes through the (region-local) reference pass.
+                    self._write_event(init, pos)
         if self._fn is not None and MUTEXLOCK_TYPE_RE.search(q):
             lock = self._lock_ref(node)
             if lock is not None:
@@ -502,6 +602,254 @@ class _Extractor:
                     self._frames.append([lock])
             self._recurse(node)
             return
+        self._recurse(node)
+
+    # -- OpenMP regions and write tracking -----------------------------------
+
+    @staticmethod
+    def _var_init(node):
+        """Initializer expression of a VarDecl (last non-attribute child)."""
+        init = None
+        for child in node.get("inner") or []:
+            if isinstance(child, dict) and \
+                    not child.get("kind", "").endswith(("Attr", "Comment")):
+                init = child
+        return init
+
+    @staticmethod
+    def _mutable_ref_type(qual_type):
+        q = qual_type.strip()
+        return q.endswith("&") and not q.startswith("const ")
+
+    def _eat_subtree(self, node):
+        """Consume every source location in `node`'s subtree in document
+        order without generating events (clause subtrees feed the printer's
+        differential location state like any other node)."""
+        if not isinstance(node, dict):
+            return
+        if "loc" in node:
+            self._eat_loc(node["loc"])
+        if isinstance(node.get("range"), dict):
+            self._eat_loc(node["range"].get("begin"))
+            self._eat_loc(node["range"].get("end"))
+        for child in node.get("inner") or []:
+            self._eat_subtree(child)
+
+    @staticmethod
+    def _collect_declref_ids(node, out, depth=8):
+        if depth < 0 or not isinstance(node, dict):
+            return
+        if node.get("kind") == "DeclRefExpr":
+            rid = (node.get("referencedDecl") or {}).get("id")
+            if rid:
+                out.add(rid)
+        for child in node.get("inner") or []:
+            _Extractor._collect_declref_ids(child, out, depth - 1)
+
+    @staticmethod
+    def _collect_var_decl_ids(node, out, depth=4):
+        if depth < 0 or not isinstance(node, dict):
+            return
+        if node.get("kind") == "VarDecl" and node.get("id"):
+            out.add(node["id"])
+        for child in node.get("inner") or []:
+            _Extractor._collect_var_decl_ids(child, out, depth - 1)
+
+    def _operator_name(self, node):
+        ref = self._first_descendant(
+            node, lambda n: n.get("kind") == "DeclRefExpr", depth=3)
+        if ref is None:
+            return ""
+        rd = ref.get("referencedDecl") or {}
+        return str(rd.get("name", "") or ref.get("name", ""))
+
+    def _induction_alias(self, expr, region):
+        """True when `expr` is a pure cast/paren chain over the region's
+        induction variable (`static_cast<std::size_t>(j)` and friends)."""
+        node = expr
+        for _ in range(10):
+            if not isinstance(node, dict):
+                return False
+            kind = node.get("kind", "")
+            inner = node.get("inner") or []
+            if kind in CAST_WRAPPER_KINDS and inner:
+                node = inner[0]
+            elif kind == "DeclRefExpr":
+                rid = (node.get("referencedDecl") or {}).get("id")
+                return rid in region["induction"]
+            else:
+                return False
+        return False
+
+    def _has_induction_ref(self, expr, region):
+        ind = region["induction"]
+        if not ind:
+            return False
+        return self._first_descendant(
+            expr,
+            lambda n: n.get("kind") == "DeclRefExpr" and
+            (n.get("referencedDecl") or {}).get("id") in ind,
+            depth=8) is not None
+
+    def _resolve_lvalue(self, expr):
+        """Peel an lvalue down to its written base: ("var"|"member"|"this"|
+        "unknown", declid, name) plus the subscript expressions crossed on
+        the way (member access classifies by the enclosing object; member-
+        of-this targets the field itself)."""
+        subs = []
+        node = expr
+        for _ in range(40):
+            if not isinstance(node, dict):
+                return None, subs
+            kind = node.get("kind", "")
+            inner = node.get("inner") or []
+            if kind in CAST_WRAPPER_KINDS and inner:
+                node = inner[0]
+            elif kind == "ArraySubscriptExpr" and len(inner) >= 2:
+                subs.append(inner[1])
+                node = inner[0]
+            elif kind == "CXXOperatorCallExpr" and len(inner) >= 2:
+                opname = self._operator_name(node)
+                if opname in ("operator[]", "operator()"):
+                    subs.extend(inner[2:])
+                    node = inner[1]
+                else:
+                    return ("unknown", None, kind), subs
+            elif kind == "MemberExpr" and inner:
+                probe = inner[0]
+                for _i in range(8):
+                    if isinstance(probe, dict) and \
+                            probe.get("kind") in CAST_WRAPPER_KINDS and \
+                            probe.get("inner"):
+                        probe = probe["inner"][0]
+                    else:
+                        break
+                if isinstance(probe, dict) and \
+                        probe.get("kind") == "CXXThisExpr":
+                    return ("member", node.get("referencedMemberDecl"),
+                            node.get("name", "?")), subs
+                node = inner[0]
+            elif kind == "DeclRefExpr":
+                ref = node.get("referencedDecl") or {}
+                return ("var", ref.get("id"), ref.get("name", "?")), subs
+            elif kind == "CXXThisExpr":
+                return ("this", None, "*this"), subs
+            else:
+                return ("unknown", None, kind), subs
+        return None, subs
+
+    def _write_event(self, lhs, pos):
+        if self._fn is None or lhs is None:
+            return
+        target, subs = self._resolve_lvalue(lhs)
+        if target is None:
+            return
+        held = bool(self._held())
+        sync = self._omp_sync[-1] if self._omp_sync else None
+        if self._omp:
+            region = self._omp[-1]
+            ind = any(self._has_induction_ref(s, region) for s in subs)
+            self._event({"k": "write", "rgn": region["id"],
+                         "tgt": list(target), "ind": ind, "locked": held,
+                         "sync": sync, "file": pos[0], "line": pos[1]})
+            return
+        # Outside a region, only unguarded writes to state another thread
+        # could reach matter (thread-compatibility seeds). Objects under
+        # construction/destruction are not yet (no longer) shared.
+        if held or sync:
+            return
+        if target[0] == "member" and self._fn.get("kind") in (
+                "CXXConstructorDecl", "CXXDestructorDecl"):
+            return
+        if target[0] in ("member", "var", "this"):
+            self._event({"k": "uwrite", "tgt": list(target),
+                         "file": pos[0], "line": pos[1]})
+
+    def _call_receiver(self, node):
+        """Receiver classification for a member call, as a lazy target."""
+        callee = self._first_descendant(
+            node, lambda n: n.get("kind") == "MemberExpr", depth=4)
+        if callee is None:
+            return None
+        inner = callee.get("inner") or []
+        if not inner:
+            return None
+        target, _subs = self._resolve_lvalue(inner[0])
+        return list(target) if target is not None else None
+
+    def _omp_directive(self, node, pos, project):
+        """Any OMP*Directive: parallel directives open a region, sync
+        directives mark their dynamic extent race-exempt, loop-associated
+        directives contribute their induction variable. Clause subtrees are
+        harvested for data-sharing lists but generate no events."""
+        kind = node.get("kind", "")
+        region = None
+        if self._fn is not None and kind in OMP_PARALLEL_KINDS:
+            region = {
+                "id": len(self._fn["regions"]),
+                "kind": kind, "file": pos[0], "line": pos[1],
+                "default_clause": False,
+                "private": set(), "shared": set(),
+                "induction": set(), "locals": set(),
+            }
+            self._fn["regions"].append(region)
+            self._omp.append(region)
+        active = self._omp[-1] if self._omp else None
+        sync = OMP_SYNC_KINDS.get(kind) if self._fn is not None else None
+        if sync is not None:
+            self._omp_sync.append(sync)
+        harvested_loop = False
+        for child in node.get("inner") or []:
+            if not isinstance(child, dict):
+                continue
+            ckind = child.get("kind", "")
+            if ckind.startswith("OMP") and ckind.endswith("Clause"):
+                if region is not None and ckind == "OMPDefaultClause":
+                    region["default_clause"] = True
+                if active is not None:
+                    ids = set()
+                    self._collect_declref_ids(child, ids)
+                    if ckind in OMP_PRIVATE_CLAUSES:
+                        active["private"] |= ids
+                    elif ckind == "OMPSharedClause":
+                        active["shared"] |= ids
+                self._eat_subtree(child)
+                continue
+            if active is not None and not harvested_loop and \
+                    kind in OMP_LOOP_KINDS:
+                for_stmt = self._first_descendant(
+                    child, lambda n: n.get("kind") == "ForStmt", depth=8)
+                if for_stmt is not None:
+                    harvested_loop = True
+                    finner = for_stmt.get("inner") or []
+                    if finner:
+                        ids = set()
+                        self._collect_var_decl_ids(finner[0], ids)
+                        active["induction"] |= ids
+            self._visit(child)
+        if sync is not None:
+            self._omp_sync.pop()
+        if region is not None:
+            self._omp.pop()
+
+    def _on_BinaryOperator(self, node, pos, project):
+        if node.get("opcode") == "=":
+            inner = node.get("inner") or []
+            if inner:
+                self._write_event(inner[0], pos)
+        self._recurse(node)
+
+    def _on_CompoundAssignOperator(self, node, pos, project):
+        inner = node.get("inner") or []
+        if inner:
+            self._write_event(inner[0], pos)
+        self._recurse(node)
+
+    def _on_UnaryOperator(self, node, pos, project):
+        if node.get("opcode") in ("++", "--"):
+            inner = node.get("inner") or []
+            if inner:
+                self._write_event(inner[0], pos)
         self._recurse(node)
 
     # -- expressions ---------------------------------------------------------
@@ -566,6 +914,16 @@ class _Extractor:
                 if member_id:
                     self._event({"k": "call", "callee": ("id", member_id, name),
                                  "held": held,
+                                 "recv": self._call_receiver(node),
+                                 "file": pos[0], "line": pos[1]})
+                if self._omp and name in ALLOC_MEMBER_NAMES:
+                    # Container growth mutates the receiver even though the
+                    # callee itself (std::vector &co) is never extracted.
+                    self._event({"k": "mutcall", "name": name,
+                                 "recv": self._call_receiver(node),
+                                 "locked": bool(held),
+                                 "sync": (self._omp_sync[-1]
+                                          if self._omp_sync else None),
                                  "file": pos[0], "line": pos[1]})
                 self._alloc_check_member(name, obj_type, pos)
         self._recurse(node)
@@ -634,6 +992,11 @@ class _Extractor:
         self._recurse(node)
 
     def _on_CXXOperatorCallExpr(self, node, pos, project):
+        if self._fn is not None:
+            opname = self._operator_name(node)
+            op_inner = node.get("inner") or []
+            if opname in MUTATING_OPERATORS and len(op_inner) >= 2:
+                self._write_event(op_inner[1], pos)
         if self._fn is not None and self._param_ids:
             op = self._first_descendant(
                 node,
@@ -726,6 +1089,29 @@ def _resolve_refs(facts, decl_index):
             return cls + "::" + cls.split("::")[-1]
         return None
 
+    def target_info(ref):
+        tag = ref[0]
+        if tag == "var":
+            info = decl_index.get(ref[1]) or {}
+            return {"tkind": "var", "tid": ref[1],
+                    "tname": info.get("qual") or ref[2] or "?",
+                    "storage": info.get("storage", "local"),
+                    "atomic": bool(info.get("atomic")),
+                    "resolved": bool(info)}
+        if tag == "member":
+            info = decl_index.get(ref[1]) or {}
+            return {"tkind": "member", "tid": ref[1],
+                    "tname": info.get("qual") or ("?::" + str(ref[2])),
+                    "storage": "member",
+                    "atomic": bool(info.get("atomic")),
+                    "resolved": bool(info)}
+        if tag == "this":
+            return {"tkind": "this", "tid": None, "tname": "*this",
+                    "storage": "member", "atomic": False, "resolved": True}
+        return {"tkind": "unknown", "tid": None,
+                "tname": "<%s>" % (ref[2] or "?"),
+                "storage": "unknown", "atomic": False, "resolved": False}
+
     for fn in facts["functions"].values():
         resolved = []
         for ev in fn["events"]:
@@ -741,8 +1127,27 @@ def _resolve_refs(facts, decl_index):
             elif k == "call":
                 ev["callee"] = callee_name(ev["callee"])
                 ev["held"] = [lock_name(h) for h in ev["held"]]
+                recv = ev.get("recv")
+                if recv is not None:
+                    ev["recv"] = [recv[0], recv[1]]
                 if ev["callee"] is None:
                     continue
+            elif k == "mutcall":
+                recv = ev.get("recv")
+                if recv is not None:
+                    ev["recv"] = [recv[0], recv[1]]
+            elif k == "write":
+                info = target_info(ev.pop("tgt"))
+                info.pop("resolved")
+                ev.update(info)
+            elif k == "uwrite":
+                info = target_info(ev.pop("tgt"))
+                if not info.pop("resolved") or info["atomic"]:
+                    continue
+                if info["tkind"] == "var" and \
+                        info["storage"] in ("local", "param"):
+                    continue
+                ev.update(info)
             resolved.append(ev)
         fn["events"] = resolved
 
@@ -828,6 +1233,28 @@ class SourceOracle:
         if 1 <= line <= len(lines):
             return bool(GUARD_TEXT_RE.search(lines[line - 1]))
         return False
+
+
+def _pragma_text(lines, line):
+    """Logical (backslash-continuation-joined) text of the pragma reported at
+    `line`, or None when the source is unavailable or no pragma is found
+    within a couple of lines (clang anchors OMP directives at the pragma)."""
+    if not lines:
+        return None
+    start = None
+    for back in range(3):
+        j = line - 1 - back
+        if 0 <= j < len(lines) and "#" in lines[j] and "pragma" in lines[j]:
+            start = j
+            break
+    if start is None:
+        return None
+    text = lines[start]
+    i = start
+    while text.rstrip().endswith("\\") and i + 1 < len(lines):
+        i += 1
+        text = text.rstrip()[:-1] + " " + lines[i]
+    return text
 
 
 def merge_facts(fact_sets):
@@ -1069,6 +1496,138 @@ def analyze(facts, oracle):
                     "(hot by declaration); hoist it out of the loop"
                     % ev["what"]))
 
+    # ---- rule: omp-sharing -------------------------------------------------
+    # Globally thread-incompatible functions: unguarded writes to
+    # statics/globals, or acquisition of a declared non-leaf lock (the lock
+    # participates in ordering, so taking it from a data-parallel region
+    # entangles the region with the locking protocol). Propagates through
+    # every call. Blocking is tracked by the existing `blk` fixpoint.
+    nonleaf_srcs = {src for (src, _dst) in edges}
+    gincompat = _transitive(
+        functions,
+        lambda fn: [] if fn.get("intrinsic") else
+        [("writes %s (unguarded %s)" % (ev["tname"], ev["storage"]),
+          ev["file"], ev["line"])
+         for ev in fn["events"]
+         if ev["k"] == "uwrite" and ev.get("tkind") == "var"] +
+        [("acquires non-leaf lock %s" % ev["lock"], ev["file"], ev["line"])
+         for ev in fn["events"]
+         if ev["k"] == "acquire" and ev["lock"] in nonleaf_srcs])
+
+    # Self-mutating functions write their own members without a lock: safe
+    # on a private object, a race on a receiver shared across iterations.
+    # Propagates only through calls whose receiver is the caller's own
+    # object (`this` or a member).
+    selfmut = {
+        ident: any(ev["k"] == "uwrite" and
+                   ev.get("tkind") in ("member", "this")
+                   for ev in fn["events"])
+        for ident, fn in functions.items()}
+    changed = True
+    while changed:
+        changed = False
+        for ident, fn in functions.items():
+            if selfmut[ident] or fn.get("intrinsic"):
+                continue
+            for ev in fn["events"]:
+                if ev["k"] == "call" and \
+                        (ev.get("recv") or ["?"])[0] in ("this", "member") \
+                        and selfmut.get(ev["callee"]):
+                    selfmut[ident] = True
+                    changed = True
+                    break
+
+    for ident, fn in functions.items():
+        for region in fn.get("regions", ()):
+            rfile, rline = region["file"], region["line"]
+            # Policy: default(none) with explicit clauses on every region.
+            # Clang's JSON dump omits the default clause's kind, so the
+            # check reads the pragma text; AST clause presence is the
+            # fallback when the source is unavailable.
+            pragma = _pragma_text(oracle.lines(rfile), rline)
+            if (pragma is not None and
+                    not DEFAULT_NONE_RE.search(pragma)) or \
+                    (pragma is None and not region.get("default_clause")):
+                findings.append(Finding(
+                    "omp-sharing", rfile, rline,
+                    "parallel region in %s does not declare default(none); "
+                    "every region must list its sharing explicitly"
+                    % fn["qual"]))
+            priv = set(region["private"]) | set(region["locals"]) | \
+                set(region["induction"])
+
+            def receiver_private(ev):
+                recv = ev.get("recv") or ["unknown", None]
+                return recv[0] == "var" and recv[1] is not None and \
+                    recv[1] in priv
+
+            for ev in fn["events"]:
+                if ev.get("rgn") != region["id"]:
+                    continue
+                if ev["k"] == "write":
+                    if ev.get("sync") or ev.get("locked") or \
+                            ev.get("ind") or ev.get("atomic"):
+                        continue
+                    if ev["tkind"] == "var" and ev["tid"] in priv:
+                        continue
+                    findings.append(Finding(
+                        "omp-sharing", ev["file"], ev["line"],
+                        "write to %s in the parallel region at %s:%d is not "
+                        "provably race-free: not indexed by the loop "
+                        "induction variable, not privatized or reduced, not "
+                        "atomic, and not under omp atomic/critical or a "
+                        "held lock (restructure, or waive with a reason)"
+                        % (ev["tname"], rfile, rline)))
+                elif ev["k"] == "mutcall":
+                    if ev.get("sync") or ev.get("locked") or \
+                            receiver_private(ev):
+                        continue
+                    findings.append(Finding(
+                        "omp-sharing", ev["file"], ev["line"],
+                        ".%s() mutates a container shared across "
+                        "iterations of the parallel region at %s:%d"
+                        % (ev["name"], rfile, rline)))
+                elif ev["k"] == "call":
+                    callee = ev["callee"]
+                    callee_fn = functions.get(callee)
+                    cname = callee_fn["qual"] if callee_fn else callee
+                    reasons = sorted(gincompat.get(callee, ()))
+                    blocks = sorted(blk.get(callee, ()))
+                    if reasons:
+                        what, wfile, wline = reasons[0]
+                        findings.append(Finding(
+                            "omp-sharing", ev["file"], ev["line"],
+                            "parallel region calls thread-incompatible %s: "
+                            "%s at %s:%d" % (cname, what, wfile, wline)))
+                    elif blocks:
+                        what, wfile, wline = blocks[0]
+                        findings.append(Finding(
+                            "omp-sharing", ev["file"], ev["line"],
+                            "parallel region calls %s, which may block (%s "
+                            "at %s:%d); blocking inside a region serializes "
+                            "the team" % (cname, what, wfile, wline)))
+                    elif selfmut.get(callee) and ev.get("recv") is not None \
+                            and not receiver_private(ev):
+                        findings.append(Finding(
+                            "omp-sharing", ev["file"], ev["line"],
+                            "%s mutates its receiver without "
+                            "synchronization and the receiver is shared "
+                            "across iterations of the parallel region at "
+                            "%s:%d (privatize the object, guard the "
+                            "mutation, or waive with a reason)"
+                            % (cname, rfile, rline)))
+                elif ev["k"] == "block":
+                    findings.append(Finding(
+                        "omp-sharing", ev["file"], ev["line"],
+                        "%s inside a parallel region serializes the team"
+                        % ev["what"]))
+                elif ev["k"] == "acquire" and ev["lock"] in nonleaf_srcs:
+                    findings.append(Finding(
+                        "omp-sharing", ev["file"], ev["line"],
+                        "parallel region acquires non-leaf lock %s; only "
+                        "leaf locks may be taken from a data-parallel "
+                        "region" % ev["lock"]))
+
     # Waivers + dedup (template pattern and instantiations share lines).
     out, seen = [], set()
     for f in findings:
@@ -1137,15 +1696,29 @@ def tu_args(entry):
             continue
         if arg.startswith("-march=") or arg.startswith("-mtune="):
             continue  # host tuning is irrelevant to the AST
-        if arg.startswith("-fopenmp"):
-            continue  # avoid requiring clang's omp headers for -fsyntax-only
         if not arg.startswith("-") and \
                 arg.endswith((".cpp", ".cc", ".cxx", ".c")):
             continue  # source operand; re-appended canonically below
         out.append(arg)
-    out += ["-w", "-fsyntax-only", "-DEXTDICT_ANALYZE=1",
+    # -fopenmp is kept: without it the OMP directives vanish from the AST
+    # and omp-sharing would verify nothing. The shim directory supplies a
+    # minimal <omp.h> so -fsyntax-only works even when clang has no libomp
+    # headers installed (gcc builds reference libgomp's copy).
+    out += ["-isystem", os.path.join(REPO_ROOT, "tools", "analyze-shim"),
+            "-w", "-fsyntax-only", "-DEXTDICT_ANALYZE=1",
             "-Xclang", "-ast-dump=json", entry["file"]]
     return out
+
+
+def self_digest():
+    """Hash of the analyzer itself: the rule set IS part of every per-TU
+    cache key, so cached facts can never outlive the code that shaped them
+    (VERSION catches intentional bumps; this catches everything)."""
+    try:
+        with open(os.path.abspath(__file__), "rb") as fh:
+            return hashlib.sha256(fh.read()).hexdigest()
+    except OSError:
+        return VERSION
 
 
 def headers_digest():
@@ -1244,13 +1817,18 @@ def analyze_tree(opts):
     except (OSError, IndexError):
         clang_tag = clang
     hdr_digest = headers_digest()
+    rule_digest = self_digest()
 
     fact_sets = []
+    omp_enabled = False
     n_cached = 0
     for rel, entry in selected:
         args = tu_args(entry)
+        if any(a.startswith("-fopenmp") for a in args):
+            omp_enabled = True
         hasher = hashlib.sha256()
-        hasher.update(("\0".join([VERSION, clang_tag] + args)).encode())
+        hasher.update(
+            ("\0".join([VERSION, rule_digest, clang_tag] + args)).encode())
         hasher.update(hdr_digest.encode())
         src_path = entry["file"]
         if not os.path.isabs(src_path):
@@ -1303,13 +1881,40 @@ def analyze_tree(opts):
         for ev in fn["events"]:
             if "file" in ev:
                 ev["file"] = relpath(ev["file"])
+        for region in fn.get("regions", ()):
+            region["file"] = relpath(region["file"])
     for rec in merged["records"].values():
         rec["file"] = relpath(rec["file"])
         for fld in rec["fields"].values():
             fld["file"] = relpath(fld["file"])
     merged["files"] = sorted({relpath(f) for f in merged["files"]})
 
+    if not omp_enabled:
+        # A compile database configured without OpenMP parses the pragmas
+        # away: the tree would look trivially clean to omp-sharing. Refuse
+        # rather than under-verify.
+        for rel, entry in selected:
+            src_path = entry["file"]
+            if not os.path.isabs(src_path):
+                src_path = os.path.join(entry.get("directory", REPO_ROOT),
+                                        src_path)
+            try:
+                with open(src_path, "r", encoding="utf-8",
+                          errors="replace") as fh:
+                    text = fh.read()
+            except OSError:
+                continue
+            if OMP_PRAGMA_RE.search(text):
+                raise AnalyzeError(
+                    "%s contains '#pragma omp parallel' but the compile "
+                    "database was configured without -fopenmp, so the "
+                    "directives are invisible to omp-sharing; configure "
+                    "with -DEXTDICT_OPENMP=ON (the `analyze` preset does)"
+                    % rel)
+
     findings, edge_list = analyze(merged, SourceOracle())
+    if opts.rules:
+        findings = [f for f in findings if f.rule in opts.rules]
 
     print("extdict-analyze: %d TU(s) analyzed (%d cached), "
           "%d function(s), %d record(s)"
@@ -1447,8 +2052,10 @@ def self_test(opts):
             if expected == ["none"]:
                 expected = []
             virt = path_m.group(1) if path_m else "src/core/" + name
-            args = ["-std=c++20", "-w", "-fsyntax-only",
+            args = ["-std=c++20", "-w", "-fsyntax-only", "-fopenmp",
                     "-I", os.path.join(REPO_ROOT, "src"),
+                    "-isystem",
+                    os.path.join(REPO_ROOT, "tools", "analyze-shim"),
                     "-DEXTDICT_ANALYZE=1", "-DEXTDICT_ENABLE_CHECKS=1",
                     "-Xclang", "-ast-dump=json", path]
             want_error = "extdict-analyze-unparseable" in text
@@ -1474,6 +2081,9 @@ def self_test(opts):
                 for ev in fn["events"]:
                     if ev.get("file", "").endswith(name):
                         ev["file"] = virt
+                for region in fn.get("regions", ()):
+                    if region["file"].endswith(name):
+                        region["file"] = virt
             for rec in facts["records"].values():
                 if rec["file"].endswith(name):
                     rec["file"] = virt
@@ -1534,6 +2144,10 @@ def main(argv=None):
                              "SKIP_RETURN_CODE)")
     parser.add_argument("--list-edges", action="store_true",
                         help="print the extracted lock-order graph")
+    parser.add_argument("--rule", action="append", dest="rules",
+                        metavar="RULE", choices=RULES,
+                        help="report only these rule(s); repeatable "
+                             "(choices: %s)" % ", ".join(RULES))
     parser.add_argument("-v", "--verbose", action="store_true")
     opts = parser.parse_args(argv)
 

@@ -34,6 +34,12 @@ Enforces project rules the generic .clang-tidy configuration cannot express:
                          (core/, dist/, solvers/) instead, or waive with
                          `// extdict-lint: allow(trace-in-hot-path) <reason>`.
 
+  omp-default-none       every `#pragma omp parallel ...` directive must
+                         carry default(none) so each variable's sharing is
+                         an explicit decision. This is the fast text-level
+                         gate; tools/extdict-analyze.py's omp-sharing rule
+                         does the whole-program race verification on top.
+
 Usage:
   tools/extdict-lint.py [--root DIR]        # scan the tree (default: repo)
   tools/extdict-lint.py FILE [FILE...]      # scan specific files
@@ -56,9 +62,10 @@ RULE_SHAPE = "missing-shape-contract"
 RULE_HOT_ALLOC = "hot-loop-allocation"
 RULE_CPP_INCLUDE = "cpp-include"
 RULE_TRACE = "trace-in-hot-path"
+RULE_OMP_DEFAULT = "omp-default-none"
 
 ALL_RULES = (RULE_SYNC, RULE_SHAPE, RULE_HOT_ALLOC, RULE_CPP_INCLUDE,
-             RULE_TRACE)
+             RULE_TRACE, RULE_OMP_DEFAULT)
 
 # Directories whose files are per-element hot kernels: no tracing there.
 TRACE_FORBIDDEN_PREFIXES = ("src/la/", "src/sparsecoding/")
@@ -100,6 +107,11 @@ ALLOC_PATTERNS = (
 )
 
 CONTROL_KEYWORDS = {"if", "for", "while", "switch", "catch", "return", "do", "else"}
+
+# Only `parallel` directives take a default clause; a nested `#pragma omp
+# for` inherits the enclosing region's data-sharing rules.
+OMP_PARALLEL_RE = re.compile(r"^\s*#\s*pragma\s+omp\s+parallel\b")
+DEFAULT_NONE_RE = re.compile(r"\bdefault\s*\(\s*none\s*\)")
 
 
 class Violation:
@@ -411,6 +423,31 @@ def check_file(path: Path, rel: str, violations: list[Violation]) -> None:
                 f"{m.group(0)} in a hot kernel file; trace at the phase "
                 "level (core/, dist/, solvers/) — per-element call sites "
                 "pay the enabled-check on every invocation"))
+
+    # -- omp parallel directives must declare default(none) -------------------
+    # Scans masked text (commented-out pragmas are not directives) and joins
+    # backslash continuations: every real pragma in this tree wraps.
+    masked_lines = masked.splitlines()
+    lineno = 0
+    while lineno < len(masked_lines):
+        start = lineno
+        line = masked_lines[lineno]
+        lineno += 1
+        if not OMP_PARALLEL_RE.match(line):
+            continue
+        pragma = line
+        while pragma.rstrip().endswith("\\") and lineno < len(masked_lines):
+            pragma = pragma.rstrip()[:-1] + " " + masked_lines[lineno]
+            lineno += 1
+        if DEFAULT_NONE_RE.search(pragma):
+            continue
+        if is_waived(waivers, start + 1, RULE_OMP_DEFAULT):
+            continue
+        violations.append(Violation(
+            path, start + 1, RULE_OMP_DEFAULT,
+            "omp parallel directive without default(none); list every "
+            "variable's sharing explicitly (shared/private/firstprivate/"
+            "reduction) so nothing is shared by accident"))
 
     # -- shape contracts at kernel entry --------------------------------------
     if (rel_posix.startswith(("src/la/", "src/sparsecoding/"))
