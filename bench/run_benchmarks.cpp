@@ -39,6 +39,8 @@
 #include "core/exd.hpp"
 #include "data/datasets.hpp"
 #include "dist/platform.hpp"
+#include "la/random.hpp"
+#include "sparsecoding/batch_omp.hpp"
 #include "solvers/lasso.hpp"
 #include "solvers/power_method.hpp"
 #include "util/json.hpp"
@@ -439,10 +441,73 @@ int run_solvers(const Options& options, const std::vector<Dataset>& sets) {
     cases.push_back(std::move(c));
   }
 
+  // Batch-OMP FLOP model check, same contract as the gram-model sweep: the
+  // per-encode meter in BatchOmp::encode and the closed form in
+  // encode_flops are independent derivations of the same count and must
+  // agree EXACTLY on every signal. This net catches the k³-for-solves
+  // overcount class of bug (each triangular solve pair is 2s², not k²).
+  bool omp_model_ok = true;
+  {
+    const struct { Index m, l, max_atoms; Real tolerance; } omp_cases[] = {
+        {32, 64, 8, 0.0},    // atom-budget stop
+        {64, 128, 0, 0.1},   // tolerance stop, deeper runs
+    };
+    la::Rng rng(29);
+    const int signals = options.quick ? 64 : 512;
+    for (const auto& spec : omp_cases) {
+      const la::Matrix dict = rng.gaussian_matrix(spec.m, spec.l, true);
+      const sparsecoding::BatchOmp coder(
+          dict, {.tolerance = spec.tolerance, .max_atoms = spec.max_atoms});
+      la::Vector signal(static_cast<std::size_t>(spec.m));
+      std::uint64_t metered_total = 0, modeled_total = 0;
+      int exact = 0, iterations_max = 0;
+      util::Timer timer;
+      for (int i = 0; i < signals; ++i) {
+        rng.fill_gaussian(signal);
+        const auto code = coder.encode(signal);
+        metered_total += code.flops;
+        modeled_total += coder.encode_flops(code.iterations);
+        if (code.flops == coder.encode_flops(code.iterations)) ++exact;
+        iterations_max = std::max(iterations_max, code.iterations);
+      }
+      const bool all_exact = exact == signals;
+      omp_model_ok = omp_model_ok && all_exact;
+
+      Json c = Json::object();
+      c["solver"] = "batch_omp_flop_model";
+      c["dataset"] = "synthetic_gaussian";
+      c["m"] = spec.m;
+      c["l"] = spec.l;
+      c["max_atoms"] = static_cast<std::uint64_t>(spec.max_atoms);
+      c["tolerance"] = spec.tolerance;
+      c["signals"] = signals;
+      Json measured = Json::object();
+      measured["metered_flops_total"] = metered_total;
+      measured["iterations_max"] = iterations_max;
+      measured["wall_seconds"] = timer.elapsed_seconds();
+      c["measured"] = std::move(measured);
+      Json check = Json::object();
+      check["modeled_flops_total"] = modeled_total;
+      check["exact_matches"] = exact;
+      check["flops_match_exact"] = all_exact;
+      c["model_check"] = std::move(check);
+      cases.push_back(std::move(c));
+      std::printf("batch-omp flop model: %d/%d signals exact (m=%td l=%td)\n",
+                  exact, signals, spec.m, spec.l);
+    }
+  }
+
   doc["cases"] = std::move(cases);
   // The registry as the solvers left it — counters and phase spans together.
   doc["metrics_snapshot"] = metrics.to_json();
-  return write_file(options.out_dir + "/BENCH_solvers.json", doc);
+  const int rc = write_file(options.out_dir + "/BENCH_solvers.json", doc);
+  if (!omp_model_ok) {
+    std::fprintf(stderr,
+                 "error: metered Batch-OMP FLOPs diverged from "
+                 "encode_flops()\n");
+    return 1;
+  }
+  return rc;
 }
 
 // Dedicated trace window: one P=4 Alg. 2 run per Gram strategy plus the

@@ -14,7 +14,11 @@
 //   * the accounting identities do not balance for any case,
 //   * the closed-loop max_batch >= 32 configuration does not beat the
 //     batch-size-1 configuration on throughput (the micro-batching
-//     amortization claim, checked in quick mode too).
+//     amortization claim, checked in quick mode too),
+//   * the content-addressed cache sweep's warm pass fails to beat the cold
+//     pass, its hit accounting is not exact, or the serve-while-extending
+//     pass loses a future / unbalances the books / fails to flip and
+//     reclaim epochs (emitted as a second document, BENCH_cache.json).
 //
 // Load generation is seeded: the signal pool and the open-loop exponential
 // interarrival schedule come from fixed-seed generators, so two runs offer
@@ -25,6 +29,7 @@
 // case and exports Chrome trace JSON for tools/analyze_trace.py.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -196,13 +201,18 @@ bool accounting_balances(const CaseSpec& spec, const CaseResult& r) {
   const ServerStats& s = r.stats;
   const auto client_total = r.served + r.rejected + r.shed + r.stopped +
                             r.invalid + r.failed + r.lost;
+  // Cache hits resolve before the queue, so they are their own branch of
+  // the submit identity; the client cannot tell a hit from a serve, hence
+  // served + cache_hits on the client side.
   return r.lost == 0 &&
          client_total == static_cast<std::uint64_t>(spec.requests) &&
          s.submitted == static_cast<std::uint64_t>(spec.requests) &&
-         s.submitted == s.accepted + s.invalid + s.rejected + s.stopped &&
+         s.submitted ==
+             s.accepted + s.invalid + s.rejected + s.stopped + s.cache_hits &&
          s.accepted == s.served + s.encode_failed + s.shed + s.discarded &&
          s.columns_encoded == s.served + s.encode_failed &&
-         s.served == r.served && s.rejected == r.rejected && s.shed == r.shed;
+         s.served + s.cache_hits == r.served && s.rejected == r.rejected &&
+         s.shed == r.shed;
 }
 
 Json latency_json(const util::Histogram& h) {
@@ -312,6 +322,281 @@ std::vector<CaseSpec> build_sweep(bool quick) {
     }
   }
   return sweep;
+}
+
+// -- Content-addressed cache sweep + serve-while-extending pass --------------
+// (BENCH_cache.json)
+
+struct CachePassResult {
+  double wall_seconds = 0;
+  std::uint64_t served = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t lost = 0;
+  serve::EncodeCacheStats cache;
+  ServerStats stats;
+};
+
+// Serial closed loop: submit → wait → submit. Serialized round trips make
+// the hit accounting EXACT: a repeated signal can only miss if its first
+// occurrence has not been inserted yet, which waiting rules out — so a
+// warm pass over a pool of P signals and R requests must score exactly
+// R - P hits. The cold pass runs the identical stream with the cache off.
+void run_cache_pass(const la::Matrix& dict, const sparsecoding::OmpConfig& omp,
+                    const std::vector<std::vector<Real>>& pool, int requests,
+                    std::size_t cache_capacity, CachePassResult& out,
+                    util::Histogram& latency) {
+  using namespace std::chrono_literals;
+  ExtDictServer server(dict, {.max_batch = 8,
+                              .max_delay_us = 50,
+                              .workers = 2,
+                              .queue_capacity = 256,
+                              .omp = omp,
+                              .cache_capacity = cache_capacity});
+  const Clock::time_point start = Clock::now();
+  for (int i = 0; i < requests; ++i) {
+    const Clock::time_point t0 = Clock::now();
+    auto future =
+        server.submit(pool[static_cast<std::size_t>(i) % pool.size()]);
+    if (future.wait_for(30s) != std::future_status::ready) {
+      ++out.lost;
+      continue;
+    }
+    try {
+      (void)future.get();
+      ++out.served;
+    } catch (...) {
+      ++out.errors;
+    }
+    latency.record(std::chrono::duration<double>(Clock::now() - t0).count());
+  }
+  out.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  server.stop();
+  out.stats = server.stats();
+  out.cache = server.cache_stats();
+}
+
+Json cache_pass_json(const CachePassResult& r, const util::Histogram& latency,
+                     int requests) {
+  Json j = Json::object();
+  j["wall_seconds"] = r.wall_seconds;
+  j["throughput_rps"] =
+      r.wall_seconds > 0 ? static_cast<double>(r.served) / r.wall_seconds : 0.0;
+  j["served"] = r.served;
+  j["lost"] = r.lost;
+  j["hits"] = r.cache.hits;
+  j["misses"] = r.cache.misses;
+  j["hit_ratio"] = requests > 0
+                       ? static_cast<double>(r.cache.hits) / requests
+                       : 0.0;
+  j["insertions"] = r.cache.insertions;
+  j["evictions"] = r.cache.evictions;
+  j["latency"] = latency_json(latency);
+  return j;
+}
+
+// Interleaved cold/warm rounds (same rationale as the amortization duel:
+// per-round ratios share machine state, the verdict is their median).
+Json run_cache_sweep(const la::Matrix& dict, const sparsecoding::OmpConfig& omp,
+                     const std::vector<std::vector<Real>>& full_pool,
+                     bool quick, bool& violated) {
+  // Repeats must dominate for the sweep to mean anything: draw from a
+  // 32-signal slice of the workload pool so a warm pass hits on all but
+  // the first occurrence of each signal.
+  const std::vector<std::vector<Real>> pool(
+      full_pool.begin(),
+      full_pool.begin() + std::min<std::size_t>(32, full_pool.size()));
+  const int requests = quick ? 256 : 2048;
+  const int rounds = quick ? 3 : 5;
+  const std::size_t warm_capacity = 2 * pool.size();
+
+  std::vector<std::unique_ptr<CachePassResult>> cold_passes, warm_passes;
+  util::Histogram cold_latency, warm_latency;
+  std::vector<double> round_ratio;
+  bool books_ok = true;
+  bool hits_exact = true;
+  for (int r = 0; r < rounds; ++r) {
+    cold_passes.push_back(std::make_unique<CachePassResult>());
+    run_cache_pass(dict, omp, pool, requests, 0, *cold_passes.back(),
+                   cold_latency);
+    warm_passes.push_back(std::make_unique<CachePassResult>());
+    run_cache_pass(dict, omp, pool, requests, warm_capacity,
+                   *warm_passes.back(), warm_latency);
+    const CachePassResult& cold = *cold_passes.back();
+    const CachePassResult& warm = *warm_passes.back();
+    if (cold.wall_seconds > 0 && warm.wall_seconds > 0) {
+      round_ratio.push_back(cold.wall_seconds / warm.wall_seconds);
+    }
+    for (const CachePassResult* p : {&cold, &warm}) {
+      books_ok = books_ok && p->lost == 0 && p->errors == 0 &&
+                 p->served == static_cast<std::uint64_t>(requests) &&
+                 p->stats.submitted == p->stats.accepted + p->stats.invalid +
+                                           p->stats.rejected + p->stats.stopped +
+                                           p->stats.cache_hits;
+    }
+    hits_exact = hits_exact && cold.cache.hits == 0 &&
+                 warm.cache.hits ==
+                     static_cast<std::uint64_t>(requests) - pool.size() &&
+                 warm.cache.hits + warm.cache.misses ==
+                     static_cast<std::uint64_t>(requests);
+  }
+  std::sort(round_ratio.begin(), round_ratio.end());
+  const double warm_speedup =
+      round_ratio.empty() ? 0.0 : round_ratio[round_ratio.size() / 2];
+  const bool warm_beats_cold = warm_speedup > 1.0;
+  violated = violated || !books_ok || !hits_exact || !warm_beats_cold;
+
+  // Report the fastest pass of each side (the duel verdict stays median).
+  const auto fastest = [](const auto& passes) -> const CachePassResult& {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < passes.size(); ++i) {
+      if (passes[i]->wall_seconds < passes[best]->wall_seconds) best = i;
+    }
+    return *passes[best];
+  };
+
+  Json j = Json::object();
+  j["requests"] = static_cast<std::uint64_t>(requests);
+  j["rounds"] = static_cast<std::uint64_t>(rounds);
+  j["pool_size"] = static_cast<std::uint64_t>(pool.size());
+  j["warm_capacity"] = static_cast<std::uint64_t>(warm_capacity);
+  j["expected_warm_hit_ratio"] =
+      static_cast<double>(requests - static_cast<int>(pool.size())) / requests;
+  j["cold"] = cache_pass_json(fastest(cold_passes), cold_latency, requests);
+  j["warm"] = cache_pass_json(fastest(warm_passes), warm_latency, requests);
+  j["warm_speedup"] = warm_speedup;  // median of per-round wall-time ratios
+  j["warm_beats_cold"] = warm_beats_cold;
+  j["hit_accounting_exact"] = hits_exact;
+  j["accounting_balanced"] = books_ok;
+
+  std::printf("  cache sweep: cold %.3fs vs warm %.3fs (%.2fx, hits %s)%s\n",
+              fastest(cold_passes).wall_seconds,
+              fastest(warm_passes).wall_seconds, warm_speedup,
+              hits_exact ? "exact" : "WRONG",
+              warm_beats_cold && books_ok && hits_exact ? ""
+                                                        : "  [VIOLATION]");
+  return j;
+}
+
+// Serve-while-extending: producers hammer a cached server drawing from the
+// shared pool while the main thread flips the dictionary epoch repeatedly.
+// Zero lost futures, balanced identities, monotone per-producer epochs, and
+// old epochs fully reclaimed after the drain — the zero-downtime contract.
+Json run_extend_pass(const la::Matrix& dict, const sparsecoding::OmpConfig& omp,
+                     const std::vector<std::vector<Real>>& pool, bool quick,
+                     bool& violated) {
+  using namespace std::chrono_literals;
+  const int producers = 4;
+  const int per_producer = quick ? 200 : 1000;
+  const int flips = 3;
+  const Index atoms_per_flip = 8;
+
+  auto registry = std::make_shared<serve::DictRegistry>(dict, omp);
+  ExtDictServer server(registry, {.max_batch = 8,
+                                  .max_delay_us = 50,
+                                  .workers = 2,
+                                  .queue_capacity = 256,
+                                  .omp = omp,
+                                  .cache_capacity = 2 * pool.size()});
+  std::atomic<std::uint64_t> served{0}, errors{0}, lost{0};
+  std::atomic<bool> epoch_regressed{false};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(producers));
+  const Clock::time_point start = Clock::now();
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      std::uint64_t last_epoch = 0;
+      for (int i = 0; i < per_producer; ++i) {
+        auto future = server.submit(
+            pool[static_cast<std::size_t>(p * 31 + i) % pool.size()]);
+        if (future.wait_for(30s) != std::future_status::ready) {
+          lost.fetch_add(1);
+          continue;
+        }
+        try {
+          const EncodeResult result = future.get();
+          // May lag the registry (pinned batches, cached codes) but must
+          // never run backwards within one producer.
+          if (result.dict_epoch < last_epoch) epoch_regressed = true;
+          last_epoch = std::max(last_epoch, result.dict_epoch);
+          served.fetch_add(1);
+        } catch (...) {
+          errors.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  std::vector<double> flip_seconds;
+  {
+    la::Rng flip_rng(19);
+    for (int f = 0; f < flips; ++f) {
+      std::this_thread::sleep_for(2ms);
+      const Clock::time_point t0 = Clock::now();
+      registry->extend(
+          flip_rng.gaussian_matrix(dict.rows(), atoms_per_flip, true));
+      flip_seconds.push_back(
+          std::chrono::duration<double>(Clock::now() - t0).count());
+    }
+  }
+  for (auto& t : threads) t.join();
+  const double wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  server.stop();
+
+  const ServerStats s = server.stats();
+  const serve::EncodeCacheStats c = server.cache_stats();
+  const auto total =
+      static_cast<std::uint64_t>(producers) * per_producer;
+  const bool balanced =
+      s.submitted == total &&
+      s.submitted ==
+          s.accepted + s.invalid + s.rejected + s.stopped + s.cache_hits &&
+      s.accepted == s.served + s.encode_failed + s.shed + s.discarded &&
+      s.columns_encoded == s.served + s.encode_failed &&
+      s.served + s.cache_hits == served.load() &&
+      c.hits == s.cache_hits;
+  double max_flip_seconds = 0;
+  for (const double fs : flip_seconds) {
+    max_flip_seconds = std::max(max_flip_seconds, fs);
+  }
+  const bool ok = lost.load() == 0 && errors.load() == 0 &&
+                  !epoch_regressed.load() && balanced &&
+                  registry->current_epoch() ==
+                      static_cast<std::uint64_t>(flips) &&
+                  registry->live_epochs() == 1;
+  violated = violated || !ok;
+
+  Json j = Json::object();
+  j["producers"] = static_cast<std::uint64_t>(producers);
+  j["requests_per_producer"] = static_cast<std::uint64_t>(per_producer);
+  j["flips"] = static_cast<std::uint64_t>(flips);
+  j["atoms_per_flip"] = static_cast<std::uint64_t>(atoms_per_flip);
+  j["epoch_after"] = registry->current_epoch();
+  j["atoms_before"] = static_cast<std::uint64_t>(dict.cols());
+  j["atoms_after"] = static_cast<std::uint64_t>(registry->atom_count());
+  j["wall_seconds"] = wall_seconds;
+  j["served"] = served.load();
+  j["cache_hits"] = s.cache_hits;
+  j["lost"] = lost.load();
+  j["errors"] = errors.load();
+  Json flip_json = Json::array();
+  for (const double fs : flip_seconds) flip_json.push_back(fs);
+  j["flip_seconds"] = std::move(flip_json);
+  j["max_flip_seconds"] = max_flip_seconds;
+  j["epochs_monotone_per_producer"] = !epoch_regressed.load();
+  j["live_epochs_after_drain"] =
+      static_cast<std::uint64_t>(registry->live_epochs());
+  j["accounting_balanced"] = balanced;
+  j["contract_held"] = ok;
+
+  std::printf(
+      "  extend pass: %d flips under %llu requests, max flip %.1f ms, "
+      "hits %llu%s\n",
+      flips, static_cast<unsigned long long>(total), max_flip_seconds * 1e3,
+      static_cast<unsigned long long>(s.cache_hits),
+      ok ? "" : "  [VIOLATION]");
+  return j;
 }
 
 int write_file(const std::string& path, const Json& doc) {
@@ -506,6 +791,49 @@ int main(int argc, char** argv) {
 
   int rc = write_file(options.out_dir + "/BENCH_serve.json", doc);
 
+  // Second document: the content-addressed cache sweep and the
+  // serve-while-extending pass (BENCH_cache.json, validated in CI).
+  bool cache_violated = false;
+  Json cache_doc = Json::object();
+  cache_doc["schema_version"] = 1;
+  cache_doc["benchmark"] =
+      "bench/run_server_bench content-addressed encode cache + zero-downtime "
+      "extension";
+  cache_doc["mode"] = options.quick ? "quick" : "full";
+  cache_doc["units"] =
+      "latency seconds are client round trips (submit to future-ready); "
+      "warm_speedup is the median per-round cold/warm wall-time ratio";
+  {
+    Json cache_workload = Json::object();
+    cache_workload["signal_dim"] = static_cast<std::uint64_t>(m);
+    cache_workload["atoms"] = static_cast<std::uint64_t>(l);
+    cache_workload["tolerance"] = omp.tolerance;
+    cache_workload["max_atoms"] = static_cast<std::uint64_t>(omp.max_atoms);
+    cache_workload["signal_pool"] = static_cast<std::uint64_t>(pool.size());
+    cache_workload["seeds"] = "dict=17 signals=18 extension_atoms=19";
+    cache_doc["workload"] = std::move(cache_workload);
+  }
+  cache_doc["cache_sweep"] =
+      run_cache_sweep(dict, omp, pool, options.quick, cache_violated);
+  cache_doc["extend_pass"] =
+      run_extend_pass(dict, omp, pool, options.quick, cache_violated);
+  {
+    Json cache_summary = Json::object();
+    cache_summary["warm_beats_cold"] =
+        cache_doc.at("cache_sweep").at("warm_beats_cold").as_bool();
+    cache_summary["hit_accounting_exact"] =
+        cache_doc.at("cache_sweep").at("hit_accounting_exact").as_bool();
+    cache_summary["extension_contract_held"] =
+        cache_doc.at("extend_pass").at("contract_held").as_bool();
+    cache_summary["violations"] = cache_violated;
+    cache_doc["summary"] = std::move(cache_summary);
+  }
+  {
+    const int cache_rc =
+        write_file(options.out_dir + "/BENCH_cache.json", cache_doc);
+    if (cache_rc != 0) rc = cache_rc;
+  }
+
   if (!options.trace_path.empty()) {
     trace.set_metadata("mode", options.quick ? "quick" : "full");
     const int trace_rc = write_file(options.trace_path, trace.to_chrome_json());
@@ -536,6 +864,12 @@ int main(int argc, char** argv) {
                  "(batch1 %.0f rps vs batch32 %.0f rps, paired speedup "
                  "%.2fx)\n",
                  batch1_rps, batch32_rps, batch_speedup);
+    return 1;
+  }
+  if (cache_violated) {
+    std::fprintf(stderr,
+                 "error: cache/extension contract violated (see "
+                 "BENCH_cache.json summary)\n");
     return 1;
   }
   std::printf("micro-batch amortization: %.0f -> %.0f rps (%.2fx)\n",

@@ -6,25 +6,47 @@ namespace extdict::core {
 
 /// Outcome of an evolving-data update (§V-E, Fig. 3).
 struct EvolveReport {
-  Index new_columns = 0;        ///< columns appended to A
-  Index reencoded_columns = 0;  ///< new columns coded against the old D
-  Index failed_columns = 0;     ///< columns the old D could not express
-  Index new_atoms = 0;          ///< atoms appended to D (0 if D unchanged)
+  Index new_columns = 0;       ///< columns appended to A
+  Index expressed_columns = 0; ///< pass 1: coded against the old D within ε
+  Index reencoded_columns = 0; ///< pass 2: re-coded against the extended D
+  Index failed_columns = 0;    ///< columns the old D could not express
+  Index new_atoms = 0;         ///< atoms appended to D (0 if D unchanged)
   bool dictionary_extended = false;
+  /// Largest relative residual ||r|| / ||a_j|| across the new columns after
+  /// every pass ran — the achieved quality of the spliced codes, which the
+  /// pre-fix code never checked for pass-2 recodes.
+  Real max_post_extension_residual = 0;
+  /// New columns still above ε after extension (the sampled atoms are not
+  /// guaranteed to span every failing column; nonzero is legal, silent was
+  /// the bug).
+  Index unresolved_columns = 0;
 };
+
+/// Samples the atoms an extension appends to D: `config.dictionary_size`
+/// columns of `hard` (the columns the current D could not express), chosen
+/// uniformly at random with `config.seed` — exactly `exd_transform`'s
+/// Alg. 1 step-0 sampling, factored out so `evolve`'s pass 2 and the online
+/// `serve::DictRegistry::extend_from_samples` share one selection rule.
+/// The count is clamped to [1, hard.cols()].
+[[nodiscard]] Matrix select_extension_atoms(const Matrix& hard,
+                                            const ExdConfig& config);
 
 /// Incorporates a batch of new columns `a_new` into an existing projection
 /// `exd` without re-running ExD on the whole dataset:
 ///
 ///  1. sparse-code every new column against the current dictionary;
 ///  2. if some columns cannot meet the ε criterion (the data expanded into
-///     new structure), run ExD on *those columns only*, append the new atoms
-///     to D, zero-pad the existing C to the enlarged atom space, and splice
-///     in the new codes (the Fig. 3 block layout).
+///     new structure), sample new atoms from *those columns only*, append
+///     them to D, grow the coder's Gram by bordering (no full recompute),
+///     zero-pad the existing C to the enlarged atom space, re-code the
+///     failing columns, and splice in the new codes (the Fig. 3 block
+///     layout).
 ///
 /// `config.dictionary_size` is interpreted as the number of atoms to sample
 /// from the failing columns when an extension is needed (capped by their
-/// count).
+/// count). The report records per-pass counts and the post-extension
+/// residual quality; `expressed + failed == new_columns` and
+/// `reencoded == failed` whenever an extension ran.
 EvolveReport evolve(ExdResult& exd, const Matrix& a_new, const ExdConfig& config);
 
 }  // namespace extdict::core

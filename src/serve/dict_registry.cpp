@@ -1,0 +1,93 @@
+#include "serve/dict_registry.hpp"
+
+#include <utility>
+
+#include "core/evolving.hpp"
+#include "core/gram_extend.hpp"
+#include "util/contracts.hpp"
+#include "util/metrics.hpp"
+
+namespace extdict::serve {
+
+DictRegistry::DictRegistry(la::Matrix dictionary, sparsecoding::OmpConfig omp)
+    : omp_(omp), signal_dim_(dictionary.rows()) {
+  auto epoch = std::make_shared<const DictEpoch>(0, std::move(dictionary), omp_);
+  const util::MutexLock lock(mu_);
+  current_ = std::move(epoch);
+}
+
+std::shared_ptr<const DictEpoch> DictRegistry::current() const {
+  const util::MutexLock lock(mu_);
+  return current_;
+}
+
+std::uint64_t DictRegistry::extend(const la::Matrix& new_atoms) {
+  EXTDICT_REQUIRE_SHAPE(new_atoms.rows() == signal_dim_,
+                        "DictRegistry::extend: new atoms have " +
+                            std::to_string(new_atoms.rows()) +
+                            " rows but the dictionary has " +
+                            std::to_string(signal_dim_) + " rows");
+  EXTDICT_REQUIRE_SHAPE(new_atoms.cols() > 0,
+                        "DictRegistry::extend: no atoms to append");
+
+  std::uint64_t published = 0;
+  std::size_t live = 0;
+  {
+    // One extender at a time: both must not border from the same parent.
+    const util::MutexLock serialize(extend_mu_);
+    const std::shared_ptr<const DictEpoch> parent = current();
+
+    // All heavy work against the pinned parent, no publication lock held:
+    // bordered Gram (the no-full-recompute contract), dictionary copy+append.
+    la::Matrix gram = core::extend_gram_bordered(
+        parent->coder.gram(), parent->dictionary, new_atoms);
+    la::Matrix dict = parent->dictionary;
+    dict.append_columns(new_atoms);
+
+    published = parent->id + 1;
+    auto next = std::make_shared<const DictEpoch>(
+        published, std::move(dict), std::move(gram), omp_);
+
+    {
+      const util::MutexLock lock(mu_);
+      retired_.push_back(current_);
+      current_ = std::move(next);
+      // Prune drained epochs so the retired list stays O(live epochs).
+      std::erase_if(retired_,
+                    [](const std::weak_ptr<const DictEpoch>& w) {
+                      return w.expired();
+                    });
+      live = retired_.size() + 1;
+    }
+    epoch_id_.store(published, std::memory_order_release);
+  }
+
+  util::MetricsRegistry& metrics = util::MetricsRegistry::global();
+  metrics.add("serve.registry.extensions", 1);
+  metrics.add("serve.registry.atoms_appended",
+              static_cast<std::uint64_t>(new_atoms.cols()));
+  metrics.update_max("serve.registry.max_live_epochs",
+                     static_cast<std::uint64_t>(live));
+  return published;
+}
+
+std::uint64_t DictRegistry::extend_from_samples(const la::Matrix& candidates,
+                                                const core::ExdConfig& config) {
+  return extend(core::select_extension_atoms(candidates, config));
+}
+
+std::size_t DictRegistry::live_epochs() const {
+  const util::MutexLock lock(mu_);
+  std::size_t live = 1;  // the serving epoch
+  for (const auto& w : retired_) {
+    if (!w.expired()) ++live;
+  }
+  return live;
+}
+
+Index DictRegistry::atom_count() const {
+  const util::MutexLock lock(mu_);
+  return current_->dictionary.cols();
+}
+
+}  // namespace extdict::serve

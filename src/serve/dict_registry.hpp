@@ -1,0 +1,125 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/exd.hpp"
+#include "la/matrix.hpp"
+#include "la/types.hpp"
+#include "sparsecoding/batch_omp.hpp"
+#include "util/sync.hpp"
+
+namespace extdict::serve {
+
+using la::Index;
+using la::Real;
+
+/// One immutable published version of the dictionary: D, its Gram (inside
+/// the coder), and the epoch id. Held via shared_ptr<const DictEpoch> —
+/// pinning an epoch is one refcount increment, and an epoch's memory lives
+/// exactly until the last in-flight batch (or cached reference) drops it.
+/// Noncopyable/nonmovable: the coder holds a pointer into `dictionary`.
+struct DictEpoch {
+  const std::uint64_t id;
+  const la::Matrix dictionary;
+  const sparsecoding::BatchOmp coder;
+
+  /// Epoch 0 entry: full `la::gram` is fine here — it runs once, before
+  /// serving starts. Extension epochs use the bordered constructor below.
+  DictEpoch(std::uint64_t epoch_id, la::Matrix dict,
+            sparsecoding::OmpConfig omp)
+      : id(epoch_id), dictionary(std::move(dict)), coder(dictionary, omp) {}
+
+  /// Extension entry: adopts a pre-bordered Gram, no recompute.
+  DictEpoch(std::uint64_t epoch_id, la::Matrix dict, la::Matrix gram,
+            sparsecoding::OmpConfig omp)
+      : id(epoch_id),
+        dictionary(std::move(dict)),
+        coder(dictionary, std::move(gram), omp) {}
+
+  DictEpoch(const DictEpoch&) = delete;
+  DictEpoch& operator=(const DictEpoch&) = delete;
+};
+
+/// Versioned dictionary registry with zero-downtime online extension — the
+/// paper's headline degree of freedom (§V-E) made safe to run under load:
+///
+///  * `current()` returns the serving epoch as a shared_ptr copy (RCU-style
+///    publication: readers pin the epoch they started with; a worker's
+///    whole batch encodes against one pinned epoch even if an extension
+///    publishes mid-batch).
+///  * `extend()` appends atoms, growing the resident Gram by bordering
+///    (`core::extend_gram_bordered` — O(L² + M·L·K), never a full
+///    `la::gram` of the extended dictionary), then flips `current_`
+///    atomically under a leaf mutex. In-flight batches finish on their
+///    pinned epoch; the old epoch's memory is reclaimed by shared_ptr
+///    refcount when its last holder (batch or cache reader) drains.
+///  * `extend_from_samples()` is the online analogue of `core::evolve`'s
+///    pass 2: sample atoms from candidate columns the current dictionary
+///    cannot express, via the same `core::select_extension_atoms` rule.
+///
+/// Locking: `mu_` guards the current-epoch pointer and the retired list;
+/// it is a LEAF — publication is a pointer swap, all matrix work happens
+/// outside it. `extend_mu_` serializes writers (two concurrent extends must
+/// not both border from the same parent) and is the registry's one declared
+/// non-leaf: it wraps the whole build-then-publish sequence, so it orders
+/// before `mu_`. Metrics are updated after both locks are released.
+class DictRegistry {
+ public:
+  /// Publishes epoch 0. The registry owns its dictionary copy.
+  DictRegistry(la::Matrix dictionary, sparsecoding::OmpConfig omp);
+
+  DictRegistry(const DictRegistry&) = delete;
+  DictRegistry& operator=(const DictRegistry&) = delete;
+
+  /// The serving epoch; never null. One shared_ptr copy under a leaf lock.
+  [[nodiscard]] std::shared_ptr<const DictEpoch> current() const;
+
+  /// The serving epoch's id without touching the lock (cache-key fast path).
+  [[nodiscard]] std::uint64_t current_epoch() const noexcept {
+    return epoch_id_.load(std::memory_order_acquire);
+  }
+
+  /// Appends `new_atoms` (rows must match) and flips serving to the new
+  /// epoch. Returns the published epoch id. Thread-safe; concurrent
+  /// extends serialize.
+  std::uint64_t extend(const la::Matrix& new_atoms);
+
+  /// Samples `config.dictionary_size` atoms from `candidates` with
+  /// `core::select_extension_atoms` (evolve's pass-2 selection) and extends.
+  std::uint64_t extend_from_samples(const la::Matrix& candidates,
+                                    const core::ExdConfig& config);
+
+  /// Epochs still alive: the serving epoch plus every retired epoch some
+  /// batch or cache reader still pins. Retired-and-drained epochs are gone.
+  [[nodiscard]] std::size_t live_epochs() const;
+
+  [[nodiscard]] Index signal_dim() const noexcept { return signal_dim_; }
+  /// Atom count of the *current* epoch (grows with each extension).
+  [[nodiscard]] Index atom_count() const;
+  [[nodiscard]] const sparsecoding::OmpConfig& omp_config() const noexcept {
+    return omp_;
+  }
+
+ private:
+  const sparsecoding::OmpConfig omp_;
+  const Index signal_dim_;  // rows never change across epochs
+
+  // Serializes extend() end to end: border → build epoch → publish. Held
+  // while current()/publication take mu_, hence the declared edge. Metrics
+  // happen after release, so no edge into MetricsRegistry::mu_.
+  // extdict-analyze: non-leaf(DictRegistry::extend_mu_ -> DictRegistry::mu_)
+  util::Mutex extend_mu_;
+
+  mutable util::Mutex mu_;  // leaf: guards the two pointers below only
+  std::shared_ptr<const DictEpoch> current_ EXTDICT_GUARDED_BY(mu_);
+  // Weak refs to flipped-out epochs, pruned on every extend: live_epochs()
+  // observability without keeping anything alive.
+  std::vector<std::weak_ptr<const DictEpoch>> retired_ EXTDICT_GUARDED_BY(mu_);
+
+  std::atomic<std::uint64_t> epoch_id_{0};
+};
+
+}  // namespace extdict::serve

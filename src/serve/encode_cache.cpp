@@ -1,0 +1,137 @@
+#include "serve/encode_cache.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/hash.hpp"
+#include "util/metrics.hpp"
+
+namespace extdict::serve {
+
+std::uint64_t EncodeCacheKey::hash() const noexcept {
+  std::uint64_t h = util::hash_reals(signal);
+  h = util::hash_mix(h, dict_epoch);
+  h = util::hash_real(h, tolerance);
+  h = util::hash_mix(h, static_cast<std::uint64_t>(max_atoms));
+  return h;
+}
+
+bool EncodeCacheKey::operator==(const EncodeCacheKey& other) const noexcept {
+  if (dict_epoch != other.dict_epoch || max_atoms != other.max_atoms ||
+      signal.size() != other.signal.size()) {
+    return false;
+  }
+  // Bitwise compares throughout: the cache's contract is "the exact same
+  // request", so -0.0 vs 0.0 or differently-signed NaNs are different keys
+  // (operator== on double would also reject every NaN-bearing key from
+  // ever hitting, including against itself).
+  if (std::memcmp(&tolerance, &other.tolerance, sizeof(tolerance)) != 0) {
+    return false;
+  }
+  return signal.empty() ||
+         std::memcmp(signal.data(), other.signal.data(),
+                     signal.size() * sizeof(Real)) == 0;
+}
+
+EncodeCache::EncodeCache(std::size_t capacity, std::size_t shards)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {
+  const std::size_t n = std::clamp<std::size_t>(shards, 1, capacity_);
+  const std::size_t per_shard = (capacity_ + n - 1) / n;  // ceil
+  shards_.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->capacity = per_shard;
+  }
+}
+
+std::optional<sparsecoding::SparseCode> EncodeCache::lookup(
+    const EncodeCacheKey& key) {
+  const std::uint64_t h = key.hash();
+  Shard& shard = shard_for(h);
+  std::optional<sparsecoding::SparseCode> found;
+  {
+    const util::MutexLock lock(shard.mu);
+    const auto [first, last] = shard.index.equal_range(h);
+    for (auto it = first; it != last; ++it) {
+      if (it->second->key == key) {  // collision-safe: full-key compare
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        found = it->second->code;
+        break;
+      }
+    }
+  }
+  // Accounting after the lock: shard.mu stays a leaf (MetricsRegistry::add
+  // takes the registry's own mutex for name resolution).
+  util::MetricsRegistry& metrics = util::MetricsRegistry::global();
+  if (found.has_value()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    metrics.add("serve.cache.hits", 1);
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    metrics.add("serve.cache.misses", 1);
+  }
+  return found;
+}
+
+void EncodeCache::insert(const EncodeCacheKey& key,
+                         const sparsecoding::SparseCode& code) {
+  const std::uint64_t h = key.hash();
+  Shard& shard = shard_for(h);
+  bool inserted = false;
+  bool evicted = false;
+  {
+    const util::MutexLock lock(shard.mu);
+    const auto [first, last] = shard.index.equal_range(h);
+    auto existing = last;
+    for (auto it = first; it != last; ++it) {
+      if (it->second->key == key) {
+        existing = it;
+        break;
+      }
+    }
+    if (existing != last) {
+      // Duplicate insert (two batches raced on the same miss): refresh.
+      existing->second->code = code;
+      shard.lru.splice(shard.lru.begin(), shard.lru, existing->second);
+    } else {
+      if (shard.lru.size() >= shard.capacity) {
+        // Evict the LRU tail; find its index node among its hash's bucket.
+        const auto victim = std::prev(shard.lru.end());
+        const auto [vfirst, vlast] = shard.index.equal_range(victim->key.hash());
+        for (auto it = vfirst; it != vlast; ++it) {
+          if (it->second == victim) {
+            shard.index.erase(it);
+            break;
+          }
+        }
+        shard.lru.pop_back();
+        evicted = true;
+      }
+      shard.lru.push_front(Entry{key, code});
+      shard.index.emplace(h, shard.lru.begin());
+      inserted = true;
+    }
+  }
+  util::MetricsRegistry& metrics = util::MetricsRegistry::global();
+  if (inserted) {
+    insertions_.fetch_add(1, std::memory_order_relaxed);
+    metrics.add("serve.cache.insertions", 1);
+    if (!evicted) entries_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (evicted) {
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    metrics.add("serve.cache.evictions", 1);
+  }
+}
+
+EncodeCacheStats EncodeCache::stats() const noexcept {
+  EncodeCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.insertions = insertions_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.entries = entries_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace extdict::serve

@@ -31,10 +31,22 @@ ServerConfig ExtDictServer::sanitized(ServerConfig config) noexcept {
 }
 
 ExtDictServer::ExtDictServer(la::Matrix dictionary, ServerConfig config)
+    : ExtDictServer(std::make_shared<DictRegistry>(std::move(dictionary),
+                                                   config.omp),
+                    config) {}
+
+ExtDictServer::ExtDictServer(std::shared_ptr<DictRegistry> registry,
+                             ServerConfig config)
     : config_(sanitized(config)),
-      dict_(std::move(dictionary)),
-      coder_(dict_, config.omp),
+      registry_(std::move(registry)),
+      cache_(config_.cache_capacity > 0
+                 ? std::make_unique<EncodeCache>(config_.cache_capacity,
+                                                 config_.cache_shards)
+                 : nullptr),
       queue_(config.queue_capacity, config.backpressure) {
+  if (!registry_) {
+    throw std::invalid_argument("ExtDictServer: null dictionary registry");
+  }
   workers_.reserve(static_cast<std::size_t>(config_.workers));
   for (int w = 0; w < config_.workers; ++w) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -57,7 +69,8 @@ std::future<EncodeResult> ExtDictServer::submit(std::span<const Real> signal,
   submitted_.fetch_add(1, std::memory_order_relaxed);
   metrics.add("serve.submitted", 1);
 
-  if (signal.empty() || static_cast<Index>(signal.size()) != dict_.rows()) {
+  if (signal.empty() ||
+      static_cast<Index>(signal.size()) != registry_->signal_dim()) {
     invalid_.fetch_add(1, std::memory_order_relaxed);
     metrics.add("serve.invalid", 1);
     std::promise<EncodeResult> promise;
@@ -65,8 +78,8 @@ std::future<EncodeResult> ExtDictServer::submit(std::span<const Real> signal,
     fail(promise, std::make_exception_ptr(InvalidRequest(
                       "extdict::serve: signal has " +
                       std::to_string(signal.size()) + " entries but the "
-                      "dictionary has " + std::to_string(dict_.rows()) +
-                      " rows")));
+                      "dictionary has " +
+                      std::to_string(registry_->signal_dim()) + " rows")));
     return future;
   }
 
@@ -82,6 +95,29 @@ std::future<EncodeResult> ExtDictServer::submit(std::span<const Real> signal,
     metrics.add("serve.stopped_rejects", 1);
     fail(request.promise, std::make_exception_ptr(ServerStopped()));
     return future;
+  }
+
+  if (cache_) {
+    // Content-addressed fast path: an identical request (signal bits,
+    // current epoch, effective stopping rule) already encoded resolves
+    // here — no queue, no Batch-OMP, no locks beyond one cache shard.
+    const sparsecoding::OmpConfig effective = effective_config(options);
+    EncodeCacheKey key;
+    key.signal = request.signal;  // copy: the miss path still needs it
+    key.dict_epoch = registry_->current_epoch();
+    key.tolerance = effective.tolerance;
+    key.max_atoms = effective.max_atoms;
+    if (auto code = cache_->lookup(key)) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      metrics.add("serve.cache_hits", 1);
+      EncodeResult result;
+      result.code = std::move(*code);
+      result.request_id = request.id;
+      result.dict_epoch = key.dict_epoch;
+      result.cache_hit = true;
+      request.promise.set_value(std::move(result));
+      return future;
+    }
   }
 
   auto outcome = queue_.push(std::move(request));
@@ -153,15 +189,20 @@ void ExtDictServer::encode_batch(std::vector<Request>& batch) {
                          static_cast<std::uint64_t>(columns));
   trace.set_end_arg("queue_us", queue_us_total);
 
+  // Pin one epoch for the whole batch: an extension published mid-batch
+  // takes effect from the next batch, and this shared_ptr keeps the pinned
+  // epoch's dictionary/Gram alive until the batch drains.
+  const std::shared_ptr<const DictEpoch> epoch = registry_->current();
+
   std::vector<sparsecoding::SparseCode> codes(batch.size());
   std::vector<std::exception_ptr> errors(batch.size());
 #pragma omp parallel for schedule(dynamic, 1) default(none) \
-    shared(batch, codes, errors, columns) if (columns > 1)
+    shared(batch, codes, errors, columns, epoch) if (columns > 1)
   for (Index j = 0; j < columns; ++j) {
     const auto i = static_cast<std::size_t>(j);
     try {
-      codes[i] = coder_.encode(batch[i].signal,
-                               effective_config(batch[i].options));
+      codes[i] = epoch->coder.encode(batch[i].signal,
+                                     effective_config(batch[i].options));
     } catch (...) {
       // E.g. a non-finite signal tripping EXTDICT_CHECK_FINITE in a checked
       // build: the error belongs to this request's future, not the worker.
@@ -193,12 +234,26 @@ void ExtDictServer::encode_batch(std::vector<Request>& batch) {
       fail(batch[i].promise, std::move(errors[i]));
       continue;
     }
+    if (cache_) {
+      // Keyed by the PINNED epoch: the code is only valid against the
+      // dictionary that produced it. If an extension flipped mid-batch the
+      // entry is immediately stale for new lookups — correct, not a leak.
+      EncodeCacheKey key;
+      key.signal = std::move(batch[i].signal);  // request is done with it
+      key.dict_epoch = epoch->id;
+      const sparsecoding::OmpConfig effective =
+          effective_config(batch[i].options);
+      key.tolerance = effective.tolerance;
+      key.max_atoms = effective.max_atoms;
+      cache_->insert(key, codes[i]);
+    }
     EncodeResult result;
     result.code = std::move(codes[i]);
     result.request_id = batch[i].id;
     result.batch_columns = columns;
     result.queue_seconds = queue_seconds[i];
     result.encode_seconds = encode_s;
+    result.dict_epoch = epoch->id;
     served_.fetch_add(1, std::memory_order_relaxed);
     ++served_in_batch;
     batch[i].promise.set_value(std::move(result));
@@ -236,6 +291,7 @@ ServerStats ExtDictServer::stats() const noexcept {
   s.invalid = invalid_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
   s.stopped = stopped_rejects_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   s.accepted = accepted_.load(std::memory_order_relaxed);
   s.shed = shed_.load(std::memory_order_relaxed);
   s.discarded = discarded_.load(std::memory_order_relaxed);

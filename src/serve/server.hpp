@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <thread>
@@ -11,6 +12,8 @@
 
 #include "la/matrix.hpp"
 #include "la/types.hpp"
+#include "serve/dict_registry.hpp"
+#include "serve/encode_cache.hpp"
 #include "serve/queue.hpp"
 #include "sparsecoding/batch_omp.hpp"
 #include "util/sync.hpp"
@@ -68,9 +71,11 @@ struct EncodeOptions {
 struct EncodeResult {
   sparsecoding::SparseCode code;
   std::uint64_t request_id = 0;
-  Index batch_columns = 0;   ///< columns encoded in this request's batch
-  double queue_seconds = 0;  ///< submit → batch flush
-  double encode_seconds = 0; ///< the batch's shared encode window
+  Index batch_columns = 0;   ///< columns encoded in this request's batch (0 on a cache hit)
+  double queue_seconds = 0;  ///< submit → batch flush (0 on a cache hit)
+  double encode_seconds = 0; ///< the batch's shared encode window (0 on a cache hit)
+  std::uint64_t dict_epoch = 0;  ///< registry epoch the code was computed against
+  bool cache_hit = false;    ///< served from the encode cache, no solver run
 };
 
 struct ServerConfig {
@@ -80,6 +85,10 @@ struct ServerConfig {
   std::size_t queue_capacity = 1024;
   BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
   sparsecoding::OmpConfig omp;    ///< default ε / sparsity cap
+  /// Encode-cache entry budget; 0 disables the cache entirely (every
+  /// request runs Batch-OMP, the pre-cache behaviour).
+  std::size_t cache_capacity = 0;
+  std::size_t cache_shards = 8;   ///< independent LRU shards (lock striping)
 };
 
 enum class StopMode {
@@ -89,32 +98,47 @@ enum class StopMode {
 
 /// Monotone request accounting, snapshot via `ExtDictServer::stats()`.
 /// Identities once the server has stopped (every future resolved):
-///   submitted == accepted + invalid + rejected + stopped
+///   submitted == accepted + invalid + rejected + stopped + cache_hits
 ///   accepted  == served + encode_failed + shed + discarded
 ///   columns_encoded == served + encode_failed
+/// A client sees a value future for every `served` OR `cache_hits` request;
+/// every other bucket resolves with its documented error.
 struct ServerStats {
   std::uint64_t submitted = 0;  ///< submit() calls
   std::uint64_t invalid = 0;    ///< failed shape validation
   std::uint64_t rejected = 0;   ///< kReject on a full queue
   std::uint64_t stopped = 0;    ///< refused because the server was stopping
+  std::uint64_t cache_hits = 0; ///< resolved from the encode cache, never queued
   std::uint64_t accepted = 0;   ///< entered the queue
   std::uint64_t shed = 0;       ///< evicted under kShedOldest
   std::uint64_t discarded = 0;  ///< failed by a kDiscard stop
-  std::uint64_t served = 0;     ///< futures resolved with a value
+  std::uint64_t served = 0;     ///< futures resolved with a batch-encoded value
   std::uint64_t encode_failed = 0;  ///< encode threw (e.g. non-finite signal)
   std::uint64_t batches = 0;
   std::uint64_t columns_encoded = 0;
   std::uint64_t max_batch_columns = 0;  ///< largest batch observed
 };
 
-/// Persistent, thread-safe sparse-coding server: owns a dictionary and its
-/// resident Batch-OMP state (the Gram `DᵀD` is computed once, at
-/// construction), accepts encode requests from any number of client threads,
-/// and drives them through a micro-batching scheduler — a worker flushes a
-/// batch at `max_batch` columns or `max_delay_us` after the batch's first
-/// arrival, whichever comes first — so concurrent requests share one
-/// Batch-OMP window (one scheduler wakeup, one OpenMP parallel region)
-/// instead of paying the per-invocation setup each.
+/// Persistent, thread-safe sparse-coding server: serves a `DictRegistry`
+/// epoch (dictionary + resident Batch-OMP Gram), accepts encode requests
+/// from any number of client threads, and drives them through a
+/// micro-batching scheduler — a worker flushes a batch at `max_batch`
+/// columns or `max_delay_us` after the batch's first arrival, whichever
+/// comes first — so concurrent requests share one Batch-OMP window (one
+/// scheduler wakeup, one OpenMP parallel region) instead of paying the
+/// per-invocation setup each.
+///
+/// Caching: with `cache_capacity > 0`, `submit` consults a content-addressed
+/// `EncodeCache` (key = signal bits · dict epoch · effective ε/max_atoms)
+/// before enqueueing; a hit resolves the future immediately — no queue, no
+/// solver — and workers insert every successful batch encode keyed by the
+/// epoch it was computed against. An extension flips the epoch, so stale
+/// entries simply stop matching and age out of the LRU.
+///
+/// Extension: workers pin `registry->current()` once per batch; a
+/// `DictRegistry::extend` published mid-batch takes effect from the next
+/// batch. Requests therefore always get a code consistent with one epoch,
+/// and `EncodeResult::dict_epoch` says which.
 ///
 /// Shutdown is deterministic: `stop(kDrain)` (also the destructor) serves
 /// everything queued then joins; `stop(kDiscard)` fails queued requests with
@@ -126,14 +150,21 @@ struct ServerStats {
 /// `serve.latency.{queue,encode,total}_seconds` histograms in the global
 /// registry — `stats()` is the server's own (always-on) accounting.
 ///
-/// Lock ordering: the queue's mutex and the registry's are leaves;
-/// `stop_mu_` is the one documented exception to the leaf policy (see its
-/// declaration).
+/// Lock ordering: the queue's mutex, the metrics registry's, the encode
+/// cache's per-shard mutexes, and `DictRegistry::mu_` are all leaves;
+/// `stop_mu_` (here) and `DictRegistry::extend_mu_` are the two documented
+/// exceptions to the leaf policy (see their declarations).
 class ExtDictServer {
  public:
-  /// Takes the dictionary by value: the server owns its copy (and the Gram)
-  /// for its whole lifetime, so callers can drop theirs.
+  /// Takes the dictionary by value: the server builds a private registry
+  /// (epoch 0) around its copy, so callers can drop theirs.
   explicit ExtDictServer(la::Matrix dictionary, ServerConfig config = {});
+
+  /// Serves a shared registry: the caller (or another server) may extend it
+  /// while this server runs. `registry` must be non-null and outlives
+  /// nothing — the server holds a shared_ptr.
+  explicit ExtDictServer(std::shared_ptr<DictRegistry> registry,
+                         ServerConfig config = {});
 
   /// Drains and stops (StopMode::kDrain semantics).
   ~ExtDictServer();
@@ -158,8 +189,22 @@ class ExtDictServer {
 
   [[nodiscard]] ServerStats stats() const noexcept;
 
-  [[nodiscard]] Index signal_dim() const noexcept { return dict_.rows(); }
-  [[nodiscard]] Index atom_count() const noexcept { return dict_.cols(); }
+  /// Encode-cache accounting; all zeros when the cache is disabled.
+  [[nodiscard]] EncodeCacheStats cache_stats() const noexcept {
+    return cache_ ? cache_->stats() : EncodeCacheStats{};
+  }
+
+  /// The registry this server serves from (never null); extending it takes
+  /// effect from the next batch, with no serving interruption.
+  [[nodiscard]] const std::shared_ptr<DictRegistry>& registry() const noexcept {
+    return registry_;
+  }
+
+  [[nodiscard]] Index signal_dim() const noexcept {
+    return registry_->signal_dim();
+  }
+  /// Atom count of the registry's current epoch (grows across extensions).
+  [[nodiscard]] Index atom_count() const { return registry_->atom_count(); }
   [[nodiscard]] const ServerConfig& config() const noexcept { return config_; }
 
  private:
@@ -181,8 +226,12 @@ class ExtDictServer {
   [[nodiscard]] static ServerConfig sanitized(ServerConfig config) noexcept;
 
   const ServerConfig config_;
-  const la::Matrix dict_;
-  const sparsecoding::BatchOmp coder_;
+  // Set once in the constructor, immutable after: the shared_ptr itself is
+  // const, the registry is internally synchronized.
+  const std::shared_ptr<DictRegistry> registry_;
+  // Null when cache_capacity == 0; EncodeCache is internally synchronized
+  // (per-shard leaf mutexes).
+  const std::unique_ptr<EncodeCache> cache_;
   // Internally synchronized: BoundedQueue owns its mutex (a leaf lock).
   // extdict-analyze: allow(guarded-by) BoundedQueue is internally synchronized
   BoundedQueue<Request> queue_;
@@ -209,8 +258,9 @@ class ExtDictServer {
 
   // stats() cells (always-on, independent of the metrics registry switch).
   std::atomic<std::uint64_t> submitted_{0}, invalid_{0}, rejected_{0},
-      stopped_rejects_{0}, accepted_{0}, shed_{0}, discarded_{0}, served_{0},
-      encode_failed_{0}, batches_{0}, columns_encoded_{0}, max_batch_columns_{0};
+      stopped_rejects_{0}, cache_hits_{0}, accepted_{0}, shed_{0},
+      discarded_{0}, served_{0}, encode_failed_{0}, batches_{0},
+      columns_encoded_{0}, max_batch_columns_{0};
 };
 
 }  // namespace extdict::serve

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "la/blas.hpp"
 #include "la/cholesky.hpp"
@@ -14,6 +15,18 @@ namespace extdict::sparsecoding {
 // extdict-lint: allow(missing-shape-contract) any dictionary shape is valid; gram() validates
 BatchOmp::BatchOmp(const Matrix& dict, OmpConfig config)
     : dict_(&dict), gram_(la::gram(dict)), config_(config) {
+  max_atoms_ = config_.max_atoms > 0
+                   ? std::min(config_.max_atoms, std::min(dict.rows(), dict.cols()))
+                   : std::min(dict.rows(), dict.cols());
+}
+
+BatchOmp::BatchOmp(const Matrix& dict, Matrix gram, OmpConfig config)
+    : dict_(&dict), gram_(std::move(gram)), config_(config) {
+  EXTDICT_REQUIRE_SHAPE(
+      gram_.rows() == dict.cols() && gram_.cols() == dict.cols(),
+      "BatchOmp: supplied Gram is " + std::to_string(gram_.rows()) + "x" +
+          std::to_string(gram_.cols()) + " but the dictionary has " +
+          std::to_string(dict.cols()) + " columns");
   max_atoms_ = config_.max_atoms > 0
                    ? std::min(config_.max_atoms, std::min(dict.rows(), dict.cols()))
                    : std::min(dict.rows(), dict.cols());
@@ -41,14 +54,25 @@ SparseCode BatchOmp::encode(std::span<const Real> signal,
   EXTDICT_CHECK_FINITE(signal, "BatchOmp::encode: signal");
 
   SparseCode code;
+  // Exact FLOP meter (2 FLOPs per multiply-add, matching la/blas.hpp's
+  // gemv_flops/gemm_flops convention). Each kernel call below charges its
+  // actual runtime size so `code.flops` is the true count even on runs with
+  // dependent-atom rejections; on clean runs it equals `encode_flops(k)`.
+  const auto um = static_cast<std::uint64_t>(m);
+  const auto ul = static_cast<std::uint64_t>(l);
+  std::uint64_t flops = 2 * um;  // eps0 = <x, x>
   const Real eps0 = la::dot(signal, signal);
-  if (eps0 == Real{0} || max_atoms == 0) return code;
+  if (eps0 == Real{0} || max_atoms == 0) {
+    code.flops = flops;
+    return code;
+  }
   // Stop when ||r||² <= (ε ||x||)².
   const Real target_sq = config.tolerance * config.tolerance * eps0;
 
   // alpha0 = Dᵀ x (computed once); alpha = Dᵀ r maintained via the Gram.
   la::Vector alpha0(static_cast<std::size_t>(l));
   la::gemv_t(1, *dict_, signal, 0, alpha0);
+  flops += 2 * um * ul;
   la::Vector alpha = alpha0;
 
   la::ProgressiveCholesky chol(max_atoms);
@@ -58,10 +82,12 @@ SparseCode BatchOmp::encode(std::span<const Real> signal,
   la::Vector g_new;                 // G(selected, k) scratch
   la::Vector beta(static_cast<std::size_t>(l));
   Real eps = eps0;
+  std::uint64_t n_used = 0;  // `used` flags set, for the scan charge
 
   while (eps > target_sq && static_cast<Index>(selected.size()) < max_atoms) {
     Index best = -1;
     Real best_abs = 0;
+    flops += ul - n_used;  // argmax scan touches each unused candidate once
     for (Index j = 0; j < l; ++j) {
       if (used[static_cast<std::size_t>(j)]) continue;
       const Real a = std::abs(alpha[static_cast<std::size_t>(j)]);
@@ -79,13 +105,21 @@ SparseCode BatchOmp::encode(std::span<const Real> signal,
       g_new[static_cast<std::size_t>(a)] =
           gram_(selected[static_cast<std::size_t>(a)], best);
     }
+    // ProgressiveCholesky::append at size k: forward solve L w = g_new
+    // (k² + 2k multiply-adds incl. the squared-sum accumulation) plus the
+    // Schur complement and its square root. Charged whether or not the
+    // pivot check accepts the atom — the solve ran either way.
+    const auto uk = static_cast<std::uint64_t>(k);
+    flops += uk * uk + 2 * uk + 2;
     if (!chol.append(g_new, gram_(best, best))) {
       // Linearly dependent atom — exclude it and keep searching.
       used[static_cast<std::size_t>(best)] = true;
       alpha[static_cast<std::size_t>(best)] = 0;
+      ++n_used;
       continue;
     }
     used[static_cast<std::size_t>(best)] = true;
+    ++n_used;
     selected.push_back(best);
     ++code.iterations;
 
@@ -97,6 +131,8 @@ SparseCode BatchOmp::encode(std::span<const Real> signal,
           alpha0[static_cast<std::size_t>(selected[static_cast<std::size_t>(a)])];
     }
     chol.solve_in_place(gamma);
+    // Forward + back substitution at size s: s² multiply-adds each → 2s².
+    flops += 2 * static_cast<std::uint64_t>(ks) * static_cast<std::uint64_t>(ks);
     EXTDICT_ASSERT(util::first_non_finite(gamma) < 0,
                    "BatchOmp::encode: non-finite coefficient after atom " +
                        std::to_string(best));
@@ -109,6 +145,7 @@ SparseCode BatchOmp::encode(std::span<const Real> signal,
       const Real ga = gamma[static_cast<std::size_t>(a)];
       if (ga == Real{0}) continue;
       la::axpy(-ga, gram_.col(atom), beta);
+      flops += 2 * ul;
     }
     alpha = beta;
     for (const Index s : selected) alpha[static_cast<std::size_t>(s)] = 0;
@@ -118,6 +155,7 @@ SparseCode BatchOmp::encode(std::span<const Real> signal,
       fit += gamma[static_cast<std::size_t>(a)] *
              alpha0[static_cast<std::size_t>(selected[static_cast<std::size_t>(a)])];
     }
+    flops += 2 * static_cast<std::uint64_t>(ks);  // the fit dot product
     eps = std::max(Real{0}, eps0 - fit);
   }
 
@@ -126,6 +164,7 @@ SparseCode BatchOmp::encode(std::span<const Real> signal,
     code.entries.emplace_back(selected[a], gamma[a]);
   }
   code.residual_norm = std::sqrt(eps);
+  code.flops = flops;
   return code;
 }
 
@@ -153,9 +192,25 @@ std::uint64_t BatchOmp::encode_flops(Index k) const noexcept {
   const auto m = static_cast<std::uint64_t>(dict_->rows());
   const auto l = static_cast<std::uint64_t>(dict_->cols());
   const auto kk = static_cast<std::uint64_t>(k);
-  // Dᵀx (2ML) + per-iteration argmax (L) + Gram column update (2L·k) +
-  // triangular solves (k²).
-  return 2 * m * l + kk * (l + 2 * l * kk / 2 + kk * kk);
+  // Mirrors the meter in encode(), summed in closed form over a clean
+  // k-iteration run (every append accepted, no exact-zero coefficients).
+  // The earlier model charged k·k² = k³ for the triangular solves even
+  // though each solve pair is only quadratic (2s² at size s); the correct
+  // total is Σ 2s² = k(k+1)(2k+1)/3 ≈ (2/3)k³.
+  const std::uint64_t setup = 2 * m + 2 * m * l;  // <x,x> + Dᵀx
+  if (kk == 0) return setup;
+  // Argmax scans: Σ_{t=0}^{k-1} (L - t).
+  const std::uint64_t scans = kk * l - kk * (kk - 1) / 2;
+  // Cholesky appends: Σ_{t=0}^{k-1} (t² + 2t + 2).
+  const std::uint64_t appends =
+      (kk - 1) * kk * (2 * kk - 1) / 6 + kk * (kk - 1) + 2 * kk;
+  // Triangular solve pairs: Σ_{s=1}^{k} 2s².
+  const std::uint64_t solves = kk * (kk + 1) * (2 * kk + 1) / 3;
+  // β updates: Σ_{s=1}^{k} 2·L·s.
+  const std::uint64_t betas = l * kk * (kk + 1);
+  // Residual-energy fits: Σ_{s=1}^{k} 2s.
+  const std::uint64_t fits = kk * (kk + 1);
+  return setup + scans + appends + solves + betas + fits;
 }
 
 }  // namespace extdict::sparsecoding

@@ -22,6 +22,14 @@ class BatchOmp {
  public:
   BatchOmp(const Matrix& dict, OmpConfig config);
 
+  /// Adopts a caller-supplied Gram instead of recomputing `la::gram(dict)`.
+  /// This is the dictionary-extension entry: `core::extend_gram_bordered`
+  /// grows an L×L Gram to (L+K)×(L+K) in O(L² + M·L·K) instead of the
+  /// O(M·(L+K)²) full recompute, and the result is handed here. `gram` must
+  /// be the exact cols(dict)-square Gram of `dict` — shape is checked, the
+  /// values are trusted.
+  BatchOmp(const Matrix& dict, Matrix gram, OmpConfig config);
+
   /// Sparse-codes a single signal (length rows()) with the config given at
   /// construction.
   [[nodiscard]] SparseCode encode(std::span<const Real> signal) const;
@@ -41,8 +49,14 @@ class BatchOmp {
   [[nodiscard]] const Matrix& gram() const noexcept { return gram_; }
   [[nodiscard]] const OmpConfig& config() const noexcept { return config_; }
 
-  /// FLOPs of one `encode` with k selected atoms (analysis helper for the
-  /// complexity test; counts the dominant terms).
+  /// Closed-form FLOPs of one clean `encode` run that selects k atoms with
+  /// no dependent-atom rejections: initial correlations (2M + 2ML), the
+  /// shrinking argmax scans, the progressive-Cholesky appends, the
+  /// triangular solve pair per iteration (2s² at size s, ~(2/3)k³ total —
+  /// NOT k³: each solve is quadratic, only the sum over iterations is
+  /// cubic), the β updates (2L per selected atom per iteration), and the
+  /// residual-energy fits. Matches `SparseCode::flops` exactly on clean
+  /// runs; `bench/run_benchmarks` enforces the identity per signal.
   [[nodiscard]] std::uint64_t encode_flops(Index k) const noexcept;
 
  private:

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <utility>
 #include <vector>
@@ -26,6 +27,12 @@ struct SparseCode {
   std::vector<std::pair<Index, Real>> entries;
   Real residual_norm = 0;
   int iterations = 0;
+  /// Exact FLOPs this encode performed, metered at kernel-call granularity
+  /// (2 FLOPs per multiply-add, the la/blas.hpp convention). Filled by
+  /// `BatchOmp::encode`; the reference coder leaves it 0. On a clean run
+  /// (no dependent-atom rejections) it equals `BatchOmp::encode_flops(k)` —
+  /// `bench/run_benchmarks` asserts that identity exactly.
+  std::uint64_t flops = 0;
 
   [[nodiscard]] Index nnz() const noexcept {
     return static_cast<Index>(entries.size());

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+#include "la/types.hpp"
+
+namespace extdict::util {
+
+/// FNV-1a 64-bit — the content-addressing hash of the serving layer's encode
+/// cache. Dependency-free and byte-exact across platforms; it selects the
+/// cache shard and bucket only, never decides equality (EncodeCache does a
+/// full-key compare on every probe, so hash collisions cost a miss at worst,
+/// never a wrong code).
+inline constexpr std::uint64_t kFnv1aOffset = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnv1aPrime = 1099511628211ull;
+
+[[nodiscard]] inline std::uint64_t fnv1a_bytes(
+    const void* data, std::size_t size,
+    std::uint64_t seed = kFnv1aOffset) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+/// Hashes the raw bit patterns of a Real span (bit-identical signals — and
+/// only those — collide, the cache's definition of "the same signal").
+[[nodiscard]] inline std::uint64_t hash_reals(
+    std::span<const la::Real> values,
+    std::uint64_t seed = kFnv1aOffset) noexcept {
+  return fnv1a_bytes(values.data(), values.size_bytes(), seed);
+}
+
+/// Folds one 64-bit word into a running hash (epoch ids, option bits).
+[[nodiscard]] inline std::uint64_t hash_mix(std::uint64_t h,
+                                            std::uint64_t word) noexcept {
+  return fnv1a_bytes(&word, sizeof(word), h);
+}
+
+/// Folds a Real's bit pattern into a running hash (tolerances: 0.1 and the
+/// nearest representable neighbour are different stopping rules, so the
+/// key hashes bits, not rounded values).
+[[nodiscard]] inline std::uint64_t hash_real(std::uint64_t h,
+                                             la::Real value) noexcept {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(la::Real) == sizeof(bits));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return hash_mix(h, bits);
+}
+
+}  // namespace extdict::util

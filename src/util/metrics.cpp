@@ -76,11 +76,23 @@ double Histogram::quantile(double q) const noexcept {
     if (c == 0) continue;
     if (seen + c >= rank) {
       // Log-interpolate inside the bucket by the rank's fraction of it.
-      const double lower = i == 0 ? kFirstLower : bucket_upper(i - 1);
+      // Bucket 0 also absorbs every underflow observation (`record` clamps
+      // values below kFirstLower into it), so its true lower edge is the
+      // smallest value seen, not kFirstLower — interpolating from
+      // kFirstLower would overestimate low quantiles whenever sub-range
+      // values were recorded.
+      const double lower =
+          i == 0 ? std::min(min(), kFirstLower) : bucket_upper(i - 1);
       const double upper = bucket_upper(i);
       const double frac =
           static_cast<double>(rank - seen) / static_cast<double>(c);
-      estimate = lower * std::pow(upper / lower, frac);
+      if (lower > 0) {
+        estimate = lower * std::pow(upper / lower, frac);
+      } else {
+        // Log interpolation needs a positive base; with zero/negative
+        // observations fall back to linear inside the bucket.
+        estimate = lower + (upper - lower) * frac;
+      }
       break;
     }
     seen += c;

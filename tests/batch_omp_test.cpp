@@ -149,5 +149,33 @@ TEST(BatchOmp, EncodeFlopsMonotoneInIterations) {
   EXPECT_LT(coder.encode_flops(1), coder.encode_flops(5));
 }
 
+TEST(BatchOmp, MeteredFlopsMatchClosedFormExactly) {
+  // The meter in encode() and the closed form in encode_flops() are two
+  // derivations of the same count; on clean runs (every append accepted,
+  // no exact-zero coefficients — generic for Gaussian data) they must
+  // agree EXACTLY, for both atom-budget and tolerance stops. The old
+  // model charged k³ for the triangular solves instead of Σ 2s²; this
+  // test pins the corrected form against ground truth.
+  Rng rng(10);
+  const struct { Index m, l, max_atoms; Real tolerance; } cases[] = {
+      {12, 24, 4, 0.0},   // stop on the atom budget
+      {32, 64, 8, 0.0},   //   ... at a second shape
+      {24, 48, 0, 0.3},   // stop on the residual tolerance
+      {16, 16, 0, 0.05},  // square dictionary, deep runs
+  };
+  for (const auto& c : cases) {
+    Matrix dict = rng.gaussian_matrix(c.m, c.l, true);
+    BatchOmp coder(dict, {.tolerance = c.tolerance, .max_atoms = c.max_atoms});
+    Vector signal(static_cast<std::size_t>(c.m));
+    for (int trial = 0; trial < 8; ++trial) {
+      rng.fill_gaussian(signal);
+      const SparseCode code = coder.encode(signal);
+      ASSERT_GT(code.iterations, 0);
+      EXPECT_EQ(code.flops, coder.encode_flops(code.iterations))
+          << "m=" << c.m << " l=" << c.l << " iterations=" << code.iterations;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace extdict::sparsecoding

@@ -70,8 +70,41 @@ TEST(Evolve, SameStructureColumnsReuseDictionary) {
   EXPECT_EQ(report.new_columns, 40);
   EXPECT_FALSE(report.dictionary_extended);
   EXPECT_EQ(report.failed_columns, 0);
+  // Nothing failed → nothing was re-encoded, and every column expressed.
+  EXPECT_EQ(report.expressed_columns, 40);
+  EXPECT_EQ(report.reencoded_columns, 0);
+  EXPECT_EQ(report.unresolved_columns, 0);
+  EXPECT_LE(report.max_post_extension_residual, 0.05 * 1.001);
   EXPECT_EQ(exd.dictionary.cols(), old_l);
   EXPECT_EQ(exd.coefficients.cols(), 240);
+}
+
+TEST(Evolve, ReportCountsReencodedColumnsNotSuccesses) {
+  // Regression: reencoded_columns used to carry the INVERTED count — the
+  // pass-1 successes that were never touched by pass 2. It now counts
+  // exactly the failing columns that pass 2 re-coded, expressed + failed
+  // partitions the batch, and the post-extension sweep reports the
+  // achieved quality instead of silently absorbing still-bad columns.
+  const auto base = make_base(97);
+  ExdResult exd = base_transform(base.a);
+  const Matrix a_new = new_structure_columns(40, 50, 97);
+  ExdConfig config;
+  config.tolerance = 0.05;
+  config.dictionary_size = 25;
+  const EvolveReport report = evolve(exd, a_new, config);
+
+  EXPECT_EQ(report.new_columns, 50);
+  EXPECT_TRUE(report.dictionary_extended);
+  EXPECT_GT(report.failed_columns, 0);
+  EXPECT_EQ(report.expressed_columns + report.failed_columns,
+            report.new_columns);
+  EXPECT_EQ(report.reencoded_columns, report.failed_columns);
+  EXPECT_LE(report.unresolved_columns, report.failed_columns);
+  EXPECT_GT(report.max_post_extension_residual, 0.0);
+  if (report.unresolved_columns == 0) {
+    // Everything resolved → the worst relative residual meets ε.
+    EXPECT_LE(report.max_post_extension_residual, 0.05 * 1.001);
+  }
 }
 
 TEST(Evolve, UpdatedTransformStillMeetsErrorBound) {

@@ -131,6 +131,30 @@ TEST(Histogram, QuantilesLandWithinBucketResolution) {
   EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.0);
 }
 
+TEST(Histogram, SubRangeObservationsDoNotInflateLowQuantiles) {
+  // Regression: bucket 0 absorbs every observation below kFirstLower, and
+  // the quantile interpolation used to take kFirstLower (1e-9) as the
+  // bucket's base — with sub-range observations the low quantiles came
+  // back ≈1e-9 even when nearly all mass sat at 1e-12. The base is now
+  // floored at the exact observed min.
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(1e-12);
+  h.record(1.0);  // keeps the final [min, max] clamp from hiding the bug
+  EXPECT_DOUBLE_EQ(h.min(), 1e-12);
+  const double median = h.quantile(0.5);
+  EXPECT_GE(median, 1e-12);
+  EXPECT_LT(median, 1e-10);  // the old interpolation returned ≈1.1e-9
+
+  // Non-positive observations make the log base unusable: interpolation
+  // falls back to linear and stays inside bucket 0.
+  Histogram z;
+  for (int i = 0; i < 100; ++i) z.record(0.0);
+  z.record(1.0);
+  const double zero_median = z.quantile(0.5);
+  EXPECT_GE(zero_median, 0.0);
+  EXPECT_LE(zero_median, Histogram::bucket_upper(0));
+}
+
 TEST(Histogram, MergeCombinesCellsExactly) {
   Histogram a, b;
   for (int i = 0; i < 100; ++i) a.record(1e-4);

@@ -56,7 +56,8 @@ void expect_codes_equal(const SparseCode& got, const SparseCode& want) {
 }
 
 void expect_accounting_identities(const ServerStats& s) {
-  EXPECT_EQ(s.submitted, s.accepted + s.invalid + s.rejected + s.stopped);
+  EXPECT_EQ(s.submitted,
+            s.accepted + s.invalid + s.rejected + s.stopped + s.cache_hits);
   EXPECT_EQ(s.accepted, s.served + s.encode_failed + s.shed + s.discarded);
   EXPECT_EQ(s.columns_encoded, s.served + s.encode_failed);
 }

@@ -6,9 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <future>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -96,7 +99,8 @@ void run_policy_storm(BackpressurePolicy policy) {
   EXPECT_EQ(out.total(), kTotal);
   const ServerStats s = server.stats();
   EXPECT_EQ(s.submitted, kTotal);
-  EXPECT_EQ(s.submitted, s.accepted + s.invalid + s.rejected + s.stopped);
+  EXPECT_EQ(s.submitted,
+            s.accepted + s.invalid + s.rejected + s.stopped + s.cache_hits);
   EXPECT_EQ(s.accepted, s.served + s.encode_failed + s.shed + s.discarded);
   EXPECT_EQ(s.columns_encoded, s.served + s.encode_failed);
   EXPECT_EQ(s.served, out.served.load());
@@ -154,7 +158,8 @@ void run_stop_race(StopMode mode) {
   EXPECT_EQ(out.total(), submitted.load());
   const ServerStats s = server.stats();
   EXPECT_EQ(s.submitted, submitted.load());
-  EXPECT_EQ(s.submitted, s.accepted + s.invalid + s.rejected + s.stopped);
+  EXPECT_EQ(s.submitted,
+            s.accepted + s.invalid + s.rejected + s.stopped + s.cache_hits);
   EXPECT_EQ(s.accepted, s.served + s.encode_failed + s.shed + s.discarded);
   if (mode == StopMode::kDrain) {
     EXPECT_EQ(s.discarded, 0u);
@@ -168,6 +173,97 @@ TEST(ServeStress, DrainStopRacesProducers) { run_stop_race(StopMode::kDrain); }
 
 TEST(ServeStress, DiscardStopRacesProducers) {
   run_stop_race(StopMode::kDiscard);
+}
+
+// Epoch flips under full concurrent load: producers hammer a cached server
+// drawing from a small signal pool (so hits and misses interleave) while a
+// flipper thread extends the registry repeatedly. Every future resolves,
+// every accounting identity balances at the end, epochs observed by served
+// results are monotone within each producer, and old epochs drain.
+TEST(ServeStress, EpochFlipsUnderLoadKeepIdentities) {
+  Rng rng(24);
+  const Matrix dict = rng.gaussian_matrix(kM, kL, true);
+  auto registry = std::make_shared<DictRegistry>(
+      dict, sparsecoding::OmpConfig{.tolerance = 0.0, .max_atoms = 4});
+  ExtDictServer server(registry, {.max_batch = 8,
+                                  .max_delay_us = 100,
+                                  .workers = 2,
+                                  .queue_capacity = 32,
+                                  .omp = {.tolerance = 0.0, .max_atoms = 4},
+                                  .cache_capacity = 64});
+
+  // Small shared pool → plenty of bit-identical resubmissions (cache
+  // traffic) racing the flips.
+  std::vector<Vector> pool(8, Vector(kM));
+  {
+    Rng pool_rng(25);
+    for (auto& signal : pool) pool_rng.fill_gaussian(signal);
+  }
+
+  constexpr int kFlips = 4;
+  Outcomes out;
+  std::atomic<bool> max_epoch_regressed{false};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      std::uint64_t last_epoch = 0;
+      for (int i = 0; i < kRequestsPerProducer; ++i) {
+        auto future = server.submit(
+            pool[static_cast<std::size_t>(p + i) % pool.size()]);
+        if (future.wait_for(5s) != std::future_status::ready) {
+          out.unresolved.fetch_add(1);
+          continue;
+        }
+        try {
+          const EncodeResult result = future.get();
+          // A producer's observed epoch may lag the registry (pinned
+          // batches, cached codes) but must never run backwards.
+          if (result.dict_epoch < last_epoch) max_epoch_regressed = true;
+          last_epoch = std::max(last_epoch, result.dict_epoch);
+          out.served.fetch_add(1);
+        } catch (const ServeError&) {
+          out.stopped.fetch_add(1);
+        } catch (...) {
+          out.failed.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::thread flipper([&] {
+    Rng flip_rng(26);
+    for (int f = 0; f < kFlips; ++f) {
+      std::this_thread::sleep_for(1ms);
+      registry->extend(flip_rng.gaussian_matrix(kM, 2, true));
+    }
+  });
+  flipper.join();
+  for (auto& t : producers) t.join();
+  server.stop();
+
+  constexpr std::uint64_t kTotal =
+      static_cast<std::uint64_t>(kProducers) * kRequestsPerProducer;
+  EXPECT_EQ(out.unresolved.load(), 0u);
+  EXPECT_EQ(out.failed.load(), 0u);
+  EXPECT_EQ(out.total(), kTotal);
+  EXPECT_FALSE(max_epoch_regressed.load());
+  EXPECT_EQ(registry->current_epoch(), static_cast<std::uint64_t>(kFlips));
+  EXPECT_EQ(registry->atom_count(), kL + 2 * kFlips);
+
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.submitted, kTotal);
+  EXPECT_EQ(s.submitted,
+            s.accepted + s.invalid + s.rejected + s.stopped + s.cache_hits);
+  EXPECT_EQ(s.accepted, s.served + s.encode_failed + s.shed + s.discarded);
+  EXPECT_EQ(s.columns_encoded, s.served + s.encode_failed);
+  EXPECT_EQ(s.served + s.cache_hits, out.served.load());
+  EXPECT_EQ(s.encode_failed, 0u);
+
+  // The cache's own books: every lookup is a hit or a miss, and with the
+  // server stopped the flip storm leaves only reachable epochs alive.
+  const EncodeCacheStats c = server.cache_stats();
+  EXPECT_EQ(c.hits, s.cache_hits);
+  EXPECT_EQ(c.hits + c.misses, s.submitted);
+  EXPECT_LE(registry->live_epochs(), static_cast<std::size_t>(kFlips) + 1);
 }
 
 // Concurrent stop() calls from several threads while producers run: stop is
@@ -197,7 +293,8 @@ TEST(ServeStress, ConcurrentStopsSerialize) {
   EXPECT_FALSE(server.accepting());
   EXPECT_EQ(out.unresolved.load(), 0u);
   const ServerStats s = server.stats();
-  EXPECT_EQ(s.submitted, s.accepted + s.invalid + s.rejected + s.stopped);
+  EXPECT_EQ(s.submitted,
+            s.accepted + s.invalid + s.rejected + s.stopped + s.cache_hits);
   EXPECT_EQ(s.accepted, s.served + s.encode_failed + s.shed + s.discarded);
 }
 

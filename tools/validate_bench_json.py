@@ -6,7 +6,7 @@ Dependency-free (stdlib json only). CI's bench-smoke job runs
     run_benchmarks --quick --out OUT
     tools/validate_bench_json.py OUT/BENCH_gram_model.json OUT/BENCH_solvers.json
     run_server_bench --quick --out OUT
-    tools/validate_bench_json.py OUT/BENCH_serve.json
+    tools/validate_bench_json.py OUT/BENCH_serve.json OUT/BENCH_cache.json
 
 so a schema drift — a renamed field, a type change, a dropped summary — fails
 the PR even when the benchmark itself runs fine. The checked-in repo-root
@@ -270,6 +270,104 @@ SERVE_SCHEMA = {
     },
 }
 
+CACHE_PASS = {
+    "type": "object",
+    "required": [
+        "wall_seconds", "throughput_rps", "served", "lost", "hits", "misses",
+        "hit_ratio", "insertions", "evictions", "latency",
+    ],
+    "properties": {
+        **{name: NUMBER for name in (
+            "wall_seconds", "throughput_rps", "served", "lost", "hits",
+            "misses", "hit_ratio", "insertions", "evictions")},
+        "latency": SERVE_LATENCY,
+    },
+}
+
+CACHE_SCHEMA = {
+    "type": "object",
+    "required": [
+        "schema_version", "benchmark", "mode", "units", "workload",
+        "cache_sweep", "extend_pass", "summary",
+    ],
+    "properties": {
+        "schema_version": NUMBER,
+        "benchmark": STRING,
+        "mode": STRING,
+        "units": STRING,
+        "workload": {
+            "type": "object",
+            "required": [
+                "signal_dim", "atoms", "tolerance", "max_atoms",
+                "signal_pool", "seeds",
+            ],
+            "properties": {
+                "signal_dim": NUMBER,
+                "atoms": NUMBER,
+                "tolerance": NUMBER,
+                "max_atoms": NUMBER,
+                "signal_pool": NUMBER,
+                "seeds": STRING,
+            },
+        },
+        "cache_sweep": {
+            "type": "object",
+            "required": [
+                "requests", "rounds", "pool_size", "warm_capacity",
+                "expected_warm_hit_ratio", "cold", "warm", "warm_speedup",
+                "warm_beats_cold", "hit_accounting_exact",
+                "accounting_balanced",
+            ],
+            "properties": {
+                **{name: NUMBER for name in (
+                    "requests", "rounds", "pool_size", "warm_capacity",
+                    "expected_warm_hit_ratio", "warm_speedup")},
+                "cold": CACHE_PASS,
+                "warm": CACHE_PASS,
+                "warm_beats_cold": BOOL,
+                "hit_accounting_exact": BOOL,
+                "accounting_balanced": BOOL,
+            },
+        },
+        "extend_pass": {
+            "type": "object",
+            "required": [
+                "producers", "requests_per_producer", "flips",
+                "atoms_per_flip", "epoch_after", "atoms_before", "atoms_after",
+                "wall_seconds", "served", "cache_hits", "lost", "errors",
+                "flip_seconds", "max_flip_seconds",
+                "epochs_monotone_per_producer", "live_epochs_after_drain",
+                "accounting_balanced", "contract_held",
+            ],
+            "properties": {
+                **{name: NUMBER for name in (
+                    "producers", "requests_per_producer", "flips",
+                    "atoms_per_flip", "epoch_after", "atoms_before",
+                    "atoms_after", "wall_seconds", "served", "cache_hits",
+                    "lost", "errors", "max_flip_seconds",
+                    "live_epochs_after_drain")},
+                "flip_seconds": {"type": "array", "items": NUMBER},
+                "epochs_monotone_per_producer": BOOL,
+                "accounting_balanced": BOOL,
+                "contract_held": BOOL,
+            },
+        },
+        "summary": {
+            "type": "object",
+            "required": [
+                "warm_beats_cold", "hit_accounting_exact",
+                "extension_contract_held", "violations",
+            ],
+            "properties": {
+                "warm_beats_cold": BOOL,
+                "hit_accounting_exact": BOOL,
+                "extension_contract_held": BOOL,
+                "violations": BOOL,
+            },
+        },
+    },
+}
+
 TYPE_CHECKS = {
     "object": lambda v: isinstance(v, dict),
     "array": lambda v: isinstance(v, list),
@@ -350,11 +448,14 @@ def check_semantics_serve(doc, errors):
         if counts.get("lost") != 0:
             errors.append(f"cases[{i}]: counts.lost is nonzero")
         submitted = counts.get("submitted", 0)
+        # cache_hits defaults to 0: the sweep cases run with the cache off,
+        # and older artifacts predate the counter.
         refused = sum(counts.get(k, 0)
-                      for k in ("accepted", "invalid", "rejected", "stopped"))
+                      for k in ("accepted", "invalid", "rejected", "stopped",
+                                "cache_hits"))
         if submitted != refused:
             errors.append(f"cases[{i}]: submitted != accepted + invalid + "
-                          "rejected + stopped")
+                          "rejected + stopped + cache_hits")
         accepted = counts.get("accepted", 0)
         settled = sum(counts.get(k, 0)
                       for k in ("served", "encode_failed", "shed", "discarded"))
@@ -367,6 +468,97 @@ def check_semantics_serve(doc, errors):
                           "encode_failed")
         if case.get("loop") == "open" and "offered_rps" not in case:
             errors.append(f"cases[{i}]: open-loop case lacks offered_rps")
+
+
+def check_semantics_solvers(doc, errors):
+    """The Batch-OMP FLOP meter and its closed form must agree exactly."""
+    omp_cases = [c for c in doc.get("cases", [])
+                 if c.get("solver") == "batch_omp_flop_model"]
+    if not omp_cases:
+        errors.append("no batch_omp_flop_model cases: the metered-vs-model "
+                      "Batch-OMP check did not run")
+    for i, case in enumerate(omp_cases):
+        check = case.get("model_check", {})
+        if not check.get("flops_match_exact", False):
+            errors.append(f"batch_omp_flop_model[{i}]: flops_match_exact is "
+                          "false — metered FLOPs diverged from encode_flops()")
+        if check.get("exact_matches") != case.get("signals"):
+            errors.append(f"batch_omp_flop_model[{i}]: exact_matches != "
+                          "signals")
+
+
+def check_semantics_cache(doc, errors):
+    """The cache contract: warm wins, hits are exactly accounted, and the
+    epoch flips were zero-downtime (nothing lost, books balanced, old
+    epochs reclaimed)."""
+    sweep = doc.get("cache_sweep", {})
+    ext = doc.get("extend_pass", {})
+    summary = doc.get("summary", {})
+
+    if summary.get("violations") is not False:
+        errors.append("summary.violations is true: the bench recorded a "
+                      "contract violation")
+    if not sweep.get("warm_beats_cold", False):
+        errors.append("cache_sweep.warm_beats_cold is false")
+    if sweep.get("warm_speedup", 0) <= 1.0:
+        errors.append("cache_sweep.warm_speedup is not > 1")
+    if not sweep.get("hit_accounting_exact", False):
+        errors.append("cache_sweep.hit_accounting_exact is false")
+    if not sweep.get("accounting_balanced", False):
+        errors.append("cache_sweep.accounting_balanced is false")
+
+    cold = sweep.get("cold", {})
+    warm = sweep.get("warm", {})
+    requests = sweep.get("requests", 0)
+    pool = sweep.get("pool_size", 0)
+    if cold.get("hits") != 0:
+        errors.append("cache_sweep.cold.hits is nonzero with the cache off")
+    if warm.get("hits") != requests - pool:
+        errors.append("cache_sweep.warm.hits != requests - pool_size (serial "
+                      "round trips make this count exact)")
+    if warm.get("hits", 0) + warm.get("misses", 0) != requests:
+        errors.append("cache_sweep.warm: hits + misses != requests")
+    ratio = warm.get("hit_ratio", -1)
+    if not 0 < ratio <= 1:
+        errors.append("cache_sweep.warm.hit_ratio is outside (0, 1]")
+    expected = sweep.get("expected_warm_hit_ratio", 0)
+    if abs(ratio - expected) > 1e-9:
+        errors.append("cache_sweep.warm.hit_ratio disagrees with "
+                      "expected_warm_hit_ratio")
+    for side, name in ((cold, "cold"), (warm, "warm")):
+        if side.get("lost") != 0:
+            errors.append(f"cache_sweep.{name}.lost is nonzero")
+
+    if ext.get("flips", 0) < 3:
+        errors.append("extend_pass.flips < 3: not enough epoch flips to "
+                      "exercise the zero-downtime path")
+    if ext.get("epoch_after") != ext.get("flips"):
+        errors.append("extend_pass.epoch_after != flips")
+    if (ext.get("atoms_after") != ext.get("atoms_before", 0)
+            + ext.get("flips", 0) * ext.get("atoms_per_flip", 0)):
+        errors.append("extend_pass: atoms_after != atoms_before + "
+                      "flips * atoms_per_flip")
+    if ext.get("lost") != 0 or ext.get("errors") != 0:
+        errors.append("extend_pass lost futures or saw encode errors")
+    if not ext.get("epochs_monotone_per_producer", False):
+        errors.append("extend_pass.epochs_monotone_per_producer is false")
+    if ext.get("live_epochs_after_drain") != 1:
+        errors.append("extend_pass.live_epochs_after_drain != 1: retired "
+                      "epochs were not reclaimed")
+    if not ext.get("accounting_balanced", False):
+        errors.append("extend_pass.accounting_balanced is false")
+    if not ext.get("contract_held", False):
+        errors.append("extend_pass.contract_held is false")
+    flip_seconds = ext.get("flip_seconds", [])
+    if len(flip_seconds) != ext.get("flips", 0):
+        errors.append("extend_pass.flip_seconds length != flips")
+    for i, s in enumerate(flip_seconds):
+        if not 0 < s <= 30:
+            errors.append(f"extend_pass.flip_seconds[{i}] = {s} is outside "
+                          "(0, 30] seconds — flips must be fast and nonzero")
+    if flip_seconds and abs(ext.get("max_flip_seconds", 0)
+                            - max(flip_seconds)) > 1e-12:
+        errors.append("extend_pass.max_flip_seconds != max(flip_seconds)")
 
 
 def run(path, schema, semantic_check=None):
@@ -388,20 +580,22 @@ def run(path, schema, semantic_check=None):
 
 def main(argv):
     paths = argv[1:] or ["BENCH_gram_model.json", "BENCH_solvers.json",
-                         "BENCH_serve.json"]
+                         "BENCH_serve.json", "BENCH_cache.json"]
     ok = True
     for path in paths:
         name = Path(path).name
         if "gram_model" in name:
             ok &= run(path, GRAM_MODEL_SCHEMA, check_semantics_gram)
         elif "solvers" in name:
-            ok &= run(path, SOLVERS_SCHEMA)
+            ok &= run(path, SOLVERS_SCHEMA, check_semantics_solvers)
+        elif "cache" in name:
+            ok &= run(path, CACHE_SCHEMA, check_semantics_cache)
         elif "serve" in name:
             ok &= run(path, SERVE_SCHEMA, check_semantics_serve)
         else:
             print(f"FAIL {path}: unknown artifact (expected "
-                  "BENCH_gram_model.json, BENCH_solvers.json, or "
-                  "BENCH_serve.json)")
+                  "BENCH_gram_model.json, BENCH_solvers.json, "
+                  "BENCH_serve.json, or BENCH_cache.json)")
             ok = False
     return 0 if ok else 1
 
