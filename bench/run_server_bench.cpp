@@ -18,7 +18,12 @@
 //   * the content-addressed cache sweep's warm pass fails to beat the cold
 //     pass, its hit accounting is not exact, or the serve-while-extending
 //     pass loses a future / unbalances the books / fails to flip and
-//     reclaim epochs (emitted as a second document, BENCH_cache.json).
+//     reclaim epochs (emitted as a second document, BENCH_cache.json),
+//   * the live-telemetry pass (emitted as a third document,
+//     BENCH_telemetry.json) records fewer than 20 snapshots, any snapshot's
+//     gauge levels fail to reconcile with the monotone counter identities,
+//     the mid-run epoch flip is not visible as a serve.registry.epoch gauge
+//     step, or the snapshotter's overhead exceeds the bench noise floor.
 //
 // Load generation is seeded: the signal pool and the open-loop exponential
 // interarrival schedule come from fixed-seed generators, so two runs offer
@@ -26,13 +31,16 @@
 // machine, like every other bench here).
 //
 // --trace FILE records the serve.batch.* timeline of the flagship batched
-// case and exports Chrome trace JSON for tools/analyze_trace.py.
+// case — including the per-request serve.request.* lifecycle instants that
+// tools/analyze_trace.py stitches into request waterfalls — and exports
+// Chrome trace JSON.
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <future>
@@ -47,6 +55,7 @@
 #include "serve/server.hpp"
 #include "util/json.hpp"
 #include "util/metrics.hpp"
+#include "util/telemetry.hpp"
 #include "util/trace.hpp"
 
 namespace {
@@ -599,6 +608,359 @@ Json run_extend_pass(const la::Matrix& dict, const sparsecoding::OmpConfig& omp,
   return j;
 }
 
+// -- Live-telemetry pass (BENCH_telemetry.json) -------------------------------
+
+std::uint64_t record_counter(const Json& record, const char* name) {
+  const Json* cell = record.at("counters").find(name);
+  return cell == nullptr ? 0 : cell->as_u64();
+}
+
+std::int64_t record_gauge(const Json& record, const char* name) {
+  const Json* cell = record.at("gauges").find(name);
+  return cell == nullptr ? 0 : static_cast<std::int64_t>(cell->as_double());
+}
+
+double window_field(const Json& record, const char* hist, const char* field) {
+  const Json* cell = record.at("window_quantiles").find(hist);
+  if (cell == nullptr) return 0.0;
+  const Json* value = cell->find(field);
+  return value == nullptr ? 0.0 : value->as_double();
+}
+
+// The per-snapshot serving identity: everything accepted is either resolved
+// (served / encode-failed / shed / discarded), still queued, or in flight.
+// Counters and gauges are sampled a few instructions apart from the racing
+// mutators, so live snapshots may be off by a bounded transient; the drained
+// final snapshot must reconcile exactly.
+std::int64_t snapshot_residual(const Json& record) {
+  const auto expected =
+      static_cast<std::int64_t>(record_counter(record, "serve.accepted")) -
+      static_cast<std::int64_t>(record_counter(record, "serve.served")) -
+      static_cast<std::int64_t>(
+          record_counter(record, "serve.encode_failures")) -
+      static_cast<std::int64_t>(record_counter(record, "serve.shed")) -
+      static_cast<std::int64_t>(record_counter(record, "serve.discarded"));
+  const std::int64_t level = record_gauge(record, "serve.queue.depth") +
+                             record_gauge(record, "serve.inflight");
+  return level - expected;
+}
+
+// One closed-loop encode pass, optionally shadowed by a live snapshotter —
+// the overhead duel's unit of work. Returns the pass wall seconds.
+double run_overhead_pass(const la::Matrix& dict,
+                         const sparsecoding::OmpConfig& omp,
+                         const std::vector<std::vector<Real>>& pool,
+                         int requests, const std::string& snapshot_path) {
+  using namespace std::chrono_literals;
+  ExtDictServer server(dict, {.max_batch = 8,
+                              .max_delay_us = 50,
+                              .workers = 2,
+                              .queue_capacity = 256,
+                              .omp = omp});
+  std::unique_ptr<util::TelemetrySnapshotter> snapshotter;
+  if (!snapshot_path.empty()) {
+    snapshotter = std::make_unique<util::TelemetrySnapshotter>(
+        util::MetricsRegistry::global(), snapshot_path,
+        util::TelemetryOptions{.period_ms = 50});
+  }
+  const Clock::time_point start = Clock::now();
+  std::vector<std::future<EncodeResult>> futures;
+  futures.reserve(static_cast<std::size_t>(requests));
+  for (int i = 0; i < requests; ++i) {
+    futures.push_back(
+        server.submit(pool[static_cast<std::size_t>(i) % pool.size()]));
+  }
+  for (auto& future : futures) {
+    if (future.wait_for(30s) == std::future_status::ready) {
+      try {
+        (void)future.get();
+      } catch (...) {
+        // Outcome bucketing is the main passes' job; this one only times.
+      }
+    }
+  }
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// Tentpole pass: open-loop load with a mid-run epoch flip while a
+// TelemetrySnapshotter samples the global registry every 50 ms. The JSONL
+// stream is parsed back and every snapshot is reconciled against the serving
+// identity; an interleaved duel then bounds the snapshotter's overhead.
+Json run_telemetry_pass(const la::Matrix& dict,
+                        const sparsecoding::OmpConfig& omp,
+                        const std::vector<std::vector<Real>>& pool,
+                        const Options& options, bool& violated) {
+  using namespace std::chrono_literals;
+  util::MetricsRegistry& metrics = util::MetricsRegistry::global();
+
+  // The schedule, not the machine, bounds the pass: the last arrival lands
+  // at ~requests/offered_rps seconds, so even a fast box holds the load open
+  // long enough for >= 20 snapshot periods (the acceptance floor) in quick
+  // mode too.
+  const int requests = 3000;
+  const double offered_rps = 2000.0;
+  const std::int64_t period_ms = 50;
+  const int flip_at = requests / 2;
+  const Index atoms_per_flip = 8;
+  // Room for every pool signal under two epochs: hits climb while an epoch
+  // is stable, the flip invalidates the working set (new epoch, new keys),
+  // and the occupancy gauges show the second epoch's set filling alongside
+  // the first — all visible in the snapshot stream.
+  const std::size_t cache_capacity = 2 * pool.size();
+  // Live-snapshot slack: every thread mid-transition between a counter bump
+  // and its adjacent gauge update skews the identity by at most 1 request,
+  // and the sampler itself reads the maps over a short window. 1 submitter +
+  // 2 workers bounds the instantaneous skew; doubled twice for headroom.
+  const std::int64_t tolerance = 12;
+  const std::string jsonl_name = "telemetry_serve.jsonl";
+  const std::string jsonl_path = options.out_dir + "/" + jsonl_name;
+
+  // Counters must start from zero for the snapshots to reconcile against
+  // the gauge levels. Gauges are already balanced back to zero here (every
+  // earlier server drained and was destroyed); reset() clears any residue.
+  metrics.reset();
+  metrics.set_enabled(true);
+
+  auto registry = std::make_shared<serve::DictRegistry>(dict, omp);
+  std::uint64_t lost = 0, errors = 0, client_served = 0;
+  std::uint64_t snapshot_count = 0;
+  double flip_wall_ms = -1.0, flip_seconds = 0.0, wall_seconds = 0.0;
+  ServerStats stats;
+  serve::EncodeCacheStats cache;
+  bool snapshotter_ok = false;
+  {
+    ExtDictServer server(registry, {.max_batch = 8,
+                                    .max_delay_us = 200,
+                                    .workers = 2,
+                                    .queue_capacity = 256,
+                                    .omp = omp,
+                                    .cache_capacity = cache_capacity});
+    util::TelemetrySnapshotter snapshotter(
+        metrics, jsonl_path, util::TelemetryOptions{.period_ms = period_ms});
+
+    std::mt19937_64 gen(0x5eedULL + static_cast<std::uint64_t>(requests));
+    std::exponential_distribution<double> interarrival(offered_rps);
+    std::vector<double> arrival_s;
+    arrival_s.reserve(static_cast<std::size_t>(requests));
+    double t = 0;
+    for (int i = 0; i < requests; ++i) {
+      t += interarrival(gen);
+      arrival_s.push_back(t);
+    }
+
+    std::vector<std::future<EncodeResult>> futures;
+    futures.reserve(static_cast<std::size_t>(requests));
+    const Clock::time_point start = Clock::now();
+    for (int i = 0; i < requests; ++i) {
+      if (i == flip_at) {
+        la::Rng flip_rng(19);
+        const Clock::time_point t0 = Clock::now();
+        registry->extend(
+            flip_rng.gaussian_matrix(dict.rows(), atoms_per_flip, true));
+        const Clock::time_point t1 = Clock::now();
+        flip_seconds = std::chrono::duration<double>(t1 - t0).count();
+        flip_wall_ms =
+            std::chrono::duration<double, std::milli>(t1 - start).count();
+      }
+      std::this_thread::sleep_until(
+          start + std::chrono::duration<double>(arrival_s[static_cast<
+                      std::size_t>(i)]));
+      futures.push_back(
+          server.submit(pool[static_cast<std::size_t>(i) % pool.size()]));
+    }
+    for (auto& future : futures) {
+      if (future.wait_for(30s) != std::future_status::ready) {
+        ++lost;
+        continue;
+      }
+      try {
+        (void)future.get();
+        ++client_served;
+      } catch (...) {
+        ++errors;
+      }
+    }
+    wall_seconds = std::chrono::duration<double>(Clock::now() - start).count();
+    server.stop();  // drain: the final snapshot must reconcile exactly
+    snapshotter.stop();
+    snapshot_count = snapshotter.snapshots_written();
+    snapshotter_ok = snapshotter.ok();
+    stats = server.stats();
+    cache = server.cache_stats();
+  }
+
+  // Parse the stream back and reconcile every snapshot.
+  std::vector<Json> records;
+  {
+    std::ifstream in(jsonl_path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) records.push_back(Json::parse(line));
+    }
+  }
+
+  Json snapshots = Json::array();
+  bool seq_monotone = true;
+  std::int64_t max_abs_residual = 0, final_residual = 0;
+  std::size_t first_flipped = records.size();
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const Json& record = records[i];
+    if (static_cast<std::size_t>(record.at("seq").as_u64()) != i) {
+      seq_monotone = false;
+    }
+    const std::int64_t residual = snapshot_residual(record);
+    max_abs_residual = std::max(max_abs_residual, std::abs(residual));
+    if (i + 1 == records.size()) final_residual = residual;
+    if (first_flipped == records.size() &&
+        record_gauge(record, "serve.registry.epoch") >= 1) {
+      first_flipped = i;
+    }
+
+    Json snap = Json::object();
+    snap["seq"] = record.at("seq").as_u64();
+    snap["wall_ms"] = record.at("wall_ms").as_double();
+    snap["submitted"] = record_counter(record, "serve.submitted");
+    snap["accepted"] = record_counter(record, "serve.accepted");
+    snap["served"] = record_counter(record, "serve.served");
+    snap["encode_failures"] = record_counter(record, "serve.encode_failures");
+    snap["shed"] = record_counter(record, "serve.shed");
+    snap["discarded"] = record_counter(record, "serve.discarded");
+    snap["cache_hits"] = record_counter(record, "serve.cache_hits");
+    snap["queue_depth"] = record_gauge(record, "serve.queue.depth");
+    snap["inflight"] = record_gauge(record, "serve.inflight");
+    snap["busy_workers"] = record_gauge(record, "serve.workers.busy");
+    snap["epoch"] = record_gauge(record, "serve.registry.epoch");
+    snap["live_epochs"] = record_gauge(record, "serve.registry.live_epochs");
+    snap["cache_entries"] = record_gauge(record, "serve.cache.entries");
+    snap["cache_resident_bytes"] =
+        record_gauge(record, "serve.cache.resident_bytes");
+    snap["window_count"] =
+        window_field(record, "serve.latency.total_seconds", "count");
+    snap["window_p50"] =
+        window_field(record, "serve.latency.total_seconds", "p50");
+    snap["window_p99"] =
+        window_field(record, "serve.latency.total_seconds", "p99");
+    snap["cumulative_count"] =
+        window_field(record, "serve.latency.total_seconds", "cumulative_count");
+    snap["cumulative_p50"] =
+        window_field(record, "serve.latency.total_seconds", "cumulative_p50");
+    snap["cumulative_p99"] =
+        window_field(record, "serve.latency.total_seconds", "cumulative_p99");
+    snap["residual"] = residual;
+    snapshots.push_back(std::move(snap));
+  }
+
+  const bool reconciled =
+      !records.empty() && max_abs_residual <= tolerance &&
+      final_residual == 0 &&
+      record_gauge(records.back(), "serve.queue.depth") == 0 &&
+      record_gauge(records.back(), "serve.inflight") == 0;
+  const bool flip_visible = first_flipped > 0 &&
+                            first_flipped < records.size() &&
+                            registry->current_epoch() == 1;
+  const bool enough = snapshot_count >= 20 && records.size() == snapshot_count;
+  const bool balanced =
+      stats.submitted == static_cast<std::uint64_t>(requests) &&
+      stats.submitted == stats.accepted + stats.invalid + stats.rejected +
+                             stats.stopped + stats.cache_hits &&
+      stats.accepted ==
+          stats.served + stats.encode_failed + stats.shed + stats.discarded &&
+      stats.served + stats.cache_hits == client_served;
+
+  // Overhead duel: interleaved with/without-snapshotter rounds, verdict on
+  // the median per-round wall ratio — the same noise-robust scheme as the
+  // amortization and warm-cache duels. The floor is the bench's documented
+  // noise allowance, not a measured constant.
+  const int duel_rounds = options.quick ? 3 : 5;
+  const int duel_requests = options.quick ? 600 : 1500;
+  const double overhead_floor = 1.15;
+  std::vector<double> overhead_ratios;
+  for (int r = 0; r < duel_rounds; ++r) {
+    const double with_s =
+        run_overhead_pass(dict, omp, pool, duel_requests,
+                          options.out_dir + "/telemetry_overhead.jsonl");
+    const double without_s =
+        run_overhead_pass(dict, omp, pool, duel_requests, "");
+    if (without_s > 0) overhead_ratios.push_back(with_s / without_s);
+  }
+  std::sort(overhead_ratios.begin(), overhead_ratios.end());
+  const double overhead_ratio =
+      overhead_ratios.empty() ? 0.0
+                              : overhead_ratios[overhead_ratios.size() / 2];
+  const bool overhead_ok =
+      overhead_ratio > 0.0 && overhead_ratio <= overhead_floor;
+
+  const bool ok = lost == 0 && errors == 0 && snapshotter_ok && seq_monotone &&
+                  enough && reconciled && flip_visible && balanced &&
+                  overhead_ok;
+  violated = violated || !ok;
+
+  Json j = Json::object();
+  Json config = Json::object();
+  config["requests"] = static_cast<std::uint64_t>(requests);
+  config["offered_rps"] = offered_rps;
+  config["period_ms"] = static_cast<std::uint64_t>(period_ms);
+  config["workers"] = static_cast<std::uint64_t>(2);
+  config["max_batch"] = static_cast<std::uint64_t>(8);
+  config["queue_capacity"] = static_cast<std::uint64_t>(256);
+  config["cache_capacity"] = static_cast<std::uint64_t>(cache_capacity);
+  config["flip_at_request"] = static_cast<std::uint64_t>(flip_at);
+  config["atoms_per_flip"] = static_cast<std::uint64_t>(atoms_per_flip);
+  config["tolerance"] = tolerance;
+  config["snapshots_file"] = jsonl_name;
+  j["config"] = std::move(config);
+  j["wall_seconds"] = wall_seconds;
+  j["served"] = stats.served;
+  j["cache_hits"] = stats.cache_hits;
+  j["lost"] = lost;
+  j["errors"] = errors;
+  j["snapshotter_ok"] = snapshotter_ok;
+  j["snapshot_count"] = snapshot_count;
+  j["seq_monotone"] = seq_monotone;
+  j["snapshots"] = std::move(snapshots);
+  Json reconciliation = Json::object();
+  reconciliation["tolerance"] = tolerance;
+  reconciliation["max_abs_residual"] = max_abs_residual;
+  reconciliation["final_residual"] = final_residual;
+  reconciliation["ok"] = reconciled;
+  j["reconciliation"] = std::move(reconciliation);
+  Json flip = Json::object();
+  flip["epoch_after"] = registry->current_epoch();
+  flip["flip_wall_ms"] = flip_wall_ms;
+  flip["flip_seconds"] = flip_seconds;
+  flip["pre_flip_snapshots"] = static_cast<std::uint64_t>(first_flipped);
+  flip["post_flip_snapshots"] = static_cast<std::uint64_t>(
+      records.size() - std::min(first_flipped, records.size()));
+  flip["ok"] = flip_visible;
+  j["epoch_flip"] = std::move(flip);
+  Json overhead = Json::object();
+  overhead["rounds"] = static_cast<std::uint64_t>(duel_rounds);
+  overhead["requests_per_round"] = static_cast<std::uint64_t>(duel_requests);
+  overhead["median_ratio"] = overhead_ratio;
+  overhead["floor"] = overhead_floor;
+  overhead["ok"] = overhead_ok;
+  j["overhead"] = std::move(overhead);
+  Json cache_json = Json::object();
+  cache_json["hits"] = cache.hits;
+  cache_json["misses"] = cache.misses;
+  cache_json["entries_at_drain"] = cache.entries;
+  cache_json["resident_bytes_at_drain"] = cache.resident_bytes;
+  j["cache"] = std::move(cache_json);
+  j["accounting_balanced"] = balanced;
+  j["contract_held"] = ok;
+
+  std::printf(
+      "  telemetry pass: %llu snapshots @ %lld ms, max residual %lld "
+      "(tol %lld), flip @ snapshot %llu, overhead %.2fx%s\n",
+      static_cast<unsigned long long>(snapshot_count),
+      static_cast<long long>(period_ms),
+      static_cast<long long>(max_abs_residual),
+      static_cast<long long>(tolerance),
+      static_cast<unsigned long long>(first_flipped), overhead_ratio,
+      ok ? "" : "  [VIOLATION]");
+  return j;
+}
+
 int write_file(const std::string& path, const Json& doc) {
   std::ofstream out(path);
   if (!out) {
@@ -641,6 +1003,11 @@ int main(int argc, char** argv) {
   const auto pool = make_signal_pool(m, 256, 18);
 
   util::TraceRecorder& trace = util::TraceRecorder::global();
+  // The traced flagship pass now records four per-request lifecycle instants
+  // on top of the batch spans; the default 16K ring would overflow at the
+  // full-mode request count. Raised before any thread records its first
+  // event, so every lazily-created ring gets the larger capacity.
+  trace.set_capacity(std::size_t{1} << 17);
 
   Json doc = Json::object();
   doc["schema_version"] = 1;
@@ -834,6 +1201,49 @@ int main(int argc, char** argv) {
     if (cache_rc != 0) rc = cache_rc;
   }
 
+  // Third document: the live-telemetry pass (BENCH_telemetry.json, validated
+  // by tools/validate_bench_json.py and tools/analyze_telemetry.py in CI).
+  bool telemetry_violated = false;
+  Json telemetry_doc = Json::object();
+  telemetry_doc["schema_version"] = 1;
+  telemetry_doc["benchmark"] =
+      "bench/run_server_bench live serving telemetry (gauges, windowed "
+      "quantiles, periodic snapshot exporter)";
+  telemetry_doc["mode"] = options.quick ? "quick" : "full";
+  telemetry_doc["units"] =
+      "wall_ms is milliseconds since snapshotter start; residual is "
+      "(queue_depth + inflight) - (accepted - served - encode_failures - "
+      "shed - discarded), in requests";
+  {
+    Json telemetry_workload = Json::object();
+    telemetry_workload["signal_dim"] = static_cast<std::uint64_t>(m);
+    telemetry_workload["atoms"] = static_cast<std::uint64_t>(l);
+    telemetry_workload["tolerance"] = omp.tolerance;
+    telemetry_workload["max_atoms"] = static_cast<std::uint64_t>(omp.max_atoms);
+    telemetry_workload["signal_pool"] = static_cast<std::uint64_t>(pool.size());
+    telemetry_workload["seeds"] =
+        "dict=17 signals=18 arrivals=0x5eed+requests extension_atoms=19";
+    telemetry_doc["workload"] = std::move(telemetry_workload);
+  }
+  telemetry_doc["telemetry_pass"] =
+      run_telemetry_pass(dict, omp, pool, options, telemetry_violated);
+  {
+    Json telemetry_summary = Json::object();
+    const Json& pass = telemetry_doc.at("telemetry_pass");
+    telemetry_summary["snapshot_count"] = pass.at("snapshot_count").as_u64();
+    telemetry_summary["reconciliation_ok"] =
+        pass.at("reconciliation").at("ok").as_bool();
+    telemetry_summary["epoch_flip_ok"] = pass.at("epoch_flip").at("ok").as_bool();
+    telemetry_summary["overhead_ok"] = pass.at("overhead").at("ok").as_bool();
+    telemetry_summary["violations"] = telemetry_violated;
+    telemetry_doc["summary"] = std::move(telemetry_summary);
+  }
+  {
+    const int telemetry_rc =
+        write_file(options.out_dir + "/BENCH_telemetry.json", telemetry_doc);
+    if (telemetry_rc != 0) rc = telemetry_rc;
+  }
+
   if (!options.trace_path.empty()) {
     trace.set_metadata("mode", options.quick ? "quick" : "full");
     const int trace_rc = write_file(options.trace_path, trace.to_chrome_json());
@@ -870,6 +1280,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "error: cache/extension contract violated (see "
                  "BENCH_cache.json summary)\n");
+    return 1;
+  }
+  if (telemetry_violated) {
+    std::fprintf(stderr,
+                 "error: telemetry contract violated (see "
+                 "BENCH_telemetry.json summary)\n");
     return 1;
   }
   std::printf("micro-batch amortization: %.0f -> %.0f rps (%.2fx)\n",

@@ -8,6 +8,7 @@
 //               [--batch B] [--workers W] [--queue Q]
 //               [--policy block|reject|shed] [--delay-us D]
 //               [--eps E] [--max-atoms K]
+//               [--telemetry FILE] [--telemetry-period-ms N]
 //
 // The input is a Matrix Market *array* file (dense, real, general); columns
 // are the data signals. The tool normalises columns, tunes the Extensible
@@ -19,7 +20,9 @@
 // `serve` spins up the micro-batched sparse-coding server (src/serve/) on a
 // dictionary — loaded from --dict, or a bundled synthetic one — drives it
 // with a closed-loop client swarm, and prints the request accounting,
-// batching profile, and latency percentiles.
+// batching profile, latency percentiles, and gauge peaks. --telemetry FILE
+// streams periodic registry snapshots as JSONL (see docs/OBSERVABILITY.md;
+// inspect with tools/analyze_telemetry.py).
 //
 // With no argument it demonstrates itself on a bundled synthetic dataset.
 
@@ -28,6 +31,7 @@
 #include <cstdio>
 #include <cstring>
 #include <future>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
@@ -41,6 +45,7 @@
 #include "solvers/power_method.hpp"
 #include "util/metrics.hpp"
 #include "util/table.hpp"
+#include "util/telemetry.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -125,6 +130,8 @@ struct ServeOptions {
   std::uint64_t delay_us = 200;
   double eps = 0.0;
   la::Index max_atoms = 8;
+  std::string telemetry_path;  // empty: snapshotter off
+  std::int64_t telemetry_period_ms = 100;
 };
 
 [[noreturn]] void serve_usage(const char* argv0) {
@@ -132,7 +139,8 @@ struct ServeOptions {
                "usage: %s serve [--dict D.mtx] [--requests N] [--clients T]\n"
                "          [--batch B] [--workers W] [--queue Q]\n"
                "          [--policy block|reject|shed] [--delay-us D]\n"
-               "          [--eps E] [--max-atoms K]\n",
+               "          [--eps E] [--max-atoms K]\n"
+               "          [--telemetry FILE] [--telemetry-period-ms N]\n",
                argv0);
   std::exit(2);
 }
@@ -165,6 +173,10 @@ ServeOptions parse_serve(int argc, char** argv) {
       opt.eps = std::atof(need_value("--eps"));
     } else if (!std::strcmp(argv[i], "--max-atoms")) {
       opt.max_atoms = std::atol(need_value("--max-atoms"));
+    } else if (!std::strcmp(argv[i], "--telemetry")) {
+      opt.telemetry_path = need_value("--telemetry");
+    } else if (!std::strcmp(argv[i], "--telemetry-period-ms")) {
+      opt.telemetry_period_ms = std::atol(need_value("--telemetry-period-ms"));
     } else if (!std::strcmp(argv[i], "--policy")) {
       const std::string v = need_value("--policy");
       if (v == "block") {
@@ -211,6 +223,23 @@ int serve_main(int argc, char** argv) {
   }
   const la::Index m = dict.rows();
 
+  // The serve layer's gauges/histograms live in the process-global registry;
+  // enable it so counters flow too, and start the periodic JSONL exporter
+  // before the swarm so the ramp-up is captured.
+  util::MetricsRegistry& metrics = util::MetricsRegistry::global();
+  metrics.set_enabled(true);
+  std::unique_ptr<util::TelemetrySnapshotter> snapshotter;
+  if (!opt.telemetry_path.empty()) {
+    snapshotter = std::make_unique<util::TelemetrySnapshotter>(
+        metrics, opt.telemetry_path,
+        util::TelemetryOptions{.period_ms = opt.telemetry_period_ms});
+    if (!snapshotter->ok()) {
+      std::fprintf(stderr, "error: cannot open telemetry file %s\n",
+                   opt.telemetry_path.c_str());
+      return 1;
+    }
+  }
+
   serve::ExtDictServer server(
       std::move(dict),
       {.max_batch = opt.batch,
@@ -253,6 +282,12 @@ int serve_main(int argc, char** argv) {
   for (auto& t : clients) t.join();
   const double seconds = wall.elapsed_ms() / 1e3;
   server.stop();
+  if (snapshotter) {
+    snapshotter->stop();  // one final drained sample lands before the table
+    std::printf("telemetry: %llu snapshots -> %s\n",
+                static_cast<unsigned long long>(snapshotter->snapshots_written()),
+                opt.telemetry_path.c_str());
+  }
 
   const serve::ServerStats stats = server.stats();
   util::Table table({"quantity", "value"});
@@ -287,6 +322,10 @@ int serve_main(int argc, char** argv) {
                    util::fmt(queue_wait.quantile(0.5) * 1e6, 4) + " / " +
                        util::fmt(queue_wait.quantile(0.99) * 1e6, 4) + " us"});
   }
+  table.add_row({"peak queue depth",
+                 std::to_string(metrics.gauge("serve.queue.depth").peak())});
+  table.add_row({"peak in-flight",
+                 std::to_string(metrics.gauge("serve.inflight").peak())});
   std::printf("%s", table.str().c_str());
 
   const std::uint64_t resolved = served.load() + backpressured.load() + errored.load();

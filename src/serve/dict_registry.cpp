@@ -12,8 +12,15 @@ namespace extdict::serve {
 DictRegistry::DictRegistry(la::Matrix dictionary, sparsecoding::OmpConfig omp)
     : omp_(omp), signal_dim_(dictionary.rows()) {
   auto epoch = std::make_shared<const DictEpoch>(0, std::move(dictionary), omp_);
-  const util::MutexLock lock(mu_);
-  current_ = std::move(epoch);
+  {
+    const util::MutexLock lock(mu_);
+    current_ = std::move(epoch);
+  }
+  // Live levels for the telemetry snapshotter (process-global; the newest
+  // registry's state wins, which is what a serving process observes).
+  util::MetricsRegistry& metrics = util::MetricsRegistry::global();
+  metrics.gauge("serve.registry.epoch").set(0);
+  metrics.gauge("serve.registry.live_epochs").set(1);
 }
 
 std::shared_ptr<const DictEpoch> DictRegistry::current() const {
@@ -68,6 +75,10 @@ std::uint64_t DictRegistry::extend(const la::Matrix& new_atoms) {
               static_cast<std::uint64_t>(new_atoms.cols()));
   metrics.update_max("serve.registry.max_live_epochs",
                      static_cast<std::uint64_t>(live));
+  metrics.gauge("serve.registry.epoch")
+      .set(static_cast<std::int64_t>(published));
+  metrics.gauge("serve.registry.live_epochs")
+      .set(static_cast<std::int64_t>(live));
   return published;
 }
 

@@ -44,6 +44,23 @@ EncodeCache::EncodeCache(std::size_t capacity, std::size_t shards)
   }
 }
 
+EncodeCache::~EncodeCache() {
+  // The occupancy gauges are process-global but this cache's entries die
+  // with it: return the levels so a later server starts from zero instead
+  // of inheriting a phantom footprint.
+  util::MetricsRegistry& metrics = util::MetricsRegistry::global();
+  metrics.gauge("serve.cache.entries")
+      .sub(static_cast<std::int64_t>(entries_.load(std::memory_order_relaxed)));
+  metrics.gauge("serve.cache.resident_bytes")
+      .sub(resident_bytes_.load(std::memory_order_relaxed));
+}
+
+std::uint64_t EncodeCache::entry_bytes(const Entry& entry) noexcept {
+  return entry.key.signal.size() * sizeof(Real) +
+         entry.code.entries.size() *
+             sizeof(decltype(entry.code.entries)::value_type);
+}
+
 std::optional<sparsecoding::SparseCode> EncodeCache::lookup(
     const EncodeCacheKey& key) {
   const std::uint64_t h = key.hash();
@@ -79,6 +96,7 @@ void EncodeCache::insert(const EncodeCacheKey& key,
   Shard& shard = shard_for(h);
   bool inserted = false;
   bool evicted = false;
+  std::int64_t bytes_delta = 0;
   {
     const util::MutexLock lock(shard.mu);
     const auto [first, last] = shard.index.equal_range(h);
@@ -91,7 +109,9 @@ void EncodeCache::insert(const EncodeCacheKey& key,
     }
     if (existing != last) {
       // Duplicate insert (two batches raced on the same miss): refresh.
+      bytes_delta -= static_cast<std::int64_t>(entry_bytes(*existing->second));
       existing->second->code = code;
+      bytes_delta += static_cast<std::int64_t>(entry_bytes(*existing->second));
       shard.lru.splice(shard.lru.begin(), shard.lru, existing->second);
     } else {
       if (shard.lru.size() >= shard.capacity) {
@@ -104,23 +124,33 @@ void EncodeCache::insert(const EncodeCacheKey& key,
             break;
           }
         }
+        bytes_delta -= static_cast<std::int64_t>(entry_bytes(*victim));
         shard.lru.pop_back();
         evicted = true;
       }
       shard.lru.push_front(Entry{key, code});
+      bytes_delta += static_cast<std::int64_t>(entry_bytes(shard.lru.front()));
       shard.index.emplace(h, shard.lru.begin());
       inserted = true;
     }
   }
+  // Accounting after the lock, as in lookup(): shard.mu stays a leaf.
   util::MetricsRegistry& metrics = util::MetricsRegistry::global();
   if (inserted) {
     insertions_.fetch_add(1, std::memory_order_relaxed);
     metrics.add("serve.cache.insertions", 1);
-    if (!evicted) entries_.fetch_add(1, std::memory_order_relaxed);
+    if (!evicted) {
+      entries_.fetch_add(1, std::memory_order_relaxed);
+      metrics.gauge("serve.cache.entries").add(1);
+    }
   }
   if (evicted) {
     evictions_.fetch_add(1, std::memory_order_relaxed);
     metrics.add("serve.cache.evictions", 1);
+  }
+  if (bytes_delta != 0) {
+    resident_bytes_.fetch_add(bytes_delta, std::memory_order_relaxed);
+    metrics.gauge("serve.cache.resident_bytes").add(bytes_delta);
   }
 }
 
@@ -131,6 +161,8 @@ EncodeCacheStats EncodeCache::stats() const noexcept {
   s.insertions = insertions_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.entries = entries_.load(std::memory_order_relaxed);
+  const std::int64_t bytes = resident_bytes_.load(std::memory_order_relaxed);
+  s.resident_bytes = bytes > 0 ? static_cast<std::uint64_t>(bytes) : 0;
   return s;
 }
 

@@ -34,13 +34,15 @@ struct EncodeCacheKey {
 };
 
 /// Point-in-time cache accounting. hits + misses == lookups; entries is the
-/// current resident count (≤ capacity).
+/// current resident count (≤ capacity); resident_bytes is the summed payload
+/// footprint (signal + sparse-code entries) of everything resident.
 struct EncodeCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
   std::uint64_t entries = 0;
+  std::uint64_t resident_bytes = 0;
 };
 
 /// Sharded, content-addressed LRU cache of sparse codes, dist-clang style:
@@ -54,15 +56,21 @@ struct EncodeCacheStats {
 /// front and insertion evicts from the back once the shard is full.
 ///
 /// Accounting is exact: the struct's own atomics (always on, queried via
-/// `stats()`) and the `serve.cache.*` counters in `MetricsRegistry::global()`
-/// are both updated on every lookup/insert/evict. Metrics calls happen
-/// strictly after the shard lock is released — every mutex here stays a leaf
-/// of the lock-order graph.
+/// `stats()`), the `serve.cache.*` counters, and the occupancy gauges
+/// (`serve.cache.entries`, `serve.cache.resident_bytes` — live levels for
+/// the telemetry snapshotter) in `MetricsRegistry::global()` are all updated
+/// on every lookup/insert/evict. Metrics calls happen strictly after the
+/// shard lock is released — every mutex here stays a leaf of the lock-order
+/// graph.
 class EncodeCache {
  public:
   /// `capacity` is the total entry budget across all shards (rounded up to
   /// at least one entry per shard); `shards` is clamped to [1, capacity].
   explicit EncodeCache(std::size_t capacity, std::size_t shards = 8);
+
+  /// Returns the resident entries/bytes levels to the global occupancy
+  /// gauges (the cache's contents die with it).
+  ~EncodeCache();
 
   EncodeCache(const EncodeCache&) = delete;
   EncodeCache& operator=(const EncodeCache&) = delete;
@@ -101,12 +109,16 @@ class EncodeCache {
     return *shards_[static_cast<std::size_t>(hash) % shards_.size()];
   }
 
+  /// Payload footprint of one resident entry (key signal + code entries).
+  [[nodiscard]] static std::uint64_t entry_bytes(const Entry& entry) noexcept;
+
   std::size_t capacity_;
   // unique_ptr: Shard owns a Mutex and is therefore pinned in memory.
   std::vector<std::unique_ptr<Shard>> shards_;
 
   std::atomic<std::uint64_t> hits_{0}, misses_{0}, insertions_{0},
       evictions_{0}, entries_{0};
+  std::atomic<std::int64_t> resident_bytes_{0};
 };
 
 }  // namespace extdict::serve

@@ -43,7 +43,12 @@ ExtDictServer::ExtDictServer(std::shared_ptr<DictRegistry> registry,
                  ? std::make_unique<EncodeCache>(config_.cache_capacity,
                                                  config_.cache_shards)
                  : nullptr),
-      queue_(config.queue_capacity, config.backpressure) {
+      queue_(config.queue_capacity, config.backpressure),
+      queue_depth_gauge_(
+          util::MetricsRegistry::global().gauge("serve.queue.depth")),
+      inflight_gauge_(util::MetricsRegistry::global().gauge("serve.inflight")),
+      busy_workers_gauge_(
+          util::MetricsRegistry::global().gauge("serve.workers.busy")) {
   if (!registry_) {
     throw std::invalid_argument("ExtDictServer: null dictionary registry");
   }
@@ -89,6 +94,8 @@ std::future<EncodeResult> ExtDictServer::submit(std::span<const Real> signal,
   request.submitted_at = Clock::now();
   request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   auto future = request.promise.get_future();
+  util::TraceRecorder::global().instant("serve.request.submit", "req",
+                                        request.id);
 
   if (!accepting()) {
     stopped_rejects_.fetch_add(1, std::memory_order_relaxed);
@@ -110,6 +117,8 @@ std::future<EncodeResult> ExtDictServer::submit(std::span<const Real> signal,
     if (auto code = cache_->lookup(key)) {
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
       metrics.add("serve.cache_hits", 1);
+      util::TraceRecorder::global().instant("serve.request.cache_hit", "req",
+                                            request.id);
       EncodeResult result;
       result.code = std::move(*code);
       result.request_id = request.id;
@@ -120,14 +129,21 @@ std::future<EncodeResult> ExtDictServer::submit(std::span<const Real> signal,
     }
   }
 
+  const std::uint64_t request_id = request.id;
   auto outcome = queue_.push(std::move(request));
   switch (outcome.status) {
     case PushStatus::kAccepted:
       accepted_.fetch_add(1, std::memory_order_relaxed);
+      queue_depth_gauge_.add(1);
       metrics.add("serve.accepted", 1);
+      util::TraceRecorder::global().instant("serve.request.enqueue", "req",
+                                            request_id);
       if (outcome.shed.has_value()) {
         shed_.fetch_add(1, std::memory_order_relaxed);
+        queue_depth_gauge_.sub(1);  // the shed victim left the queue
         metrics.add("serve.shed", 1);
+        util::TraceRecorder::global().instant("serve.request.shed", "req",
+                                              outcome.shed->id);
         fail(outcome.shed->promise, std::make_exception_ptr(RequestShed()));
       }
       break;
@@ -156,6 +172,13 @@ void ExtDictServer::worker_loop() {
         collect.set_end_arg("columns", 0);
         return;  // closed and drained
       }
+      // Depth/in-flight transition tracked at the pop itself (not sampled):
+      // a popped request leaves the queue and is in flight until its promise
+      // resolves in encode_batch.
+      queue_depth_gauge_.sub(1);
+      inflight_gauge_.add(1);
+      util::TraceRecorder::global().instant("serve.request.dequeue", "req",
+                                            first->id);
       batch.push_back(std::move(*first));
       if (config_.max_batch > 1) {
         const auto deadline = Clock::now() + std::chrono::microseconds(
@@ -163,6 +186,10 @@ void ExtDictServer::worker_loop() {
         while (static_cast<Index>(batch.size()) < config_.max_batch) {
           auto next = queue_.pop_until(deadline);
           if (!next.has_value()) break;  // flush: timeout (or drained)
+          queue_depth_gauge_.sub(1);
+          inflight_gauge_.add(1);
+          util::TraceRecorder::global().instant("serve.request.dequeue", "req",
+                                                next->id);
           batch.push_back(std::move(*next));
         }
       }
@@ -174,6 +201,7 @@ void ExtDictServer::worker_loop() {
 
 void ExtDictServer::encode_batch(std::vector<Request>& batch) {
   util::MetricsRegistry& metrics = util::MetricsRegistry::global();
+  const util::GaugeGuard busy(busy_workers_gauge_);
   const Index columns = static_cast<Index>(batch.size());
   const auto flush_at = Clock::now();
 
@@ -228,8 +256,17 @@ void ExtDictServer::encode_batch(std::vector<Request>& batch) {
     metrics.observe("serve.latency.queue_seconds", queue_seconds[i]);
     metrics.observe("serve.latency.encode_seconds", encode_s);
     metrics.observe("serve.latency.total_seconds", queue_seconds[i] + encode_s);
+    // Windowed twins of the latency histograms: same observations, but
+    // `window_quantile` answers over the last few seconds only.
+    metrics.observe_windowed("serve.latency.queue_seconds", queue_seconds[i]);
+    metrics.observe_windowed("serve.latency.encode_seconds", encode_s);
+    metrics.observe_windowed("serve.latency.total_seconds",
+                             queue_seconds[i] + encode_s);
+    util::TraceRecorder::global().instant("serve.request.resolve", "req",
+                                          batch[i].id);
     if (errors[i]) {
       encode_failed_.fetch_add(1, std::memory_order_relaxed);
+      inflight_gauge_.sub(1);
       metrics.add("serve.encode_failures", 1);
       fail(batch[i].promise, std::move(errors[i]));
       continue;
@@ -255,6 +292,7 @@ void ExtDictServer::encode_batch(std::vector<Request>& batch) {
     result.encode_seconds = encode_s;
     result.dict_epoch = epoch->id;
     served_.fetch_add(1, std::memory_order_relaxed);
+    inflight_gauge_.sub(1);
     ++served_in_batch;
     batch[i].promise.set_value(std::move(result));
   }
@@ -272,6 +310,7 @@ void ExtDictServer::stop(StopMode mode) {
     util::MetricsRegistry& metrics = util::MetricsRegistry::global();
     for (auto& request : leftovers) {
       discarded_.fetch_add(1, std::memory_order_relaxed);
+      queue_depth_gauge_.sub(1);  // discarded requests leave the queue too
       metrics.add("serve.discarded", 1);
       fail(request.promise, std::make_exception_ptr(ServerStopped()));
     }

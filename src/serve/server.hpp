@@ -16,6 +16,7 @@
 #include "serve/encode_cache.hpp"
 #include "serve/queue.hpp"
 #include "sparsecoding/batch_omp.hpp"
+#include "util/metrics.hpp"
 #include "util/sync.hpp"
 
 namespace extdict::serve {
@@ -146,9 +147,18 @@ struct ServerStats {
 /// resolves. Submissions racing a stop resolve with `ServerStopped`.
 ///
 /// Observability: per-batch `serve.batch.collect` / `serve.batch.encode`
-/// trace spans (columns + summed queue-wait args), `serve.*` counters, and
-/// `serve.latency.{queue,encode,total}_seconds` histograms in the global
-/// registry — `stats()` is the server's own (always-on) accounting.
+/// trace spans (columns + summed queue-wait args), per-request
+/// `serve.request.{submit,cache_hit,enqueue,dequeue,resolve}` trace instants
+/// carrying the request id (`req` arg — `tools/analyze_trace.py` groups them
+/// into a per-request waterfall), `serve.*` counters, live gauges
+/// (`serve.queue.depth`, `serve.inflight`, `serve.workers.busy` — tracked at
+/// the push/pop/resolve transitions, never sampled under race), windowed +
+/// cumulative `serve.latency.{queue,encode,total}_seconds` histograms in the
+/// global registry — `stats()` is the server's own (always-on) accounting.
+/// The gauges reconcile with the monotone identities at quiescence:
+///   queue.depth == accepted − served − encode_failed − shed − discarded
+///                  − inflight
+/// (transient skews bounded by in-transition requests while running).
 ///
 /// Lock ordering: the queue's mutex, the metrics registry's, the encode
 /// cache's per-shard mutexes, and `DictRegistry::mu_` are all leaves;
@@ -242,6 +252,15 @@ class ExtDictServer {
 
   std::atomic<bool> accepting_{true};
   std::atomic<std::uint64_t> next_id_{0};
+
+  // Live gauges, resolved once from the global registry (cell references
+  // stay valid for its lifetime). Deliberately ungated by the registry's
+  // enabled switch: the +/- pairs must stay balanced across mid-run toggles
+  // or the levels would drift. Process-wide names — concurrent servers sum
+  // into the same cells, as with the serve.* counters.
+  util::Gauge& queue_depth_gauge_;
+  util::Gauge& inflight_gauge_;
+  util::Gauge& busy_workers_gauge_;
 
   // NOT a leaf lock (documented exception to the util/sync.hpp policy):
   // stop() holds it across queue close and worker join so concurrent stops

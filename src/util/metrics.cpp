@@ -32,6 +32,13 @@ void atomic_max(std::atomic<double>& cell, double v) noexcept {
   }
 }
 
+void atomic_max_i64(std::atomic<std::int64_t>& cell, std::int64_t v) noexcept {
+  std::int64_t seen = cell.load(std::memory_order_relaxed);
+  while (v > seen &&
+         !cell.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
 }  // namespace
 
 // -- Histogram ----------------------------------------------------------------
@@ -161,6 +168,106 @@ Json Histogram::to_json() const {
   return j;
 }
 
+// -- Gauge --------------------------------------------------------------------
+
+void Gauge::set(std::int64_t v) noexcept {
+  value_.store(v, std::memory_order_relaxed);
+  atomic_max_i64(peak_, v);
+}
+
+void Gauge::add(std::int64_t delta) noexcept {
+  const std::int64_t now =
+      value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  if (delta > 0) atomic_max_i64(peak_, now);
+}
+
+Json Gauge::to_json() const {
+  Json j = Json::object();
+  j["value"] = value();
+  j["peak"] = peak();
+  return j;
+}
+
+// -- WindowedHistogram --------------------------------------------------------
+
+WindowedHistogram::WindowedHistogram(std::int64_t slot_millis) noexcept
+    : slot_millis_(slot_millis > 0 ? slot_millis : kDefaultSlotMillis) {}
+
+std::int64_t WindowedHistogram::now_millis() noexcept {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void WindowedHistogram::record_at(double value, std::int64_t now_ms) noexcept {
+  // Cumulative view first: it never loses an observation, whatever the
+  // rotation below does.
+  cumulative_.record(value);
+  const std::int64_t epoch = now_ms / slot_millis_;
+  Slot& slot = slots_[static_cast<std::size_t>(
+      epoch % static_cast<std::int64_t>(kSlots))];
+  std::int64_t seen = slot.epoch.load(std::memory_order_relaxed);
+  if (seen != epoch) {
+    // First touch of this slot in a new epoch: the CAS winner clears the
+    // stale contents. A record racing the clear may be partially lost from
+    // the window (documented; the cumulative view above is exact).
+    if (slot.epoch.compare_exchange_strong(seen, epoch,
+                                           std::memory_order_relaxed)) {
+      slot.hist.reset();
+    }
+  }
+  slot.hist.record(value);
+}
+
+void WindowedHistogram::merge_window_at(Histogram& out,
+                                        std::int64_t now_ms) const noexcept {
+  const std::int64_t current = now_ms / slot_millis_;
+  const std::int64_t oldest = current - static_cast<std::int64_t>(kSlots) + 1;
+  for (const Slot& slot : slots_) {
+    const std::int64_t epoch = slot.epoch.load(std::memory_order_relaxed);
+    if (epoch >= oldest && epoch <= current) out.merge_from(slot.hist);
+  }
+}
+
+double WindowedHistogram::window_quantile_at(double q,
+                                             std::int64_t now_ms) const
+    noexcept {
+  Histogram merged;
+  merge_window_at(merged, now_ms);
+  return merged.quantile(q);  // 0 when the window is empty
+}
+
+std::uint64_t WindowedHistogram::window_count_at(std::int64_t now_ms) const
+    noexcept {
+  Histogram merged;
+  merge_window_at(merged, now_ms);
+  return merged.count();
+}
+
+void WindowedHistogram::reset() noexcept {
+  for (Slot& slot : slots_) {
+    slot.epoch.store(-1, std::memory_order_relaxed);
+    slot.hist.reset();
+  }
+  cumulative_.reset();
+}
+
+Json WindowedHistogram::to_json_at(std::int64_t now_ms) const {
+  Histogram merged;
+  merge_window_at(merged, now_ms);
+  Json window = Json::object();
+  window["count"] = merged.count();
+  window["p50"] = merged.quantile(0.50);
+  window["p90"] = merged.quantile(0.90);
+  window["p99"] = merged.quantile(0.99);
+  Json j = Json::object();
+  j["slot_ms"] = slot_millis_;
+  j["slots"] = kSlots;
+  j["window"] = std::move(window);
+  j["cumulative"] = cumulative_.to_json();
+  return j;
+}
+
 MetricsRegistry::Counter& MetricsRegistry::counter(std::string_view name) {
   const MutexLock lock(mu_);
   const auto it = counters_.find(name);
@@ -227,12 +334,55 @@ std::uint64_t MetricsRegistry::span_count(std::string_view name) const {
              : it->second->count.load(std::memory_order_relaxed);
 }
 
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const MutexLock lock(mu_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+              .first->second;
+}
+
+void MetricsRegistry::gauge_set(std::string_view name, std::int64_t v) {
+  if (!enabled()) return;
+  gauge(name).set(v);
+}
+
+void MetricsRegistry::gauge_add(std::string_view name, std::int64_t delta) {
+  if (!enabled()) return;
+  gauge(name).add(delta);
+}
+
+void MetricsRegistry::gauge_sub(std::string_view name, std::int64_t delta) {
+  if (!enabled()) return;
+  gauge(name).sub(delta);
+}
+
+std::int64_t MetricsRegistry::gauge_value(std::string_view name) const {
+  const MutexLock lock(mu_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second->value();
+}
+
 Histogram& MetricsRegistry::histogram(std::string_view name) {
   const MutexLock lock(mu_);
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) return *it->second;
   return *histograms_.emplace(std::string(name), std::make_unique<Histogram>())
               .first->second;
+}
+
+WindowedHistogram& MetricsRegistry::windowed_histogram(std::string_view name) {
+  const MutexLock lock(mu_);
+  const auto it = windowed_.find(name);
+  if (it != windowed_.end()) return *it->second;
+  return *windowed_
+              .emplace(std::string(name), std::make_unique<WindowedHistogram>())
+              .first->second;
+}
+
+void MetricsRegistry::observe_windowed(std::string_view name, double value) {
+  if (!enabled()) return;
+  windowed_histogram(name).record(value);
 }
 
 void MetricsRegistry::observe(std::string_view name, double value) {
@@ -256,6 +406,10 @@ void MetricsRegistry::reset() {
     cell->nanos.store(0, std::memory_order_relaxed);
   }
   for (auto& [name, cell] : histograms_) cell->reset();
+  for (auto& [name, cell] : gauges_) cell->reset();
+  for (auto& [name, cell] : windowed_) cell->reset();
+  // snapshot_seq_ deliberately survives: consumers order dumps by it and
+  // detect the reset from counters moving backwards.
 }
 
 Json MetricsRegistry::to_json() const {
@@ -264,6 +418,8 @@ Json MetricsRegistry::to_json() const {
   for (const auto& [name, cell] : counters_) {
     counters[name] = cell->value.load(std::memory_order_relaxed);
   }
+  Json gauges = Json::object();
+  for (const auto& [name, cell] : gauges_) gauges[name] = cell->to_json();
   Json spans = Json::object();
   for (const auto& [name, cell] : spans_) {
     Json entry = Json::object();
@@ -277,10 +433,46 @@ Json MetricsRegistry::to_json() const {
   for (const auto& [name, cell] : histograms_) {
     histograms[name] = cell->to_json();
   }
+  Json windowed = Json::object();
+  for (const auto& [name, cell] : windowed_) windowed[name] = cell->to_json();
   Json out = Json::object();
+  out["enabled"] = enabled();
+  out["snapshot_seq"] =
+      snapshot_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
   out["counters"] = std::move(counters);
+  out["gauges"] = std::move(gauges);
   out["spans"] = std::move(spans);
   out["histograms"] = std::move(histograms);
+  out["window_quantiles"] = std::move(windowed);
+  return out;
+}
+
+Json MetricsRegistry::telemetry_sample() const {
+  const MutexLock lock(mu_);
+  Json counters = Json::object();
+  for (const auto& [name, cell] : counters_) {
+    counters[name] = cell->value.load(std::memory_order_relaxed);
+  }
+  Json gauges = Json::object();
+  for (const auto& [name, cell] : gauges_) gauges[name] = cell->value();
+  Json windowed = Json::object();
+  for (const auto& [name, cell] : windowed_) {
+    const std::int64_t now_ms = WindowedHistogram::now_millis();
+    Json entry = Json::object();
+    entry["count"] = cell->window_count_at(now_ms);
+    entry["p50"] = cell->window_quantile_at(0.50, now_ms);
+    entry["p90"] = cell->window_quantile_at(0.90, now_ms);
+    entry["p99"] = cell->window_quantile_at(0.99, now_ms);
+    const Histogram& cumulative = cell->cumulative();
+    entry["cumulative_count"] = cumulative.count();
+    entry["cumulative_p50"] = cumulative.quantile(0.50);
+    entry["cumulative_p99"] = cumulative.quantile(0.99);
+    windowed[name] = std::move(entry);
+  }
+  Json out = Json::object();
+  out["counters"] = std::move(counters);
+  out["gauges"] = std::move(gauges);
+  out["window_quantiles"] = std::move(windowed);
   return out;
 }
 

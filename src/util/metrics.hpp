@@ -81,8 +81,153 @@ class Histogram {
   std::atomic<double> max_{0.0};
 };
 
-/// Process-wide observability registry: named monotonic counters plus
-/// phase-scoped span timers, with deterministic JSON emission.
+/// Point-in-time level with a high-water mark: the live-telemetry complement
+/// to the registry's monotonic counters. Counters answer "how many ever";
+/// gauges answer "how many right now" (queue depth, in-flight requests,
+/// cache residency) — quantities that go *down* as well as up.
+///
+/// Concurrency contract: `set`/`add`/`sub` are relaxed atomics, safe from
+/// any number of threads; `value()`/`peak()` are racy-but-coherent reads.
+/// The peak is maintained with a CAS-max on every mutation, so after all
+/// writers return it is the exact high-water mark of the serialized value
+/// sequence each writer observed (concurrent add/sub interleavings may
+/// transiently overshoot — the peak records what the atomic actually held).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(std::int64_t v) noexcept;
+  void add(std::int64_t delta) noexcept;
+  void sub(std::int64_t delta) noexcept { add(-delta); }
+
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  /// Highest value ever held (0 if the gauge never went positive).
+  [[nodiscard]] std::int64_t peak() const noexcept {
+    return peak_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept {
+    value_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Deterministic snapshot: {"value": v, "peak": p}.
+  [[nodiscard]] Json to_json() const;
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> peak_{0};
+};
+
+/// RAII in-flight tracker: `add(delta)` on construction, `sub(delta)` on
+/// destruction. The canonical use is a scope-long `GaugeGuard guard(busy);`
+/// around a worker's processing section — the gauge then counts concurrent
+/// scopes, exception-safe by construction.
+class GaugeGuard {
+ public:
+  explicit GaugeGuard(Gauge& gauge, std::int64_t delta = 1)
+      : gauge_(gauge), delta_(delta) {
+    gauge_.add(delta_);
+  }
+  GaugeGuard(const GaugeGuard&) = delete;
+  GaugeGuard& operator=(const GaugeGuard&) = delete;
+  ~GaugeGuard() { gauge_.sub(delta_); }
+
+ private:
+  Gauge& gauge_;
+  std::int64_t delta_;
+};
+
+/// Time-windowed quantiles over a ring of `kSlots` Histogram epochs, plus an
+/// always-on cumulative view. `record` lands in both the cumulative
+/// histogram and the slot owning `now / slot_millis`; a slot is lazily
+/// reclaimed (CAS on its epoch stamp, then reset) the first time a recorder
+/// touches it in a new epoch. `window_quantile` merges every slot whose
+/// epoch falls inside the live window of the last `kSlots` slot-periods, so
+/// it answers "p99 over roughly the last kSlots × slot_millis ms" instead of
+/// "p99 since process start".
+///
+/// Concurrency contract: everything is relaxed atomics (TSan-clean, no
+/// locks). Records racing a slot rotation may land in the freshly cleared
+/// slot or lose their bucket increment *in the window view only* — the
+/// cumulative histogram records first and is always exact. Readers merging
+/// the window see racy-but-coherent per-slot snapshots, same as
+/// Histogram::to_json.
+///
+/// The `_at(..., now_ms)` overloads take the clock as a parameter — that is
+/// the deterministic test hook; the plain overloads use a steady clock.
+class WindowedHistogram {
+ public:
+  /// Live window = kSlots slots of slot_millis each (default: last ~5 s).
+  static constexpr int kSlots = 5;
+  static constexpr std::int64_t kDefaultSlotMillis = 1000;
+
+  explicit WindowedHistogram(
+      std::int64_t slot_millis = kDefaultSlotMillis) noexcept;
+  WindowedHistogram(const WindowedHistogram&) = delete;
+  WindowedHistogram& operator=(const WindowedHistogram&) = delete;
+
+  void record(double value) noexcept { record_at(value, now_millis()); }
+  void record_at(double value, std::int64_t now_ms) noexcept;
+
+  /// Estimated q-quantile over the live window (0 when the window is empty —
+  /// same clamp as Histogram::quantile on an empty histogram).
+  [[nodiscard]] double window_quantile(double q) const noexcept {
+    return window_quantile_at(q, now_millis());
+  }
+  [[nodiscard]] double window_quantile_at(double q,
+                                          std::int64_t now_ms) const noexcept;
+
+  [[nodiscard]] std::uint64_t window_count() const noexcept {
+    return window_count_at(now_millis());
+  }
+  [[nodiscard]] std::uint64_t window_count_at(
+      std::int64_t now_ms) const noexcept;
+
+  /// The since-construction view (exact; never loses a record).
+  [[nodiscard]] const Histogram& cumulative() const noexcept {
+    return cumulative_;
+  }
+
+  [[nodiscard]] std::int64_t slot_millis() const noexcept {
+    return slot_millis_;
+  }
+
+  void reset() noexcept;
+
+  /// Deterministic snapshot:
+  ///   {"slot_ms": ..., "slots": kSlots,
+  ///    "window": {"count": n, "p50": ..., "p90": ..., "p99": ...},
+  ///    "cumulative": Histogram::to_json()}.
+  [[nodiscard]] Json to_json() const { return to_json_at(now_millis()); }
+  [[nodiscard]] Json to_json_at(std::int64_t now_ms) const;
+
+  /// Milliseconds on the process-wide steady clock (exposed so callers can
+  /// feed a consistent `now` into several `_at` calls).
+  [[nodiscard]] static std::int64_t now_millis() noexcept;
+
+ private:
+  struct Slot {
+    std::atomic<std::int64_t> epoch{-1};  // now_ms / slot_millis, -1 = empty
+    Histogram hist;
+  };
+
+  /// Merges every slot with epoch in [current - kSlots + 1, current] into
+  /// `out`.
+  void merge_window_at(Histogram& out, std::int64_t now_ms) const noexcept;
+
+  std::int64_t slot_millis_;
+  std::array<Slot, kSlots> slots_;
+  Histogram cumulative_;
+};
+
+/// Process-wide observability registry: named monotonic counters, live
+/// gauges, phase-scoped span timers, and (windowed) histograms, with
+/// deterministic JSON emission.
 ///
 /// This is the measurement half of the model-vs-measurement loop: the
 /// analytic cost model (core/cost_model.hpp) predicts FLOPs/words/time, the
@@ -147,9 +292,36 @@ class MetricsRegistry {
   [[nodiscard]] std::uint64_t span_count(std::string_view name) const
       EXTDICT_EXCLUDES(mu_);
 
+  /// Resolves (creating on first use) the gauge cell for `name`. Like
+  /// counter cells, the reference stays valid for the registry's lifetime —
+  /// hot paths resolve once and mutate the cell directly (ungated by
+  /// `set_enabled`, which keeps RAII GaugeGuard pairs balanced across
+  /// mid-run toggles).
+  [[nodiscard]] Gauge& gauge(std::string_view name) EXTDICT_EXCLUDES(mu_);
+
+  /// gauge(name).set/add/sub; no-ops while disabled.
+  void gauge_set(std::string_view name, std::int64_t v) EXTDICT_EXCLUDES(mu_);
+  void gauge_add(std::string_view name, std::int64_t delta)
+      EXTDICT_EXCLUDES(mu_);
+  void gauge_sub(std::string_view name, std::int64_t delta)
+      EXTDICT_EXCLUDES(mu_);
+
+  /// Current gauge level (0 for a name never touched).
+  [[nodiscard]] std::int64_t gauge_value(std::string_view name) const
+      EXTDICT_EXCLUDES(mu_);
+
   /// Resolves (creating on first use) the histogram cell for `name`. Like
   /// counter cells, the reference stays valid for the registry's lifetime.
   [[nodiscard]] Histogram& histogram(std::string_view name)
+      EXTDICT_EXCLUDES(mu_);
+
+  /// Resolves (creating on first use) the windowed-histogram cell for
+  /// `name` (default slot width; same lifetime guarantee as the others).
+  [[nodiscard]] WindowedHistogram& windowed_histogram(std::string_view name)
+      EXTDICT_EXCLUDES(mu_);
+
+  /// windowed_histogram(name).record(value); no-op while disabled.
+  void observe_windowed(std::string_view name, double value)
       EXTDICT_EXCLUDES(mu_);
 
   /// histogram(name).record(value); no-op while disabled.
@@ -169,15 +341,35 @@ class MetricsRegistry {
     return enabled_.load(std::memory_order_relaxed);
   }
 
-  /// Zeroes every cell. Names (and outstanding references) stay valid.
+  /// Zeroes every cell. Names (and outstanding references) stay valid; the
+  /// snapshot sequence is NOT reset — it stays monotone across resets so
+  /// dump consumers can order documents and detect the reset (counters
+  /// going backwards under a larger snapshot_seq).
   void reset() EXTDICT_EXCLUDES(mu_);
 
   /// Deterministic snapshot:
-  ///   {"counters": {name: value, ...},
+  ///   {"enabled": bool, "snapshot_seq": n,
+  ///    "counters": {name: value, ...},
+  ///    "gauges": {name: {"value": v, "peak": p}, ...},
   ///    "spans": {name: {"count": n, "seconds": s}, ...},
-  ///    "histograms": {name: Histogram::to_json(), ...}}
-  /// Names are emitted in lexicographic order.
+  ///    "histograms": {name: Histogram::to_json(), ...},
+  ///    "window_quantiles": {name: WindowedHistogram::to_json(), ...}}
+  /// Names are emitted in lexicographic order. `snapshot_seq` increments on
+  /// every call (monotone across `reset()`), so two calls on identical state
+  /// differ only in that field.
   [[nodiscard]] Json to_json() const EXTDICT_EXCLUDES(mu_);
+
+  /// Flat telemetry record for the periodic snapshotter — cheaper and
+  /// schema-leaner than `to_json`:
+  ///   {"counters": {name: value, ...},
+  ///    "gauges": {name: value, ...},
+  ///    "window_quantiles": {name: {"count": n, "p50": ..., "p90": ...,
+  ///                               "p99": ..., "cumulative_count": N,
+  ///                               "cumulative_p50": ...,
+  ///                               "cumulative_p99": ...}, ...}}
+  /// Names in lexicographic order; does not bump `snapshot_seq` (the
+  /// snapshotter numbers its own records).
+  [[nodiscard]] Json telemetry_sample() const EXTDICT_EXCLUDES(mu_);
 
   /// The library-wide registry every subsystem reports into.
   [[nodiscard]] static MetricsRegistry& global();
@@ -193,7 +385,13 @@ class MetricsRegistry {
       EXTDICT_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
       EXTDICT_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      EXTDICT_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<WindowedHistogram>, std::less<>>
+      windowed_ EXTDICT_GUARDED_BY(mu_);
   std::atomic<bool> enabled_{true};
+  // Monotone dump ordinal (to_json bumps it; survives reset()).
+  mutable std::atomic<std::uint64_t> snapshot_seq_{0};
 };
 
 /// RAII phase timer: records the scope's wall time into

@@ -1,0 +1,79 @@
+#include "util/telemetry.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/json.hpp"
+
+namespace extdict::util {
+
+TelemetrySnapshotter::TelemetrySnapshotter(MetricsRegistry& registry,
+                                           std::string path,
+                                           TelemetryOptions options)
+    : registry_(registry),
+      path_(std::move(path)),
+      period_(std::max<std::int64_t>(1, options.period_ms)) {
+  out_.open(path_, std::ios::out | std::ios::trunc);
+  ok_.store(out_.is_open(), std::memory_order_relaxed);
+  worker_ = std::thread([this] { run(); });
+}
+
+TelemetrySnapshotter::~TelemetrySnapshotter() { stop(); }
+
+void TelemetrySnapshotter::stop() {
+  const MutexLock lock(stop_mu_);
+  if (stopped_) return;
+  {
+    const MutexLock inner(mu_);  // declared stop_mu_ -> mu_ edge
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  // Joining under stop_mu_ is the shutdown contract (ExtDictServer::stop
+  // precedent): concurrent stop() calls and the destructor all return only
+  // after the worker wrote its final record and flushed. The worker never
+  // touches stop_mu_, so this cannot deadlock.
+  // extdict-analyze: allow(blocking-while-locked) shutdown join, by contract
+  if (worker_.joinable()) worker_.join();
+  stopped_ = true;
+}
+
+void TelemetrySnapshotter::run() {
+  const Clock::time_point start = Clock::now();
+  Clock::time_point next = start + period_;
+  for (;;) {
+    bool stopping = false;
+    {
+      const MutexLock lock(mu_);
+      while (!stop_requested_ && Clock::now() < next) {
+        cv_.wait_until(mu_, next);
+      }
+      stopping = stop_requested_;
+    }
+    // Sample and write with no snapshotter lock held — the registry sample
+    // takes the registry's own leaf internally, the file is ours alone.
+    write_sample(
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count());
+    if (stopping) break;  // the record above is the final, post-stop sample
+    next += period_;
+    // Sampling slower than the period: skip the missed ticks instead of
+    // bursting to catch up (seq stays contiguous; wall_ms shows the gap).
+    const Clock::time_point now = Clock::now();
+    while (next <= now) next += period_;
+  }
+  out_.flush();
+}
+
+void TelemetrySnapshotter::write_sample(double wall_ms) {
+  if (!out_.is_open()) return;
+  Json sample = registry_.telemetry_sample();
+  Json record = Json::object();
+  record["seq"] = seq_.fetch_add(1, std::memory_order_relaxed);
+  record["wall_ms"] = wall_ms;
+  record["counters"] = std::move(sample["counters"]);
+  record["gauges"] = std::move(sample["gauges"]);
+  record["window_quantiles"] = std::move(sample["window_quantiles"]);
+  out_ << record.dump() << '\n';
+}
+
+}  // namespace extdict::util

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "util/metrics.hpp"
+#include "util/sync.hpp"
+
+namespace extdict::util {
+
+struct TelemetryOptions {
+  /// Sampling period. Values < 1 clamp to 1.
+  std::int64_t period_ms = 100;
+};
+
+/// Periodic registry exporter: a background thread samples
+/// `MetricsRegistry::telemetry_sample()` every `period_ms` and appends one
+/// JSONL record per sample to `path`:
+///
+///   {"seq": k, "wall_ms": t, "counters": {...}, "gauges": {...},
+///    "window_quantiles": {...}}
+///
+/// `seq` starts at 0 and increments by exactly 1 per record; `wall_ms` is
+/// milliseconds since the snapshotter started (steady clock, so records are
+/// time-ordered even across system clock jumps). Field order is insertion
+/// order (util::Json), so the emitted schema is byte-stable for a given
+/// registry population — consumers (`tools/analyze_telemetry.py`) parse it
+/// line by line.
+///
+/// Lifecycle: construction opens the file and starts the thread; `stop()`
+/// (idempotent, also run by the destructor) signals the worker, which writes
+/// ONE final sample after observing the signal — so the last record reflects
+/// the registry state at (or after) the stop call — flushes, and exits;
+/// `stop()` then joins. After `stop()` returns the file is complete on disk.
+///
+/// Locking: `mu_` (leaf) guards only the stop flag under the condvar; the
+/// registry sample takes the registry's own leaf internally; file I/O
+/// happens with no lock held (the stream is owned by the worker thread, and
+/// by `stop()` only after the join).
+class TelemetrySnapshotter {
+ public:
+  TelemetrySnapshotter(MetricsRegistry& registry, std::string path,
+                       TelemetryOptions options = {});
+
+  /// Stops and flushes (never throws out of a destructor path).
+  ~TelemetrySnapshotter();
+
+  TelemetrySnapshotter(const TelemetrySnapshotter&) = delete;
+  TelemetrySnapshotter& operator=(const TelemetrySnapshotter&) = delete;
+
+  /// Idempotent; concurrent calls serialize and all return after the worker
+  /// has written its final record and exited.
+  void stop();
+
+  /// False when the output file could not be opened (the worker then idles
+  /// without writing; the error is the caller's to surface).
+  [[nodiscard]] bool ok() const noexcept {
+    return ok_.load(std::memory_order_relaxed);
+  }
+
+  /// Records written so far (racy read; exact once `stop()` returned).
+  [[nodiscard]] std::uint64_t snapshots_written() const noexcept {
+    return seq_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void run();
+  /// Worker-thread only: sample the registry and append one record.
+  void write_sample(double wall_ms);
+
+  MetricsRegistry& registry_;
+  const std::string path_;
+  const std::chrono::milliseconds period_;
+  // Worker-thread-owned after construction: the constructor opens it before
+  // the thread starts, only run()/write_sample() touch it afterwards, and
+  // stop() returns only after the worker (which flushes on exit) has joined.
+  // extdict-analyze: allow(guarded-by) worker-thread-owned stream; stop() joins before returning
+  std::ofstream out_;
+
+  // Leaf lock: guards the stop flag the worker's timed condvar wait watches.
+  util::Mutex mu_;
+  CondVar cv_;
+  bool stop_requested_ EXTDICT_GUARDED_BY(mu_) = false;
+
+  // NOT a leaf lock (documented exception to the util/sync.hpp policy):
+  // stop() holds it across the stop-flag publication (-> mu_) and the worker
+  // join so concurrent stops serialize on the complete shutdown, exactly the
+  // ExtDictServer::stop_mu_ pattern. The worker never touches stop_mu_.
+  // extdict-analyze: non-leaf(TelemetrySnapshotter::stop_mu_ -> TelemetrySnapshotter::mu_)
+  util::Mutex stop_mu_;
+  bool stopped_ EXTDICT_GUARDED_BY(stop_mu_) = false;
+  // Written only by the constructor (pre-publication) and joined by stop()
+  // under stop_mu_ — the ExtDictServer::workers_ convention.
+  std::thread worker_ EXTDICT_GUARDED_BY(stop_mu_);
+
+  std::atomic<bool> ok_{false};
+  std::atomic<std::uint64_t> seq_{0};
+};
+
+}  // namespace extdict::util

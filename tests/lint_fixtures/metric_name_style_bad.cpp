@@ -1,0 +1,22 @@
+// extdict-lint-expect: metric-name-style
+// Metric names that break the lowercase dot-path convention: CamelCase,
+// dash-separated, a double dot (empty segment), a trailing dot in a
+// concatenation prefix, and an empty name.
+
+#include <cstdint>
+#include <string>
+
+struct Registry {
+  void add(const std::string&, std::uint64_t) {}
+  struct G { void set(std::int64_t) {} };
+  G& gauge(const std::string&) { static G g; return g; }
+  void observe_windowed(const std::string&, double) {}
+};
+
+void instrument(Registry& registry, int rank) {
+  registry.add("Serve.Queue.Depth", 1);
+  registry.add("serve-cache-hits", 1);
+  registry.gauge("serve..inflight").set(3);
+  registry.add("serve.lane." + std::to_string(rank), 1);
+  registry.observe_windowed("", 1e-3);
+}

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -77,21 +78,50 @@ TEST(Metrics, JsonSnapshotRoundTrips) {
   registry.add("a.words", 42);
   registry.record_span("solve", 0.25);
   registry.record_span("solve", 0.5);
+  registry.gauge("q.depth").set(3);
+  registry.observe_windowed("lat.total", 1e-3);
 
   const Json snapshot = registry.to_json();
   const Json reparsed = Json::parse(snapshot.dump(2));
+  EXPECT_TRUE(reparsed.at("enabled").as_bool());
+  EXPECT_EQ(reparsed.at("snapshot_seq").as_u64(), 1u);
   EXPECT_EQ(reparsed.at("counters").at("a.words").as_u64(), 42u);
   EXPECT_EQ(reparsed.at("counters").at("b.flops").as_u64(), 123456789u);
   EXPECT_EQ(reparsed.at("spans").at("solve").at("count").as_u64(), 2u);
   EXPECT_DOUBLE_EQ(reparsed.at("spans").at("solve").at("seconds").as_double(),
                    registry.span_seconds("solve"));
-  // Deterministic: same state, same bytes.
-  EXPECT_EQ(snapshot.dump(2), registry.to_json().dump(2));
+  EXPECT_DOUBLE_EQ(reparsed.at("gauges").at("q.depth").at("value").as_double(),
+                   3.0);
+  EXPECT_EQ(
+      reparsed.at("window_quantiles").at("lat.total").at("cumulative")
+          .at("count").as_u64(),
+      1u);
+  // Deterministic up to the monotone snapshot_seq: same state, same bytes
+  // once the sequence number is overwritten.
+  Json second = registry.to_json();
+  EXPECT_EQ(second.at("snapshot_seq").as_u64(), 2u);
+  second["snapshot_seq"] = std::uint64_t{1};
+  EXPECT_EQ(snapshot.dump(2), second.dump(2));
   // Lexicographic key order in the snapshot.
   const auto& counters = snapshot.at("counters").as_object();
   ASSERT_EQ(counters.size(), 2u);
   EXPECT_EQ(counters[0].first, "a.words");
   EXPECT_EQ(counters[1].first, "b.flops");
+}
+
+TEST(Metrics, SnapshotSeqSurvivesResetButStateClears) {
+  MetricsRegistry registry;
+  registry.add("c", 1);
+  registry.gauge("g").set(9);
+  (void)registry.to_json();
+  (void)registry.to_json();
+  registry.reset();
+  const Json after = registry.to_json();
+  // The sequence keeps climbing across reset() so consumers can order
+  // dumps and detect the reset; the state itself is cleared.
+  EXPECT_EQ(after.at("snapshot_seq").as_u64(), 3u);
+  EXPECT_EQ(registry.value("c"), 0u);
+  EXPECT_EQ(registry.gauge_value("g"), 0);
 }
 
 TEST(Histogram, ExactMomentsAndSaturatingBuckets) {
@@ -233,6 +263,192 @@ TEST(Metrics, RegistryHistogramsObserveResetAndEmit) {
   EXPECT_EQ(registry.histogram_count("lat"), 0u);
   cell.record(1.0);  // handle survives reset, like counter cells
   EXPECT_EQ(registry.histogram_count("lat"), 1u);
+}
+
+TEST(Gauge, SetAddSubTrackValueAndPeak) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.peak(), 0);
+  g.set(5);
+  g.add(3);
+  g.sub(6);
+  EXPECT_EQ(g.value(), 2);
+  EXPECT_EQ(g.peak(), 8);  // peak was the post-add level
+  g.set(-4);               // levels may go transiently negative
+  EXPECT_EQ(g.value(), -4);
+  EXPECT_EQ(g.peak(), 8);  // a lower set never rewrites the peak
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.peak(), 0);
+}
+
+TEST(Gauge, GuardBalancesOnEveryPath) {
+  Gauge g;
+  {
+    const GaugeGuard a(g);
+    EXPECT_EQ(g.value(), 1);
+    {
+      const GaugeGuard b(g, 4);
+      EXPECT_EQ(g.value(), 5);
+      EXPECT_EQ(g.peak(), 5);
+    }
+    EXPECT_EQ(g.value(), 1);
+  }
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.peak(), 5);  // peaks persist after the level drains
+}
+
+TEST(Gauge, ConcurrentGuardsDrainToZero) {
+  Gauge g;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const GaugeGuard guard(g);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_GE(g.peak(), 1);
+  EXPECT_LE(g.peak(), kThreads);
+}
+
+TEST(Metrics, RegistryGaugesResolveMutateAndGate) {
+  MetricsRegistry registry;
+  registry.gauge_set("depth", 7);
+  registry.gauge_add("depth", 2);
+  registry.gauge_sub("depth", 4);
+  EXPECT_EQ(registry.gauge_value("depth"), 5);
+  EXPECT_EQ(registry.gauge_value("never"), 0);
+
+  registry.set_enabled(false);
+  registry.gauge_add("depth", 100);  // convenience path honors the gate
+  EXPECT_EQ(registry.gauge_value("depth"), 5);
+  // Direct references stay live so RAII +-/- pairs never unbalance across
+  // a mid-flight toggle.
+  registry.gauge("depth").add(1);
+  EXPECT_EQ(registry.gauge_value("depth"), 6);
+  registry.set_enabled(true);
+}
+
+TEST(Histogram, MergeAcrossDisjointDecades) {
+  // Merge sources whose observations occupy disjoint log decades: every
+  // bucket, the exact moments, and the quantile envelope must all combine.
+  Histogram lo, hi;
+  for (int i = 0; i < 900; ++i) lo.record(1e-6);
+  for (int i = 0; i < 100; ++i) hi.record(1e+2);
+  lo.merge_from(hi);
+  EXPECT_EQ(lo.count(), 1000u);
+  EXPECT_DOUBLE_EQ(lo.min(), 1e-6);
+  EXPECT_DOUBLE_EQ(lo.max(), 1e+2);
+  EXPECT_NEAR(lo.sum(), 900 * 1e-6 + 100 * 1e+2, 1e-6);
+  // 90% of the mass is tiny; p50 stays in the low decade, p99 in the high.
+  EXPECT_LT(lo.quantile(0.50), 1e-5);
+  EXPECT_GT(lo.quantile(0.99), 1e+1);
+}
+
+TEST(WindowedHistogram, RotationExpiresOldEpochs) {
+  // Deterministic clock via the _at hooks: slot_millis=100, 5 slots, so the
+  // live window at time T covers epochs [T/100 - 4, T/100].
+  WindowedHistogram w(100);
+  w.record_at(1e-3, 0);
+  w.record_at(1e-3, 50);
+  EXPECT_EQ(w.window_count_at(0), 2u);
+  // Still inside the 5-slot window four epochs later.
+  EXPECT_EQ(w.window_count_at(499), 2u);
+  // One more epoch and the slot has aged out of the merge range.
+  EXPECT_EQ(w.window_count_at(500), 0u);
+  // The cumulative view never expires.
+  EXPECT_EQ(w.cumulative().count(), 2u);
+
+  // Writing into a recycled slot clears the stale epoch's contents.
+  w.record_at(5e-3, 500);
+  EXPECT_EQ(w.window_count_at(500), 1u);
+  EXPECT_EQ(w.cumulative().count(), 3u);
+}
+
+TEST(WindowedHistogram, EmptyWindowQuantileClampsToZero) {
+  WindowedHistogram w(100);
+  EXPECT_EQ(w.window_count_at(0), 0u);
+  EXPECT_DOUBLE_EQ(w.window_quantile_at(0.99, 0), 0.0);
+  w.record_at(2.5, 0);
+  // After everything expires the quantile is 0 again, not a stale value.
+  EXPECT_DOUBLE_EQ(w.window_quantile_at(0.99, 10'000), 0.0);
+}
+
+TEST(WindowedHistogram, StationaryWindowMatchesCumulative) {
+  // Under stationary load inside one window span, the windowed quantile and
+  // the cumulative quantile see the same observations and must agree to the
+  // histogram's documented log-bucket resolution (a 10^0.1 ≈ 1.26x band).
+  WindowedHistogram w(1000);
+  for (int i = 0; i < 1000; ++i) {
+    w.record_at((i + 1) * 1e-4, i);  // all inside epoch 0
+  }
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const double windowed = w.window_quantile_at(q, 999);
+    const double cumulative = w.cumulative().quantile(q);
+    EXPECT_NEAR(windowed, cumulative, cumulative * 1e-12) << "q=" << q;
+  }
+  EXPECT_EQ(w.window_count_at(999), w.cumulative().count());
+}
+
+TEST(WindowedHistogram, RecordsRacingRotationStayTsanCleanAndCumulativeExact) {
+  // Writers hammer a 1 ms slot clock (real time) while a reader keeps
+  // merging the window: the all-atomic design must be race-free (TSan runs
+  // this test) and the cumulative view must count every observation even
+  // when rotation drops some from the live window.
+  WindowedHistogram w(1);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&w, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)w.window_quantile(0.5);
+      (void)w.window_count();
+    }
+  });
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&w] {
+      for (int i = 0; i < kPerThread; ++i) w.record(1e-4);
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(w.cumulative().count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_LE(w.window_count(), w.cumulative().count());
+}
+
+TEST(Metrics, RegistryWindowedHistogramsObserveAndEmit) {
+  MetricsRegistry registry;
+  registry.observe_windowed("lat", 1e-3);
+  registry.observe_windowed("lat", 2e-3);
+  EXPECT_EQ(registry.windowed_histogram("lat").cumulative().count(), 2u);
+
+  registry.set_enabled(false);
+  registry.observe_windowed("lat", 5e-3);  // dropped by the gate
+  EXPECT_EQ(registry.windowed_histogram("lat").cumulative().count(), 2u);
+  registry.set_enabled(true);
+
+  const Json snapshot = registry.to_json();
+  const Json& cell = snapshot.at("window_quantiles").at("lat");
+  EXPECT_EQ(cell.at("cumulative").at("count").as_u64(), 2u);
+  EXPECT_EQ(cell.at("window").at("count").as_u64(), 2u);
+
+  const Json sample = registry.telemetry_sample();
+  EXPECT_EQ(sample.at("window_quantiles").at("lat").at("cumulative_count")
+                .as_u64(),
+            2u);
+
+  registry.reset();
+  EXPECT_EQ(registry.windowed_histogram("lat").cumulative().count(), 0u);
 }
 
 TEST(Json, ParseDumpRoundTripsTrickyValues) {

@@ -338,5 +338,76 @@ TEST(ExtDictServer, LatencyHistogramsLandInGlobalRegistry) {
             before + signals.size());
 }
 
+TEST(ExtDictServer, GaugesDrainToTheirPriorLevels) {
+  // Queue depth, in-flight, busy workers, and cache occupancy are tracked
+  // levels (every + has a -), so a drained-and-destroyed server returns
+  // each gauge to exactly where it found it — even when other tests' live
+  // servers share the process-wide names.
+  util::MetricsRegistry& metrics = util::MetricsRegistry::global();
+  metrics.set_enabled(true);
+  const std::int64_t depth_before = metrics.gauge_value("serve.queue.depth");
+  const std::int64_t inflight_before = metrics.gauge_value("serve.inflight");
+  const std::int64_t busy_before = metrics.gauge_value("serve.workers.busy");
+  const std::int64_t entries_before =
+      metrics.gauge_value("serve.cache.entries");
+  const std::int64_t bytes_before =
+      metrics.gauge_value("serve.cache.resident_bytes");
+
+  const Index m = 16, l = 32;
+  {
+    ExtDictServer server(test_dictionary(m, l),
+                         {.max_batch = 4,
+                          .workers = 2,
+                          .omp = {},
+                          .cache_capacity = 64});
+    const auto signals = test_signals(m, 24);
+    std::vector<std::future<EncodeResult>> futures;
+    futures.reserve(signals.size());
+    for (const auto& x : signals) futures.push_back(server.submit(x));
+    for (auto& f : futures) (void)f.get();
+
+    // While the cache is live its occupancy gauges carry the entries.
+    EXPECT_EQ(metrics.gauge_value("serve.cache.entries"),
+              entries_before +
+                  static_cast<std::int64_t>(server.cache_stats().entries));
+    server.stop();
+    EXPECT_EQ(metrics.gauge_value("serve.queue.depth"), depth_before);
+    EXPECT_EQ(metrics.gauge_value("serve.inflight"), inflight_before);
+    EXPECT_EQ(metrics.gauge_value("serve.workers.busy"), busy_before);
+  }
+  // Destruction returns the cache occupancy too.
+  EXPECT_EQ(metrics.gauge_value("serve.cache.entries"), entries_before);
+  EXPECT_EQ(metrics.gauge_value("serve.cache.resident_bytes"), bytes_before);
+}
+
+TEST(ExtDictServer, DiscardedRequestsLeaveTheDepthGauge) {
+  util::MetricsRegistry& metrics = util::MetricsRegistry::global();
+  metrics.set_enabled(true);
+  const std::int64_t depth_before = metrics.gauge_value("serve.queue.depth");
+  const Index m = 16, l = 32;
+  ExtDictServer server(test_dictionary(m, l),
+                       {.max_batch = 1,
+                        .max_delay_us = 200000,
+                        .workers = 1,
+                        .queue_capacity = 64,
+                        .omp = {}});
+  const auto signals = test_signals(m, 32);
+  std::vector<std::future<EncodeResult>> futures;
+  futures.reserve(signals.size());
+  for (const auto& x : signals) futures.push_back(server.submit(x));
+  server.stop(StopMode::kDiscard);
+  for (auto& f : futures) {
+    try {
+      (void)f.get();
+    } catch (const ServerStopped&) {
+      // discarded — expected for whatever was still queued
+    }
+  }
+  const ServerStats s = server.stats();
+  expect_accounting_identities(s);
+  // Whether served or discarded, every accepted request left the queue.
+  EXPECT_EQ(metrics.gauge_value("serve.queue.depth"), depth_before);
+}
+
 }  // namespace
 }  // namespace extdict::serve

@@ -1,0 +1,165 @@
+// TelemetrySnapshotter contracts: the JSONL stream is schema-stable and
+// parseable line by line, seq is contiguous from 0, wall_ms never runs
+// backwards, stop() writes one final sample and is idempotent, and the
+// exporter runs clean alongside concurrent metric writers (TSan covers
+// this test like every other).
+
+#include "util/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/metrics.hpp"
+
+namespace extdict::util {
+namespace {
+
+// Unique temp path per test; removed on destruction so reruns start clean.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& tag)
+      : path_(std::string(::testing::TempDir()) + "extdict_telemetry_" + tag +
+              ".jsonl") {
+    std::remove(path_.c_str());
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::vector<Json> read_records(const std::string& path) {
+  std::vector<Json> records;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) records.push_back(Json::parse(line));
+  }
+  return records;
+}
+
+TEST(TelemetrySnapshotter, WritesParseableOrderedRecords) {
+  using namespace std::chrono_literals;
+  const TempFile file("ordered");
+  MetricsRegistry registry;
+  registry.add("pass.counter", 7);
+  registry.gauge("pass.level").set(3);
+  registry.observe_windowed("pass.lat", 1e-3);
+  {
+    TelemetrySnapshotter snapshotter(registry, file.path(),
+                                     TelemetryOptions{.period_ms = 5});
+    EXPECT_TRUE(snapshotter.ok());
+    while (snapshotter.snapshots_written() < 3) {
+      std::this_thread::sleep_for(1ms);
+    }
+    snapshotter.stop();
+    const std::uint64_t written = snapshotter.snapshots_written();
+    EXPECT_GE(written, 3u);
+    snapshotter.stop();  // idempotent: no crash, no extra records
+    EXPECT_EQ(snapshotter.snapshots_written(), written);
+  }
+
+  const std::vector<Json> records = read_records(file.path());
+  ASSERT_GE(records.size(), 3u);
+  double last_wall = -1.0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const Json& record = records[i];
+    EXPECT_EQ(record.at("seq").as_u64(), i);
+    EXPECT_GE(record.at("wall_ms").as_double(), last_wall);
+    last_wall = record.at("wall_ms").as_double();
+    // Schema-stable, insertion-ordered record shape.
+    const auto& members = record.as_object();
+    ASSERT_EQ(members.size(), 5u);
+    EXPECT_EQ(members[0].first, "seq");
+    EXPECT_EQ(members[1].first, "wall_ms");
+    EXPECT_EQ(members[2].first, "counters");
+    EXPECT_EQ(members[3].first, "gauges");
+    EXPECT_EQ(members[4].first, "window_quantiles");
+    EXPECT_EQ(record.at("counters").at("pass.counter").as_u64(), 7u);
+    EXPECT_DOUBLE_EQ(record.at("gauges").at("pass.level").as_double(), 3.0);
+    EXPECT_EQ(
+        record.at("window_quantiles").at("pass.lat").at("cumulative_count")
+            .as_u64(),
+        1u);
+  }
+}
+
+TEST(TelemetrySnapshotter, DestructionStopsAndFlushes) {
+  const TempFile file("dtor");
+  MetricsRegistry registry;
+  registry.add("c", 1);
+  {
+    const TelemetrySnapshotter snapshotter(registry, file.path(),
+                                           TelemetryOptions{.period_ms = 1});
+    // No explicit stop(): the destructor must join and flush.
+  }
+  const std::vector<Json> records = read_records(file.path());
+  // The worker writes one final sample on the stop signal even when the
+  // period never elapsed.
+  ASSERT_GE(records.size(), 1u);
+  EXPECT_EQ(records.front().at("seq").as_u64(), 0u);
+  EXPECT_EQ(records.front().at("counters").at("c").as_u64(), 1u);
+}
+
+TEST(TelemetrySnapshotter, ReportsUnwritablePath) {
+  MetricsRegistry registry;
+  TelemetrySnapshotter snapshotter(
+      registry, "/nonexistent-dir-for-telemetry-test/out.jsonl",
+      TelemetryOptions{.period_ms = 5});
+  EXPECT_FALSE(snapshotter.ok());
+  snapshotter.stop();  // still clean to stop
+  EXPECT_EQ(snapshotter.snapshots_written(), 0u);
+}
+
+TEST(TelemetrySnapshotter, RunsCleanUnderConcurrentMetricWriters) {
+  using namespace std::chrono_literals;
+  const TempFile file("race");
+  MetricsRegistry registry;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  writers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&registry, &stop, t] {
+      Gauge& level = registry.gauge("race.level");
+      while (!stop.load(std::memory_order_relaxed)) {
+        registry.add("race.counter", 1);
+        const GaugeGuard guard(level);
+        registry.observe_windowed("race.lat", (t + 1) * 1e-5);
+      }
+    });
+  }
+  std::uint64_t written = 0;
+  {
+    TelemetrySnapshotter snapshotter(registry, file.path(),
+                                     TelemetryOptions{.period_ms = 2});
+    while (snapshotter.snapshots_written() < 5) {
+      std::this_thread::sleep_for(1ms);
+    }
+    snapshotter.stop();
+    written = snapshotter.snapshots_written();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : writers) t.join();
+
+  const std::vector<Json> records = read_records(file.path());
+  EXPECT_EQ(records.size(), written);
+  // Counters are monotone across snapshots even under contention.
+  std::uint64_t last = 0;
+  for (const Json& record : records) {
+    const std::uint64_t now = record.at("counters").at("race.counter").as_u64();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+}
+
+}  // namespace
+}  // namespace extdict::util

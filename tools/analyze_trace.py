@@ -28,7 +28,13 @@ microseconds. Waiting is recorded inside comm.recv / comm.barrier slices
 Serving-layer traces (bench/run_server_bench, src/serve/) have no rank
 lanes at all — worker threads stay on HOST_PID. For those, analysis reports
 the serve.batch.* family instead: batches formed, columns per batch, and
-queue-wait vs encode-time attribution from the span args.
+queue-wait vs encode-time attribution from the span args. Per-request
+serve.request.{submit,cache_hit,enqueue,dequeue,shed,resolve} instants,
+correlated by their "req" id arg, are stitched into request waterfalls:
+both modes replay every request's lifecycle (a resolve before its submit,
+a duplicate stage, or a dequeue without an enqueue is malformed), and
+analysis mode prints queue-wait/service attribution plus the slowest
+request's timeline.
 """
 
 import json
@@ -78,11 +84,13 @@ def load(path):
 def validate_events(doc):
     """Structural checks plus per-lane B/E stack replay.
 
-    Returns {(pid, tid): [span, ...]} where each span is a dict with
-    name/start/end/depth/args, in start order per lane.
+    Returns ({(pid, tid): [span, ...]}, [instant, ...]) where each span is a
+    dict with name/start/end/depth/args in start order per lane, and each
+    instant (phase "i") is a dict with name/ts/args in emission order.
     """
     stacks = {}  # (pid, tid) -> [open span]
     spans = {}  # (pid, tid) -> [closed span]
+    instants = []
     recorded = 0
     for index, event in enumerate(doc["traceEvents"]):
         where = f"traceEvents[{index}]"
@@ -106,6 +114,9 @@ def validate_events(doc):
         if not isinstance(args, dict):
             fail(f"{where}: bad args")
         lane = (event["pid"], event["tid"])
+        if phase == "i":
+            instants.append({"name": event["name"], "ts": ts,
+                             "args": dict(args)})
         if phase == "B":
             stack = stacks.setdefault(lane, [])
             stack.append(
@@ -144,7 +155,7 @@ def validate_events(doc):
                  f"{recorded} events emitted")
     for lane_spans in spans.values():
         lane_spans.sort(key=lambda s: s["start"])
-    return spans
+    return spans, instants
 
 
 def check_drops(doc, allow_dropped):
@@ -239,6 +250,81 @@ def serve_attribution(spans):
     return True
 
 
+# Per-request lifecycle instants emitted by src/serve/server.cpp, keyed by
+# the "req" arg (the server-assigned request id). A request's waterfall is
+# submit -> (cache_hit | enqueue -> (dequeue -> resolve | shed)); a request
+# discarded by stop() legitimately ends at enqueue.
+REQUEST_STAGES = ("submit", "cache_hit", "enqueue", "dequeue", "shed",
+                  "resolve")
+REQUEST_PREFIX = "serve.request."
+
+
+def request_waterfalls(instants):
+    """Groups serve.request.* instants by request id and replays each
+    request's lifecycle, failing on impossible orderings or duplicate
+    stages. Returns {req_id: {stage: ts}} (empty when the trace carries no
+    request instants)."""
+    requests = {}
+    for instant in instants:
+        name = instant["name"]
+        if not name.startswith(REQUEST_PREFIX):
+            continue
+        stage = name[len(REQUEST_PREFIX):]
+        if stage not in REQUEST_STAGES:
+            fail(f"unknown request lifecycle instant {name!r}")
+        if "req" not in instant["args"]:
+            fail(f"{name} instant lacks the 'req' arg")
+        req = instant["args"]["req"]
+        stages = requests.setdefault(req, {})
+        if stage in stages:
+            fail(f"request {req}: duplicate {stage} instant")
+        stages[stage] = instant["ts"]
+    for req, stages in requests.items():
+        if "submit" not in stages:
+            fail(f"request {req}: lifecycle instants without a submit")
+        if "cache_hit" in stages and "enqueue" in stages:
+            fail(f"request {req}: both cache_hit and enqueue recorded")
+        # Timestamps come from one steady clock, so cross-thread ordering
+        # is meaningful; equal stamps are fine at microsecond resolution.
+        order = [stages["submit"]]
+        for stage in ("enqueue", "dequeue", "resolve"):
+            if stage in stages:
+                order.append(stages[stage])
+        if any(b < a for a, b in zip(order, order[1:])):
+            fail(f"request {req}: lifecycle ran backwards "
+                 f"(submit/enqueue/dequeue/resolve = {order})")
+        if "shed" in stages and stages["shed"] < stages["submit"]:
+            fail(f"request {req}: shed before submit")
+        if "dequeue" in stages and "enqueue" not in stages:
+            fail(f"request {req}: dequeued but never enqueued")
+    return requests
+
+
+def print_waterfalls(requests):
+    complete = {req: s for req, s in requests.items()
+                if "dequeue" in s and "resolve" in s}
+    hits = sum(1 for s in requests.values() if "cache_hit" in s)
+    shed = sum(1 for s in requests.values() if "shed" in s)
+    print(f"\nserve.request.* waterfalls: {len(requests)} request(s) "
+          f"({len(complete)} full queue->resolve, {hits} cache hit(s), "
+          f"{shed} shed)")
+    if not complete:
+        return
+    queue_waits = [s["dequeue"] - s["enqueue"] for s in complete.values()]
+    services = [s["resolve"] - s["dequeue"] for s in complete.values()]
+    totals = {req: s["resolve"] - s["submit"] for req, s in complete.items()}
+    print(f"  queue wait mean {sum(queue_waits) / len(queue_waits):.1f} us, "
+          f"max {max(queue_waits):.1f} us; dequeue->resolve mean "
+          f"{sum(services) / len(services):.1f} us")
+    worst = max(totals, key=totals.get)
+    stages = complete[worst]
+    t0 = stages["submit"]
+    steps = " -> ".join(
+        f"{stage} +{stages[stage] - t0:.1f}us"
+        for stage in ("enqueue", "dequeue", "resolve") if stage in stages)
+    print(f"  slowest request {worst}: submit +0.0us -> {steps}")
+
+
 def iteration_groups(spans, name):
     """Cross-rank groups of `name` spans: same iteration arg, overlapping in
     time (successive runs of the same workload are far apart, so a group is
@@ -282,7 +368,7 @@ def span_comm_words(lane_spans, outer):
     return words
 
 
-def analyze(doc, spans):
+def analyze(doc, spans, requests):
     other = doc.get("otherData", {})
     model = other.get("model", {}) if isinstance(other, dict) else {}
 
@@ -314,6 +400,8 @@ def analyze(doc, spans):
     if not ranks and not served:
         fail("no rank lanes and no serve.batch.* spans in trace (nothing ran "
              "under dist::Cluster or serve::ExtDictServer?)")
+    if requests:
+        print_waterfalls(requests)
 
     min_m_l = model.get("min_m_l")
     for name in ITERATION_SPANS:
@@ -367,14 +455,16 @@ def main(argv):
 
     try:
         doc = load(paths[0])
-        spans = validate_events(doc)
+        spans, instants = validate_events(doc)
+        requests = request_waterfalls(instants)
         check_drops(doc, allow_dropped)
         if check_only:
             events = sum(2 * len(s) for s in spans.values())
             print(f"{paths[0]}: OK ({events}+ events, "
-                  f"{len(spans)} lanes, nesting balanced, no drops)")
+                  f"{len(spans)} lanes, nesting balanced, "
+                  f"{len(requests)} request waterfall(s), no drops)")
             return 0
-        return analyze(doc, spans)
+        return analyze(doc, spans, requests)
     except MalformedTrace as err:
         print(f"{paths[0]}: MALFORMED: {err}", file=sys.stderr)
         return 1

@@ -40,6 +40,15 @@ Enforces project rules the generic .clang-tidy configuration cannot express:
                          gate; tools/extdict-analyze.py's omp-sharing rule
                          does the whole-program race verification on top.
 
+  metric-name-style      string literals handed to metric registration /
+                         mutation calls (counter, add, gauge*, span,
+                         SpanTimer, observe_windowed, ...) must be lowercase
+                         dot-paths: [a-z0-9_]+ segments joined by single
+                         dots (docs/OBSERVABILITY.md §1). Snapshots sort
+                         keys lexicographically, so one CamelCase name
+                         breaks the subsystem grouping every dashboard and
+                         diff relies on.
+
 Usage:
   tools/extdict-lint.py [--root DIR]        # scan the tree (default: repo)
   tools/extdict-lint.py FILE [FILE...]      # scan specific files
@@ -63,9 +72,10 @@ RULE_HOT_ALLOC = "hot-loop-allocation"
 RULE_CPP_INCLUDE = "cpp-include"
 RULE_TRACE = "trace-in-hot-path"
 RULE_OMP_DEFAULT = "omp-default-none"
+RULE_METRIC_NAME = "metric-name-style"
 
 ALL_RULES = (RULE_SYNC, RULE_SHAPE, RULE_HOT_ALLOC, RULE_CPP_INCLUDE,
-             RULE_TRACE, RULE_OMP_DEFAULT)
+             RULE_TRACE, RULE_OMP_DEFAULT, RULE_METRIC_NAME)
 
 # Directories whose files are per-element hot kernels: no tracing there.
 TRACE_FORBIDDEN_PREFIXES = ("src/la/", "src/sparsecoding/")
@@ -113,6 +123,19 @@ CONTROL_KEYWORDS = {"if", "for", "while", "switch", "catch", "return", "do", "el
 OMP_PARALLEL_RE = re.compile(r"^\s*#\s*pragma\s+omp\s+parallel\b")
 DEFAULT_NONE_RE = re.compile(r"\bdefault\s*\(\s*none\s*\)")
 
+# Metric/trace registration and mutation entry points whose first argument
+# is the metric name. `span` doubles as the conventional SpanTimer variable
+# name, so both the type and the idiomatic spelling are covered.
+METRIC_CALL_RE = re.compile(
+    r"\b(?:counter|add|gauge|gauge_set|gauge_add|gauge_sub|gauge_value"
+    r"|observe_windowed|window_quantile|window_count|span|SpanTimer"
+    r"|TraceScope)\s*\(\s*\"([^\"]*)\""
+)
+# Lowercase dot-path: [a-z0-9_]+ segments joined by single dots. Names built
+# by concatenation (`"trace.events.rank" + ...`) are checked on their literal
+# prefix, which must already be well-formed.
+METRIC_NAME_RE = re.compile(r"^[a-z0-9_]+(?:\.[a-z0-9_]+)*$")
+
 
 class Violation:
     def __init__(self, path: Path, line: int, rule: str, message: str):
@@ -125,11 +148,13 @@ class Violation:
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
 
 
-def mask_comments_and_strings(text: str) -> str:
+def mask_comments_and_strings(text: str, keep_strings: bool = False) -> str:
     """Replaces comment and string/char-literal contents with spaces.
 
     Same length as the input (newlines preserved), so offsets and line
-    numbers map 1:1 onto the original file.
+    numbers map 1:1 onto the original file. With keep_strings, literal
+    contents survive (only comments are blanked) — for rules that inspect
+    the literals themselves, like metric-name-style.
     """
     out = list(text)
     i, n = 0, len(text)
@@ -175,14 +200,15 @@ def mask_comments_and_strings(text: str) -> str:
         elif state in ("string", "char"):
             quote = '"' if state == "string" else "'"
             if c == "\\" and nxt:
-                out[i] = " "
-                if nxt != "\n":
-                    out[i + 1] = " "
+                if not keep_strings:
+                    out[i] = " "
+                    if nxt != "\n":
+                        out[i + 1] = " "
                 i += 2
                 continue
             if c == quote:
                 state = "code"
-            elif c != "\n":
+            elif c != "\n" and not keep_strings:
                 out[i] = " "
             i += 1
     return "".join(out)
@@ -448,6 +474,23 @@ def check_file(path: Path, rel: str, violations: list[Violation]) -> None:
             "omp parallel directive without default(none); list every "
             "variable's sharing explicitly (shared/private/firstprivate/"
             "reduction) so nothing is shared by accident"))
+
+    # -- metric name style ----------------------------------------------------
+    # The default mask blanks string literals, so this rule scans a
+    # comments-only mask where the literals survive.
+    literals_visible = mask_comments_and_strings(text, keep_strings=True)
+    for m in METRIC_CALL_RE.finditer(literals_visible):
+        name = m.group(1)
+        if METRIC_NAME_RE.match(name):
+            continue
+        lineno = line_of(literals_visible, m.start())
+        if is_waived(waivers, lineno, RULE_METRIC_NAME):
+            continue
+        violations.append(Violation(
+            path, lineno, RULE_METRIC_NAME,
+            f'metric name "{name}" is not a lowercase dot-path '
+            "([a-z0-9_]+ segments joined by single dots; "
+            "docs/OBSERVABILITY.md)"))
 
     # -- shape contracts at kernel entry --------------------------------------
     if (rel_posix.startswith(("src/la/", "src/sparsecoding/"))

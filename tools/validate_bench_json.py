@@ -6,7 +6,8 @@ Dependency-free (stdlib json only). CI's bench-smoke job runs
     run_benchmarks --quick --out OUT
     tools/validate_bench_json.py OUT/BENCH_gram_model.json OUT/BENCH_solvers.json
     run_server_bench --quick --out OUT
-    tools/validate_bench_json.py OUT/BENCH_serve.json OUT/BENCH_cache.json
+    tools/validate_bench_json.py OUT/BENCH_serve.json OUT/BENCH_cache.json \
+        OUT/BENCH_telemetry.json
 
 so a schema drift — a renamed field, a type change, a dropped summary — fails
 the PR even when the benchmark itself runs fine. The checked-in repo-root
@@ -368,6 +369,150 @@ CACHE_SCHEMA = {
     },
 }
 
+TELEMETRY_SNAPSHOT = {
+    "type": "object",
+    "required": [
+        "seq", "wall_ms", "submitted", "accepted", "served",
+        "encode_failures", "shed", "discarded", "cache_hits", "queue_depth",
+        "inflight", "busy_workers", "epoch", "live_epochs", "cache_entries",
+        "cache_resident_bytes", "window_count", "window_p50", "window_p99",
+        "cumulative_count", "cumulative_p50", "cumulative_p99", "residual",
+    ],
+    "properties": {name: NUMBER for name in (
+        "seq", "wall_ms", "submitted", "accepted", "served",
+        "encode_failures", "shed", "discarded", "cache_hits", "queue_depth",
+        "inflight", "busy_workers", "epoch", "live_epochs", "cache_entries",
+        "cache_resident_bytes", "window_count", "window_p50", "window_p99",
+        "cumulative_count", "cumulative_p50", "cumulative_p99", "residual")},
+}
+
+TELEMETRY_SCHEMA = {
+    "type": "object",
+    "required": [
+        "schema_version", "benchmark", "mode", "units", "workload",
+        "telemetry_pass", "summary",
+    ],
+    "properties": {
+        "schema_version": NUMBER,
+        "benchmark": STRING,
+        "mode": STRING,
+        "units": STRING,
+        "workload": {
+            "type": "object",
+            "required": [
+                "signal_dim", "atoms", "tolerance", "max_atoms",
+                "signal_pool", "seeds",
+            ],
+            "properties": {
+                "signal_dim": NUMBER,
+                "atoms": NUMBER,
+                "tolerance": NUMBER,
+                "max_atoms": NUMBER,
+                "signal_pool": NUMBER,
+                "seeds": STRING,
+            },
+        },
+        "telemetry_pass": {
+            "type": "object",
+            "required": [
+                "config", "wall_seconds", "served", "cache_hits", "lost",
+                "errors", "snapshotter_ok", "snapshot_count", "seq_monotone",
+                "snapshots", "reconciliation", "epoch_flip", "overhead",
+                "cache", "accounting_balanced", "contract_held",
+            ],
+            "properties": {
+                "config": {
+                    "type": "object",
+                    "required": [
+                        "requests", "offered_rps", "period_ms", "workers",
+                        "max_batch", "queue_capacity", "cache_capacity",
+                        "flip_at_request", "atoms_per_flip", "tolerance",
+                        "snapshots_file",
+                    ],
+                    "properties": {
+                        **{name: NUMBER for name in (
+                            "requests", "offered_rps", "period_ms", "workers",
+                            "max_batch", "queue_capacity", "cache_capacity",
+                            "flip_at_request", "atoms_per_flip", "tolerance")},
+                        "snapshots_file": STRING,
+                    },
+                },
+                **{name: NUMBER for name in (
+                    "wall_seconds", "served", "cache_hits", "lost", "errors",
+                    "snapshot_count")},
+                "snapshotter_ok": BOOL,
+                "seq_monotone": BOOL,
+                "snapshots": {"type": "array", "items": TELEMETRY_SNAPSHOT},
+                "reconciliation": {
+                    "type": "object",
+                    "required": [
+                        "tolerance", "max_abs_residual", "final_residual",
+                        "ok",
+                    ],
+                    "properties": {
+                        "tolerance": NUMBER,
+                        "max_abs_residual": NUMBER,
+                        "final_residual": NUMBER,
+                        "ok": BOOL,
+                    },
+                },
+                "epoch_flip": {
+                    "type": "object",
+                    "required": [
+                        "epoch_after", "flip_wall_ms", "flip_seconds",
+                        "pre_flip_snapshots", "post_flip_snapshots", "ok",
+                    ],
+                    "properties": {
+                        **{name: NUMBER for name in (
+                            "epoch_after", "flip_wall_ms", "flip_seconds",
+                            "pre_flip_snapshots", "post_flip_snapshots")},
+                        "ok": BOOL,
+                    },
+                },
+                "overhead": {
+                    "type": "object",
+                    "required": [
+                        "rounds", "requests_per_round", "median_ratio",
+                        "floor", "ok",
+                    ],
+                    "properties": {
+                        **{name: NUMBER for name in (
+                            "rounds", "requests_per_round", "median_ratio",
+                            "floor")},
+                        "ok": BOOL,
+                    },
+                },
+                "cache": {
+                    "type": "object",
+                    "required": [
+                        "hits", "misses", "entries_at_drain",
+                        "resident_bytes_at_drain",
+                    ],
+                    "properties": {name: NUMBER for name in (
+                        "hits", "misses", "entries_at_drain",
+                        "resident_bytes_at_drain")},
+                },
+                "accounting_balanced": BOOL,
+                "contract_held": BOOL,
+            },
+        },
+        "summary": {
+            "type": "object",
+            "required": [
+                "snapshot_count", "reconciliation_ok", "epoch_flip_ok",
+                "overhead_ok", "violations",
+            ],
+            "properties": {
+                "snapshot_count": NUMBER,
+                "reconciliation_ok": BOOL,
+                "epoch_flip_ok": BOOL,
+                "overhead_ok": BOOL,
+                "violations": BOOL,
+            },
+        },
+    },
+}
+
 TYPE_CHECKS = {
     "object": lambda v: isinstance(v, dict),
     "array": lambda v: isinstance(v, list),
@@ -561,6 +706,80 @@ def check_semantics_cache(doc, errors):
         errors.append("extend_pass.max_flip_seconds != max(flip_seconds)")
 
 
+def check_semantics_telemetry(doc, errors):
+    """The telemetry contract: enough snapshots, every snapshot reconciles
+    against the serving identity within the embedded tolerance (the drained
+    final one exactly), the mid-run epoch flip shows as a gauge step, and
+    the snapshotter's overhead stays under the bench noise floor."""
+    tele = doc.get("telemetry_pass", {})
+    summary = doc.get("summary", {})
+    snapshots = tele.get("snapshots", [])
+    tolerance = tele.get("config", {}).get("tolerance", 0)
+
+    if summary.get("violations") is not False:
+        errors.append("summary.violations is true: the bench recorded a "
+                      "contract violation")
+    if tele.get("snapshot_count", 0) < 20:
+        errors.append("telemetry_pass.snapshot_count < 20: too few snapshots "
+                      "to call the stream live")
+    if len(snapshots) != tele.get("snapshot_count"):
+        errors.append("len(snapshots) != snapshot_count")
+    if not tele.get("seq_monotone", False):
+        errors.append("telemetry_pass.seq_monotone is false")
+    if tele.get("lost") != 0 or tele.get("errors") != 0:
+        errors.append("telemetry_pass lost futures or saw encode errors")
+    if not tele.get("snapshotter_ok", False):
+        errors.append("telemetry_pass.snapshotter_ok is false: the exporter "
+                      "could not write its stream")
+    if not tele.get("reconciliation", {}).get("ok", False):
+        errors.append("reconciliation.ok is false")
+    if tele.get("reconciliation", {}).get("final_residual") != 0:
+        errors.append("reconciliation.final_residual != 0: the drained "
+                      "server's books do not close")
+    if not tele.get("epoch_flip", {}).get("ok", False):
+        errors.append("epoch_flip.ok is false: the mid-run extension is not "
+                      "visible as a serve.registry.epoch gauge step")
+    overhead = tele.get("overhead", {})
+    if not overhead.get("ok", False):
+        errors.append("overhead.ok is false: the snapshotter cost more than "
+                      "the bench noise floor")
+    if overhead.get("median_ratio", 99) > overhead.get("floor", 0):
+        errors.append("overhead.median_ratio exceeds overhead.floor")
+    if not tele.get("accounting_balanced", False):
+        errors.append("telemetry_pass.accounting_balanced is false")
+    if not tele.get("contract_held", False):
+        errors.append("telemetry_pass.contract_held is false")
+
+    for i, snap in enumerate(snapshots):
+        if snap.get("seq") != i:
+            errors.append(f"snapshots[{i}].seq != {i}: not a contiguous "
+                          "0-based sequence")
+        expected = (snap.get("accepted", 0) - snap.get("served", 0)
+                    - snap.get("encode_failures", 0) - snap.get("shed", 0)
+                    - snap.get("discarded", 0))
+        level = snap.get("queue_depth", 0) + snap.get("inflight", 0)
+        if snap.get("residual") != level - expected:
+            errors.append(f"snapshots[{i}].residual does not match its own "
+                          "counters and gauges")
+        if abs(snap.get("residual", 0)) > tolerance:
+            errors.append(f"snapshots[{i}].residual exceeds the embedded "
+                          f"tolerance {tolerance}")
+        if i > 0 and snap.get("wall_ms", 0) < snapshots[i - 1].get("wall_ms", 0):
+            errors.append(f"snapshots[{i}].wall_ms ran backwards")
+    if snapshots:
+        final = snapshots[-1]
+        if final.get("queue_depth") != 0 or final.get("inflight") != 0:
+            errors.append("final snapshot still has queued or in-flight "
+                          "requests after the drain")
+        if final.get("residual") != 0:
+            errors.append("final snapshot residual is nonzero")
+        epochs = [s.get("epoch", 0) for s in snapshots]
+        if epochs[0] != 0 or epochs[-1] != 1 or any(
+                b < a for a, b in zip(epochs, epochs[1:])):
+            errors.append("serve.registry.epoch gauge is not a monotone "
+                          "0 -> 1 step across the stream")
+
+
 def run(path, schema, semantic_check=None):
     try:
         doc = json.loads(Path(path).read_text())
@@ -580,7 +799,8 @@ def run(path, schema, semantic_check=None):
 
 def main(argv):
     paths = argv[1:] or ["BENCH_gram_model.json", "BENCH_solvers.json",
-                         "BENCH_serve.json", "BENCH_cache.json"]
+                         "BENCH_serve.json", "BENCH_cache.json",
+                         "BENCH_telemetry.json"]
     ok = True
     for path in paths:
         name = Path(path).name
@@ -590,12 +810,15 @@ def main(argv):
             ok &= run(path, SOLVERS_SCHEMA, check_semantics_solvers)
         elif "cache" in name:
             ok &= run(path, CACHE_SCHEMA, check_semantics_cache)
+        elif "telemetry" in name:
+            ok &= run(path, TELEMETRY_SCHEMA, check_semantics_telemetry)
         elif "serve" in name:
             ok &= run(path, SERVE_SCHEMA, check_semantics_serve)
         else:
             print(f"FAIL {path}: unknown artifact (expected "
                   "BENCH_gram_model.json, BENCH_solvers.json, "
-                  "BENCH_serve.json, or BENCH_cache.json)")
+                  "BENCH_serve.json, BENCH_cache.json, or "
+                  "BENCH_telemetry.json)")
             ok = False
     return 0 if ok else 1
 
